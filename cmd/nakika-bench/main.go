@@ -1,0 +1,156 @@
+// Command nakika-bench regenerates the paper's evaluation: every table and
+// figure in Section 5 has an experiment that prints the corresponding rows
+// or series.
+//
+// Usage:
+//
+//	nakika-bench -experiment all
+//	nakika-bench -experiment table2 -iterations 10
+//	nakika-bench -experiment figure7 -duration 60s
+//
+// Experiments: table2, breakdown, capacity, rescontrol, simm-local, figure7,
+// specweb, extensions, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nakika/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, all)")
+	iterations := flag.Int("iterations", 10, "iterations per micro-benchmark measurement")
+	duration := flag.Duration("duration", 30*time.Second, "virtual duration for the wide-area simulations")
+	loadDuration := flag.Duration("load-duration", 2*time.Second, "wall-clock duration for capacity and resource-control load tests")
+	cdf := flag.Bool("cdf", false, "print full CDF series for figure7")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table2", func() error {
+		rows, err := bench.RunTable2(*iterations)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(rows))
+		return nil
+	})
+
+	run("breakdown", func() error {
+		b, err := bench.RunBreakdown(*iterations * 10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatBreakdown(b))
+		return nil
+	})
+
+	run("capacity", func() error {
+		for _, clients := range []int{30, 90} {
+			proxy, err := bench.RunCapacity(clients, false, *loadDuration)
+			if err != nil {
+				return err
+			}
+			match, err := bench.RunCapacity(clients, true, *loadDuration)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatLoad(fmt.Sprintf("plain proxy (%d clients)", clients), proxy))
+			fmt.Print(bench.FormatLoad(fmt.Sprintf("Match-1 pipeline (%d clients)", clients), match))
+		}
+		return nil
+	})
+
+	run("rescontrol", func() error {
+		for _, tc := range []struct {
+			clients  int
+			controls bool
+			hog      bool
+			name     string
+		}{
+			{30, false, false, "30 clients, no controls"},
+			{30, true, false, "30 clients, with controls"},
+			{90, false, false, "90 clients, no controls"},
+			{90, true, false, "90 clients, with controls"},
+			{30, false, true, "30 clients + hog, no controls"},
+			{30, true, true, "30 clients + hog, with controls"},
+		} {
+			res, err := bench.RunResourceControls(tc.clients, tc.controls, tc.hog, *loadDuration)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatLoad(tc.name, res))
+		}
+		return nil
+	})
+
+	run("simm-local", func() error {
+		costs, err := bench.MeasureSIMMCosts(*iterations)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("calibrated costs: origin-render=%v edge-render=%v static=%v\n",
+			costs.OriginRender, costs.EdgeRender, costs.StaticServe)
+		for _, withWAN := range []bool{false, true} {
+			label := "LAN only"
+			if withWAN {
+				label = "80 ms / 8 Mbps WAN"
+			}
+			fmt.Printf("-- %s --\n", label)
+			for _, r := range bench.RunSIMMLocal(160, *duration, costs, withWAN) {
+				fmt.Printf("  %-14s html-90th=%-10s video-ok=%5.1f%%\n", r.Mode, r.HTML90th.Round(time.Millisecond), r.VideoOKPct)
+			}
+		}
+		return nil
+	})
+
+	run("figure7", func() error {
+		costs, err := bench.MeasureSIMMCosts(*iterations)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("calibrated costs: origin-render=%v edge-render=%v static=%v\n",
+			costs.OriginRender, costs.EdgeRender, costs.StaticServe)
+		results := bench.RunFigure7(*duration, costs)
+		for _, r := range results {
+			fmt.Print(bench.FormatSIMM(r))
+		}
+		if *cdf {
+			for _, r := range results {
+				fmt.Print(bench.FormatSIMMCDF(r))
+			}
+		}
+		return nil
+	})
+
+	run("specweb", func() error {
+		costs, err := bench.MeasureSpecWebCosts(*iterations)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("calibrated costs: origin-dynamic=%v edge-dynamic=%v static=%v\n",
+			costs.OriginDynamic, costs.EdgeDynamic, costs.StaticServe)
+		fmt.Print(bench.FormatSpecWeb(bench.RunSpecWeb(true, 160, *duration, costs)))
+		fmt.Print(bench.FormatSpecWeb(bench.RunSpecWeb(false, 160, *duration, costs)))
+		return nil
+	})
+
+	run("extensions", func() error {
+		fmt.Print(bench.FormatExtensions(bench.Extensions()))
+		return nil
+	})
+}

@@ -1,0 +1,68 @@
+// Command nakika-origin runs one of the synthetic origin applications used
+// by the evaluation (the SIMM medical-education app or the SPECweb99-like
+// app) as a real HTTP server, publishing its nakika.js so edge nodes can
+// pick up the site's pipeline stage.
+//
+//	nakika-origin -app simm -listen :9090
+//	nakika-origin -app specweb -listen :9091
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"nakika/internal/apps/simm"
+	"nakika/internal/apps/specweb"
+	"nakika/internal/core"
+	"nakika/internal/httpmsg"
+)
+
+func main() {
+	app := flag.String("app", "simm", "application to serve: simm or specweb")
+	listen := flag.String("listen", ":9090", "address to listen on")
+	host := flag.String("host", "", "origin host name the site script should reference (default: the app's default host)")
+	flag.Parse()
+
+	var fetcher core.Fetcher
+	var siteScript string
+	switch *app {
+	case "simm":
+		origin := simm.NewOrigin(simm.Config{Host: *host})
+		fetcher = origin
+		siteScript = simm.EdgeScript(origin.Config().Host)
+	case "specweb":
+		origin := specweb.NewOrigin(specweb.Config{Host: *host})
+		fetcher = origin
+		siteScript = specweb.EdgeScript(origin.Config().Host)
+	default:
+		log.Fatalf("nakika-origin: unknown app %q", *app)
+	}
+
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/nakika.js" {
+			w.Header().Set("Content-Type", "application/javascript")
+			w.Header().Set("Cache-Control", "max-age=300")
+			if _, err := w.Write([]byte(siteScript)); err != nil {
+				log.Printf("nakika-origin: write: %v", err)
+			}
+			return
+		}
+		req, err := httpmsg.FromHTTPRequest(r, 8<<20)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := fetcher.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := resp.WriteTo(w); err != nil {
+			log.Printf("nakika-origin: write: %v", err)
+		}
+	})
+
+	log.Printf("nakika-origin: serving %s on %s", *app, *listen)
+	log.Fatal(http.ListenAndServe(*listen, handler))
+}

@@ -1,0 +1,72 @@
+// Command nakikad runs a Na Kika edge node as a real HTTP proxy.
+//
+// Clients reach it either through proxy configuration or by rewriting URLs
+// to append .nakika.net to the hostname and pointing that name at this node.
+//
+//	nakikad -listen :8080 -name edge-1 -region us-east -local 10.0.0.0/8
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"nakika"
+	"nakika/internal/resource"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to listen on")
+	name := flag.String("name", "edge-1", "node name")
+	region := flag.String("region", "default", "node region (for client redirection)")
+	local := flag.String("local", "127.0.0.0/8", "comma-separated CIDR blocks considered local (System.isLocal)")
+	clientWall := flag.String("clientwall", "", "override URL of the client-side administrative control script")
+	serverWall := flag.String("serverwall", "", "override URL of the server-side administrative control script")
+	enableRes := flag.Bool("resource-controls", true, "enable congestion-based resource controls")
+	cpuCapacity := flag.Float64("cpu-capacity", 50_000_000, "CPU capacity (script steps) per control interval")
+	flag.Parse()
+
+	cfg := nakika.Config{
+		Name:            *name,
+		Region:          *region,
+		ClientWallURL:   *clientWall,
+		ServerWallURL:   *serverWall,
+		EnableResources: *enableRes,
+		Resources: resource.Config{
+			Capacity: map[resource.Kind]float64{
+				resource.CPU:    *cpuCapacity,
+				resource.Memory: 256 << 20,
+			},
+		},
+	}
+	for _, cidr := range strings.Split(*local, ",") {
+		if cidr = strings.TrimSpace(cidr); cidr != "" {
+			cfg.LocalNetworks = append(cfg.LocalNetworks, cidr)
+		}
+	}
+	node, err := nakika.NewNode(cfg)
+	if err != nil {
+		log.Fatalf("nakikad: %v", err)
+	}
+
+	// Background loops: congestion control and access-log flushing.
+	go func() {
+		for {
+			time.Sleep(250 * time.Millisecond)
+			node.Resources().ControlOnce()
+		}
+	}()
+	go func() {
+		for {
+			time.Sleep(time.Minute)
+			if err := node.FlushLogs(); err != nil {
+				log.Printf("nakikad: log flush: %v", err)
+			}
+		}
+	}()
+
+	log.Printf("nakikad: node %s (%s) listening on %s", *name, *region, *listen)
+	log.Fatal(http.ListenAndServe(*listen, node))
+}

@@ -1,0 +1,266 @@
+// Package simm provides the synthetic stand-in for the Surgical Interactive
+// Multimedia Modules (SIMMs), the web-based medical education application
+// used in Section 5.2 of the paper.
+//
+// The real SIMMs run on Tomcat + MySQL: JSP/servlets personalize XML content
+// per student, an XSL stylesheet renders it to HTML, and each module carries
+// about a gigabyte of multimedia. This package reproduces the workload
+// shape: an origin that serves per-student XML (personalization), a shared
+// rendering step (XML to HTML), synthetic multimedia blobs, and a log-replay
+// workload generator (the paper replays the medical school's access logs at
+// 4x speed). The Na Kika port's nakika.js script, which offloads rendering
+// and media distribution to the edge, is also generated here.
+package simm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nakika/internal/httpmsg"
+)
+
+// Config shapes the synthetic application.
+type Config struct {
+	// Modules is the number of SIMM modules (five existed at publication).
+	Modules int
+	// SectionsPerModule is the number of HTML pages per module.
+	SectionsPerModule int
+	// MediaPerModule is the number of multimedia files per module.
+	MediaPerModule int
+	// MediaBytes is the size of each multimedia file.
+	MediaBytes int
+	// Host is the origin host name.
+	Host string
+}
+
+// Defaults fills zero fields with workable defaults scaled down from the
+// real deployment so tests stay fast.
+func (c Config) Defaults() Config {
+	if c.Modules <= 0 {
+		c.Modules = 5
+	}
+	if c.SectionsPerModule <= 0 {
+		c.SectionsPerModule = 8
+	}
+	if c.MediaPerModule <= 0 {
+		c.MediaPerModule = 4
+	}
+	if c.MediaBytes <= 0 {
+		c.MediaBytes = 64 << 10
+	}
+	if c.Host == "" {
+		c.Host = "simms.med.nyu.edu"
+	}
+	return c
+}
+
+// Origin is the single-server SIMM application: it personalizes XML, renders
+// it to HTML itself (the configuration the paper compares against), and
+// serves multimedia.
+type Origin struct {
+	cfg   Config
+	media []byte
+}
+
+// NewOrigin builds the synthetic origin.
+func NewOrigin(cfg Config) *Origin {
+	cfg = cfg.Defaults()
+	media := make([]byte, cfg.MediaBytes)
+	rnd := rand.New(rand.NewSource(7))
+	for i := range media {
+		media[i] = byte(rnd.Intn(256))
+	}
+	return &Origin{cfg: cfg, media: media}
+}
+
+// Config returns the origin's effective configuration.
+func (o *Origin) Config() Config { return o.cfg }
+
+// SectionXML builds the personalized XML for a module section and student:
+// the content is the same skeleton with student-specific progress markers,
+// which is exactly what makes the rendering step shareable but the
+// personalization not.
+func (o *Origin) SectionXML(module, section int, student string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<section module="%d" n="%d" student="%s">`, module, section, student)
+	fmt.Fprintf(&sb, `<title>Module %d, Part %d</title>`, module, section)
+	for p := 0; p < 6; p++ {
+		fmt.Fprintf(&sb, `<p id="p%d">Clinical narrative paragraph %d for module %d covering workup, presentation, and treatment considerations.</p>`, p, p, module)
+	}
+	fmt.Fprintf(&sb, `<progress completed="%d"/>`, (len(student)*7+section)%100)
+	fmt.Fprintf(&sb, `<assessment score="%d"/>`, (len(student)*13+module)%100)
+	sb.WriteString(`</section>`)
+	return sb.String()
+}
+
+// RenderHTML is the shared XML-to-HTML rendering step (the XSL stylesheet
+// substitute). It is deliberately processor-intensive relative to serving a
+// static file, matching the reason the paper offloads it to the edge.
+func RenderHTML(xmlDoc string) string {
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>SIMM</title></head><body>")
+	// A simple tag-walking transformation: titles become h1, paragraphs
+	// become styled divs, progress becomes a bar.
+	rest := xmlDoc
+	for {
+		start := strings.Index(rest, "<")
+		if start < 0 {
+			break
+		}
+		end := strings.Index(rest[start:], ">")
+		if end < 0 {
+			break
+		}
+		tag := rest[start+1 : start+end]
+		body := rest[start+end+1:]
+		switch {
+		case strings.HasPrefix(tag, "title"):
+			close := strings.Index(body, "</title>")
+			if close >= 0 {
+				sb.WriteString("<h1>" + body[:close] + "</h1>")
+			}
+		case strings.HasPrefix(tag, "p "):
+			close := strings.Index(body, "</p>")
+			if close >= 0 {
+				sb.WriteString(`<div class="narrative">` + body[:close] + "</div>")
+			}
+		case strings.HasPrefix(tag, "progress"):
+			sb.WriteString(`<div class="progress-bar"></div>`)
+		}
+		rest = rest[start+end+1:]
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+// Do implements core.Fetcher: the origin serves three URL families.
+//
+//	/module/{m}/section/{s}.html?student=NAME  personalized, rendered HTML
+//	/module/{m}/section/{s}.xml?student=NAME   personalized XML (for the edge port)
+//	/module/{m}/media/{k}.bin                  multimedia
+//	/nakika.js                                 404 on the single-server origin
+func (o *Origin) Do(req *httpmsg.Request) (*httpmsg.Response, error) {
+	path := req.Path()
+	student := req.Query("student")
+	if student == "" {
+		student = "anonymous"
+	}
+	var module, section, media int
+	switch {
+	case matchPath(path, "/module/%d/section/%d.html", &module, &section):
+		xmlDoc := o.SectionXML(module, section, student)
+		resp := httpmsg.NewHTMLResponse(200, RenderHTML(xmlDoc))
+		// Personalized content: only privately cacheable.
+		resp.Header.Set("Cache-Control", "private")
+		return resp, nil
+	case matchPath(path, "/module/%d/section/%d.xml", &module, &section):
+		resp := httpmsg.NewResponse(200)
+		resp.Header.Set("Content-Type", "text/xml")
+		resp.SetBodyString(o.SectionXML(module, section, student))
+		resp.Header.Set("Cache-Control", "private")
+		return resp, nil
+	case matchPath(path, "/module/%d/media/%d.bin", &module, &media):
+		resp := httpmsg.NewResponse(200)
+		resp.Header.Set("Content-Type", "video/mp4")
+		resp.SetBody(o.media)
+		resp.SetMaxAge(3600)
+		return resp, nil
+	case path == "/xsl/render.js" || path == "/nakika.js":
+		return httpmsg.NewTextResponse(404, "not found"), nil
+	default:
+		return httpmsg.NewTextResponse(404, "not found"), nil
+	}
+}
+
+// matchPath is a minimal sscanf-based route matcher.
+func matchPath(path, pattern string, args ...interface{}) bool {
+	n, err := fmt.Sscanf(path, pattern, args...)
+	return err == nil && n == len(args)
+}
+
+// EdgeScript returns the nakika.js the Na Kika port of the SIMMs publishes:
+// it rewrites .html requests to fetch the personalized XML from the origin
+// and performs the (generic, shared) rendering at the edge, and lets media
+// be cached normally. This mirrors the real port, which "off-loads the
+// distribution of multimedia content ... and the (generic) rendering of XML
+// to HTML" while personalization stays on the central server.
+func EdgeScript(originHost string) string {
+	return `
+// SIMM edge port: render personalized XML to HTML at the edge.
+var p = new Policy();
+p.url = [ "` + originHost + `/module" ];
+p.onRequest = function() {
+	if (Request.path.indexOf(".html") < 0) { return; }
+	var student = Request.param("student");
+	if (student == null) { student = "anonymous"; }
+	var xmlURL = "http://` + originHost + `" +
+		Request.path.replace(".html", ".xml") + "?student=" + student;
+	var r = Fetch.get(xmlURL);
+	if (r.status != 200) { Request.terminate(502); return; }
+	var doc = XML.parse(r.body.toString());
+	var html = "<html><head><title>SIMM</title></head><body>";
+	html += "<h1>" + XML.text(XML.find(doc, "title")) + "</h1>";
+	var paras = XML.findAll(doc, "p");
+	for (var i = 0; i < paras.length; i++) {
+		html += "<div class='narrative'>" + XML.text(paras[i]) + "</div>";
+	}
+	html += "<div class='progress-bar'></div></body></html>";
+	Response.setHeader("Content-Type", "text/html; charset=utf-8");
+	Response.write(html);
+};
+p.register();
+`
+}
+
+// ---------------------------------------------------------------------------
+// Log-replay workload
+// ---------------------------------------------------------------------------
+
+// AccessKind labels a replayed access for latency bucketing.
+type AccessKind int
+
+// Access kinds in the replayed log.
+const (
+	AccessHTML AccessKind = iota
+	AccessMedia
+)
+
+// Access is one entry in the synthetic access log.
+type Access struct {
+	Kind    AccessKind
+	URL     string
+	Student string
+	Bytes   int
+}
+
+// GenerateLog produces a synthetic access log of n entries for the
+// application, with the HTML/media mix of a lecture-viewing session: a
+// student requests a section page and then, with some probability, the
+// section's media.
+func GenerateLog(cfg Config, n int, seed int64) []Access {
+	cfg = cfg.Defaults()
+	rnd := rand.New(rand.NewSource(seed))
+	log := make([]Access, 0, n)
+	for len(log) < n {
+		student := fmt.Sprintf("student-%d", rnd.Intn(400))
+		module := 1 + rnd.Intn(cfg.Modules)
+		section := 1 + rnd.Intn(cfg.SectionsPerModule)
+		log = append(log, Access{
+			Kind:    AccessHTML,
+			URL:     fmt.Sprintf("http://%s/module/%d/section/%d.html?student=%s", cfg.Host, module, section, student),
+			Student: student,
+			Bytes:   4096,
+		})
+		if len(log) < n && rnd.Float64() < 0.4 {
+			media := 1 + rnd.Intn(cfg.MediaPerModule)
+			log = append(log, Access{
+				Kind:    AccessMedia,
+				URL:     fmt.Sprintf("http://%s/module/%d/media/%d.bin", cfg.Host, module, media),
+				Student: student,
+				Bytes:   cfg.MediaBytes,
+			})
+		}
+	}
+	return log
+}

@@ -1,0 +1,153 @@
+package specweb
+
+import (
+	"strings"
+	"testing"
+
+	"nakika/internal/core"
+	"nakika/internal/httpmsg"
+	"nakika/internal/script"
+	"nakika/internal/state"
+)
+
+func TestOriginStaticFiles(t *testing.T) {
+	o := NewOrigin(Config{})
+	resp, err := o.Do(httpmsg.MustRequest("GET", "http://specweb.example.org/file_set/dir/class1_3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || len(resp.Body) != 10<<10 {
+		t.Errorf("class1 file: status=%d len=%d", resp.Status, len(resp.Body))
+	}
+	if !resp.Cacheable() {
+		t.Error("static files should be cacheable")
+	}
+	if r, _ := o.Do(httpmsg.MustRequest("GET", "http://specweb.example.org/file_set/dir/class9_0")); r.Status != 404 {
+		t.Error("unknown class should be 404")
+	}
+}
+
+func TestOriginDynamicRegistrationAndProfile(t *testing.T) {
+	o := NewOrigin(Config{Users: 10})
+	before := o.UserCount()
+	reg, err := o.Do(httpmsg.MustRequest("GET", "http://specweb.example.org/cgi-bin/register?user=newbie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Status != 200 || !strings.Contains(string(reg.Body), "registered") {
+		t.Errorf("register = %d %q", reg.Status, reg.Body)
+	}
+	if reg.Cacheable() {
+		t.Error("dynamic responses must not be cacheable")
+	}
+	if o.UserCount() != before+1 {
+		t.Error("registration should add a user")
+	}
+	prof, _ := o.Do(httpmsg.MustRequest("GET", "http://specweb.example.org/cgi-bin/profile?user=newbie"))
+	if !strings.Contains(string(prof.Body), "profile") {
+		t.Errorf("profile = %q", prof.Body)
+	}
+	missing, _ := o.Do(httpmsg.MustRequest("GET", "http://specweb.example.org/cgi-bin/profile?user=ghost"))
+	if !strings.Contains(string(missing.Body), "unknown-user") {
+		t.Errorf("missing profile = %q", missing.Body)
+	}
+	bad, _ := o.Do(httpmsg.MustRequest("GET", "http://specweb.example.org/cgi-bin/register"))
+	if bad.Status != 400 {
+		t.Errorf("register without user = %d", bad.Status)
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	cfg := Config{}.Defaults()
+	mix := GenerateMix(cfg, 2000, 5)
+	if len(mix) != 2000 {
+		t.Fatalf("mix length = %d", len(mix))
+	}
+	dynamic, static := 0, 0
+	for _, r := range mix {
+		if r.Kind == ReqStatic {
+			static++
+		} else {
+			dynamic++
+		}
+		if r.URL == "" || r.Bytes <= 0 {
+			t.Fatalf("malformed request %+v", r)
+		}
+	}
+	frac := float64(dynamic) / float64(len(mix))
+	if frac < 0.75 || frac > 0.85 {
+		t.Errorf("dynamic fraction = %.2f, want ~0.8", frac)
+	}
+	// Deterministic per seed.
+	again := GenerateMix(cfg, 2000, 5)
+	for i := range mix {
+		if mix[i] != again[i] {
+			t.Fatal("mix should be deterministic per seed")
+		}
+	}
+}
+
+func TestEdgeScriptParses(t *testing.T) {
+	if _, err := script.Parse(EdgeScript("specweb.example.org"), "nakika.js"); err != nil {
+		t.Fatalf("edge script does not parse: %v", err)
+	}
+}
+
+func TestEdgeScriptHandlesDynamicRequestsAtEdge(t *testing.T) {
+	origin := NewOrigin(Config{})
+	host := origin.Config().Host
+	upstream := core.FetcherFunc(func(req *httpmsg.Request) (*httpmsg.Response, error) {
+		if req.Path() == "/nakika.js" && req.Host() == host {
+			r := httpmsg.NewTextResponse(200, EdgeScript(host))
+			r.Header.Set("Content-Type", "application/javascript")
+			r.SetMaxAge(300)
+			return r, nil
+		}
+		return origin.Do(req)
+	})
+	bus := state.NewBus()
+	nodeA, err := core.NewNode(core.Config{Name: "edge-a", Upstream: upstream, Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB, err := core.NewNode(core.Config{Name: "edge-b", Upstream: upstream, Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both nodes' replicas for the site (replica attachment is lazy).
+	if _, _, err := nodeA.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/profile?user=warm")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nodeB.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/profile?user=warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	originDynamicBefore := 0 // the origin never sees edge-handled dynamics, verified below
+	reg, trace, err := nodeA.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/register?user=edgeuser"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Status != 200 || !trace.Generated {
+		t.Fatalf("register at edge: status=%d generated=%v", reg.Status, trace.Generated)
+	}
+	// The profile registered at node A is readable from node B via replication.
+	prof, trace, err := nodeB.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/profile?user=edgeuser"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prof.Body), "profile") || !trace.Generated {
+		t.Errorf("replicated profile read = %q generated=%v", prof.Body, trace.Generated)
+	}
+	// Static requests still flow to the origin and get cached.
+	st, _, err := nodeA.Handle(httpmsg.MustRequest("GET", "http://"+host+"/file_set/dir/class0_1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != 200 || len(st.Body) != 1<<10 {
+		t.Errorf("static via edge: %d %d bytes", st.Status, len(st.Body))
+	}
+	_ = originDynamicBefore
+	if origin.UserCount() != (Config{}).Defaults().Users {
+		t.Error("edge-handled registrations must not touch the origin's user table")
+	}
+}

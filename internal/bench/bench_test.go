@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nakika/internal/core"
+	"nakika/internal/httpmsg"
+	"nakika/internal/script"
+)
+
+func TestStaticPageSize(t *testing.T) {
+	if len(staticPage) != googlePageBytes {
+		t.Fatalf("static page is %d bytes, want %d", len(staticPage), googlePageBytes)
+	}
+}
+
+func TestMicroConfigsRun(t *testing.T) {
+	for _, cfg := range MicroConfigs {
+		r, err := RunMicro(cfg, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if r.Cold <= 0 || r.Warm <= 0 {
+			t.Errorf("%s: non-positive latency %+v", cfg, r)
+		}
+		// Warm-cache accesses should not be meaningfully slower than cold
+		// ones. Below ~100µs both measurements are dominated by scheduler
+		// noise (especially when the suite runs alongside benchmarks), so
+		// only compare when the cold path is doing real work.
+		if r.Cold > 100*time.Microsecond && r.Warm > r.Cold*3 {
+			t.Errorf("%s: warm (%v) should not be much slower than cold (%v)", cfg, r.Warm, r.Cold)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := RunTable2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(MicroConfigs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[MicroConfig]MicroResult{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	// Shape checks from the paper: the scripting pipeline costs more than
+	// the plain proxy under a cold cache, and more predicates mean more
+	// cold-cache cost (script fetch + larger decision tree build).
+	if byName[ConfigAdmin].Cold < byName[ConfigProxy].Cold {
+		t.Errorf("Admin cold (%v) should cost at least Proxy cold (%v)", byName[ConfigAdmin].Cold, byName[ConfigProxy].Cold)
+	}
+	if byName[ConfigPred100].Cold < byName[ConfigPred1].Cold {
+		t.Errorf("Pred-100 cold (%v) should cost at least Pred-1 cold (%v)", byName[ConfigPred100].Cold, byName[ConfigPred1].Cold)
+	}
+	// Warm cache flattens the differences: Pred-100 warm should be within a
+	// small factor of Proxy warm (both are sub-millisecond in the paper).
+	if byName[ConfigPred100].Warm > byName[ConfigProxy].Warm*50+2*time.Millisecond {
+		t.Errorf("Pred-100 warm (%v) should be close to Proxy warm (%v)", byName[ConfigPred100].Warm, byName[ConfigProxy].Warm)
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "Pred-100") || !strings.Contains(out, "Cold Cache") {
+		t.Errorf("formatted table missing content:\n%s", out)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b, err := RunBreakdown(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ContextReuse > b.ContextCreation {
+		t.Errorf("context reuse (%v) should be cheaper than creation (%v)", b.ContextReuse, b.ContextCreation)
+	}
+	if b.TreeCacheHit > b.ScriptLoad {
+		t.Errorf("decision tree cache hit (%v) should be cheaper than a script load (%v)", b.TreeCacheHit, b.ScriptLoad)
+	}
+	if b.PredicateEval <= 0 || b.CacheHit <= 0 {
+		t.Errorf("breakdown has zero entries: %+v", b)
+	}
+	if !strings.Contains(FormatBreakdown(b), "predicate evaluation") {
+		t.Error("formatted breakdown incomplete")
+	}
+}
+
+func TestCapacityMatchOneVsProxy(t *testing.T) {
+	proxy, err := RunCapacity(4, false, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := RunCapacity(4, true, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.Completed == 0 || match.Completed == 0 {
+		t.Fatalf("no completions: proxy=%+v match=%+v", proxy, match)
+	}
+	// The scripting pipeline reduces capacity relative to the plain proxy
+	// (the paper measures roughly 2x).
+	if match.Throughput > proxy.Throughput {
+		t.Errorf("Match-1 throughput (%.0f) should not exceed plain proxy (%.0f)", match.Throughput, proxy.Throughput)
+	}
+	if FormatLoad("x", proxy) == "" {
+		t.Error("FormatLoad empty")
+	}
+}
+
+func TestResourceControlsIsolateMisbehavingScript(t *testing.T) {
+	// With resource controls, the regular load is isolated from a
+	// misbehaving (memory hog) site: goodput with the hog present stays
+	// close to goodput without it, and almost no regular requests are
+	// throttled or terminated (the paper reports <0.55% and <0.08%).
+	clean, err := RunResourceControls(4, true, false, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHog, err := RunResourceControls(4, true, true, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Completed == 0 || withHog.Completed == 0 {
+		t.Fatalf("no completions: clean=%+v withHog=%+v", clean, withHog)
+	}
+	if float64(withHog.Completed) < 0.5*float64(clean.Completed) {
+		t.Errorf("hog should be isolated from the regular load: with-hog=%d clean=%d",
+			withHog.Completed, clean.Completed)
+	}
+	if withHog.RejectedPct > 10 || withHog.TerminatePct > 5 {
+		t.Errorf("regular load over-penalized: rejected=%.2f%% terminated=%.2f%%",
+			withHog.RejectedPct, withHog.TerminatePct)
+	}
+	// The comparison without controls still runs (and is reported by the
+	// bench tool); the hog is contained there only by per-context limits.
+	without, err := RunResourceControls(4, false, true, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Rejected != 0 {
+		t.Error("without controls no request should be rejected as busy")
+	}
+}
+
+func TestMeasureSIMMCosts(t *testing.T) {
+	costs, err := MeasureSIMMCosts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.OriginRender <= 0 || costs.EdgeRender <= 0 || costs.StaticServe <= 0 {
+		t.Errorf("costs = %+v", costs)
+	}
+}
+
+func TestRunSIMMShape(t *testing.T) {
+	costs := SIMMCosts{OriginRender: 3 * time.Millisecond, EdgeRender: 4 * time.Millisecond, StaticServe: 500 * time.Microsecond}
+	params := SIMMParams{Clients: 240, Duration: 30 * time.Second, Costs: costs}
+	single := RunSIMM(SIMMSingleServer, params)
+	cold := RunSIMM(SIMMColdCache, params)
+	warm := RunSIMM(SIMMWarmCache, params)
+
+	// Figure 7's ordering: single server worst, cold cache in between, warm
+	// cache best for HTML latency; video bandwidth fraction reversed.
+	if !(single.HTML90th > cold.HTML90th && cold.HTML90th >= warm.HTML90th) {
+		t.Errorf("90th percentile ordering wrong: single=%v cold=%v warm=%v",
+			single.HTML90th, cold.HTML90th, warm.HTML90th)
+	}
+	if !(warm.VideoOKPct >= cold.VideoOKPct && warm.VideoOKPct > single.VideoOKPct) {
+		t.Errorf("video bandwidth ordering wrong: single=%.1f cold=%.1f warm=%.1f",
+			single.VideoOKPct, cold.VideoOKPct, warm.VideoOKPct)
+	}
+	if len(warm.CDF) == 0 {
+		t.Error("CDF missing")
+	}
+	if FormatSIMM(single) == "" || FormatSIMMCDF(warm) == "" {
+		t.Error("formatting empty")
+	}
+}
+
+func TestRunSIMMMoreClientsMoreLatencyForSingleServer(t *testing.T) {
+	costs := SIMMCosts{OriginRender: 3 * time.Millisecond, EdgeRender: 4 * time.Millisecond, StaticServe: 500 * time.Microsecond}
+	small := RunSIMM(SIMMSingleServer, SIMMParams{Clients: 120, Duration: 20 * time.Second, Costs: costs})
+	large := RunSIMM(SIMMSingleServer, SIMMParams{Clients: 240, Duration: 20 * time.Second, Costs: costs})
+	if large.HTML90th < small.HTML90th {
+		t.Errorf("more clients should not reduce single-server latency: 120=%v 240=%v", small.HTML90th, large.HTML90th)
+	}
+}
+
+func TestRunSIMMLocal(t *testing.T) {
+	costs := SIMMCosts{OriginRender: 3 * time.Millisecond, EdgeRender: 4 * time.Millisecond, StaticServe: 500 * time.Microsecond}
+	// Without the artificial WAN the single server holds its own; with the
+	// 80 ms / 8 Mbps WAN the Na Kika proxy wins clearly (Section 5.2).
+	withWAN := RunSIMMLocal(160, 20*time.Second, costs, true)
+	if len(withWAN) != 2 {
+		t.Fatalf("results = %+v", withWAN)
+	}
+	var singleRes, proxyRes SIMMLocalResult
+	for _, r := range withWAN {
+		if r.Mode == "single-server" {
+			singleRes = r
+		} else {
+			proxyRes = r
+		}
+	}
+	if proxyRes.HTML90th >= singleRes.HTML90th {
+		t.Errorf("with a WAN the proxy should beat the single server: proxy=%v single=%v",
+			proxyRes.HTML90th, singleRes.HTML90th)
+	}
+	if proxyRes.VideoOKPct < singleRes.VideoOKPct {
+		t.Errorf("proxy video fraction (%.1f) should be at least the single server's (%.1f)",
+			proxyRes.VideoOKPct, singleRes.VideoOKPct)
+	}
+}
+
+func TestMeasureSpecWebCosts(t *testing.T) {
+	costs, err := MeasureSpecWebCosts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.OriginDynamic <= 0 || costs.EdgeDynamic <= 0 || costs.StaticServe <= 0 {
+		t.Errorf("costs = %+v", costs)
+	}
+}
+
+func TestRunSpecWebShape(t *testing.T) {
+	costs := SpecWebCosts{OriginDynamic: 20 * time.Millisecond, EdgeDynamic: 2 * time.Millisecond, StaticServe: 300 * time.Microsecond}
+	php := RunSpecWeb(true, 160, 60*time.Second, costs)
+	nk := RunSpecWeb(false, 160, 60*time.Second, costs)
+	// Section 5.3: Na Kika has both lower mean response time and higher
+	// throughput than the single PHP server.
+	if nk.MeanResponse >= php.MeanResponse {
+		t.Errorf("mean response: nakika=%v php=%v", nk.MeanResponse, php.MeanResponse)
+	}
+	if nk.Throughput <= php.Throughput {
+		t.Errorf("throughput: nakika=%.1f php=%.1f", nk.Throughput, php.Throughput)
+	}
+	if FormatSpecWeb(php) == "" {
+		t.Error("FormatSpecWeb empty")
+	}
+}
+
+func TestExtensionsCompileAndReport(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 3 {
+		t.Fatalf("extensions = %d", len(exts))
+	}
+	for _, e := range exts {
+		if _, err := script.Parse(e.Script, e.Name+".js"); err != nil {
+			t.Errorf("extension %s does not parse: %v", e.Name, err)
+		}
+		if e.Lines == 0 {
+			t.Errorf("extension %s has zero lines", e.Name)
+		}
+		// Our scripts should be in the same ballpark as the paper's (well
+		// under 3x the reported size).
+		if e.Lines > e.PaperLoC*3 {
+			t.Errorf("extension %s is %d lines, paper reports %d", e.Name, e.Lines, e.PaperLoC)
+		}
+	}
+	if !strings.Contains(FormatExtensions(exts), "blacklist-blocking") {
+		t.Error("extension report incomplete")
+	}
+}
+
+func TestBlacklistExtensionEndToEnd(t *testing.T) {
+	// Deploy the generated blacklist stage on a node and verify blocking.
+	origin := core.FetcherFunc(func(req *httpmsg.Request) (*httpmsg.Response, error) {
+		switch {
+		case req.Host() == "nakika.net" && req.Path() == "/blacklist.txt":
+			return httpmsg.NewTextResponse(200, "# blocked sites\nbad.example.net\nworse.example.net/illegal\n"), nil
+		case req.Host() == "nakika.net" && req.Path() == "/clientwall.js":
+			r := httpmsg.NewTextResponse(200, BlacklistScript)
+			r.SetMaxAge(600)
+			return r, nil
+		case req.Path() == "/nakika.js" || req.Path() == "/serverwall.js":
+			return httpmsg.NewTextResponse(404, "none"), nil
+		default:
+			return httpmsg.NewHTMLResponse(200, "served "+req.Host()+req.Path()), nil
+		}
+	})
+	node, err := core.NewNode(core.Config{Name: "blacklist-node", Upstream: origin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, _, err := node.Handle(httpmsg.MustRequest("GET", "http://bad.example.net/page"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Status != 403 {
+		t.Errorf("blacklisted host status = %d, want 403", blocked.Status)
+	}
+	allowed, _, err := node.Handle(httpmsg.MustRequest("GET", "http://fine.example.net/page"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allowed.Status != 200 {
+		t.Errorf("non-blacklisted host status = %d", allowed.Status)
+	}
+	pathBlocked, _, err := node.Handle(httpmsg.MustRequest("GET", "http://worse.example.net/illegal/item"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathBlocked.Status != 403 {
+		t.Errorf("blacklisted path status = %d", pathBlocked.Status)
+	}
+	pathAllowed, _, err := node.Handle(httpmsg.MustRequest("GET", "http://worse.example.net/legal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathAllowed.Status != 200 {
+		t.Errorf("non-blacklisted path status = %d", pathAllowed.Status)
+	}
+}

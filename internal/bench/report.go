@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatTable2 renders Table 2 (latency in milliseconds per configuration,
+// cold and warm cache) in the paper's layout.
+func FormatTable2(rows []MicroResult) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: latency for accessing a static page (ms)\n")
+	sb.WriteString(fmt.Sprintf("%-12s %12s %12s\n", "Configuration", "Cold Cache", "Warm Cache"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-12s %12.3f %12.3f\n", r.Config, ms(r.Cold), ms(r.Warm)))
+	}
+	return sb.String()
+}
+
+// FormatBreakdown renders the Section 5.1 cost breakdown.
+func FormatBreakdown(b BreakdownResult) string {
+	var sb strings.Builder
+	sb.WriteString("Section 5.1 cost breakdown\n")
+	rows := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"page load (origin)", b.PageLoad},
+		{"script load (origin)", b.ScriptLoad},
+		{"scripting context creation", b.ContextCreation},
+		{"scripting context reuse", b.ContextReuse},
+		{"parse + execute script", b.ParseAndRun},
+		{"resource cache hit", b.CacheHit},
+		{"decision tree cache hit", b.TreeCacheHit},
+		{"predicate evaluation (100 policies)", b.PredicateEval},
+	}
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("  %-36s %12s\n", r.name, r.d))
+	}
+	return sb.String()
+}
+
+// FormatLoad renders capacity / resource-control results.
+func FormatLoad(name string, r LoadResult) string {
+	return fmt.Sprintf("%-34s clients=%-4d tput=%8.1f rps  rejected=%5.2f%%  terminated=%5.2f%%\n",
+		name, r.Clients, r.Throughput, r.RejectedPct, r.TerminatePct)
+}
+
+// FormatSIMM renders one Figure 7 configuration summary line.
+func FormatSIMM(r SIMMResult) string {
+	return fmt.Sprintf("%-14s clients=%-4d html-90th=%-10s html-mean=%-10s video-ok=%5.1f%%  completed=%d\n",
+		r.Mode, r.Clients, r.HTML90th.Round(time.Millisecond), r.HTMLMean.Round(time.Millisecond), r.VideoOKPct, r.Completed)
+}
+
+// FormatSIMMCDF renders the CDF series for one Figure 7 curve.
+func FormatSIMMCDF(r SIMMResult) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("# Figure 7 CDF: %s, %d clients (latency_s fraction)\n", r.Mode, r.Clients))
+	for _, p := range r.CDF {
+		sb.WriteString(fmt.Sprintf("%.3f %.3f\n", p.Latency.Seconds(), p.Fraction))
+	}
+	return sb.String()
+}
+
+// FormatSpecWeb renders the Section 5.3 comparison line.
+func FormatSpecWeb(r SpecWebResult) string {
+	return fmt.Sprintf("%-20s mean-response=%-10s throughput=%6.1f rps\n",
+		r.Mode, r.MeanResponse.Round(time.Millisecond), r.Throughput)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ---------------------------------------------------------------------------
+// E8: extensions (Section 5.4)
+// ---------------------------------------------------------------------------
+
+// ExtensionInfo reports one Section 5.4 extension: its script and line
+// count, compared against the paper's reported size.
+type ExtensionInfo struct {
+	Name     string
+	Lines    int
+	PaperLoC int
+	Script   string
+}
+
+// Extensions returns the three Section 5.4 extensions (annotations, image
+// transcoding, blacklist blocking) as deployable scripts with their line
+// counts. The runnable versions live under examples/.
+func Extensions() []ExtensionInfo {
+	mk := func(name string, paperLoC int, src string) ExtensionInfo {
+		lines := 0
+		for _, l := range strings.Split(src, "\n") {
+			if strings.TrimSpace(l) != "" {
+				lines++
+			}
+		}
+		return ExtensionInfo{Name: name, Lines: lines, PaperLoC: paperLoC, Script: src}
+	}
+	return []ExtensionInfo{
+		mk("electronic-annotations", 50, AnnotationsScript),
+		mk("image-transcoding", 80, TranscoderScript),
+		mk("blacklist-blocking", 70, BlacklistScript),
+	}
+}
+
+// FormatExtensions renders the extensions table.
+func FormatExtensions(exts []ExtensionInfo) string {
+	var sb strings.Builder
+	sb.WriteString("Section 5.4 extensions\n")
+	sb.WriteString(fmt.Sprintf("%-26s %10s %16s\n", "Extension", "LoC (ours)", "LoC (paper)"))
+	for _, e := range exts {
+		sb.WriteString(fmt.Sprintf("%-26s %10d %16d\n", e.Name, e.Lines, e.PaperLoC))
+	}
+	return sb.String()
+}
+
+// AnnotationsScript is the electronic post-it-note extension (Section 5.4,
+// extension 1): hosted by a site outside the content producer, it rewrites
+// request URLs to the original SIMMs and injects annotation markup into the
+// HTML on the way back.
+const AnnotationsScript = `
+// Electronic annotations layered over another site's service.
+var p = new Policy();
+p.url = [ "annotations.example.org" ];
+p.onRequest = function() {
+	// Interpose on the original SIMMs: rewrite the request URL, keeping the
+	// query string (it carries the student identity).
+	var target = "http://simms.med.nyu.edu" + Request.path;
+	if (Request.query != "") { target += "?" + Request.query; }
+	Request.setURL(target);
+};
+p.onResponse = function() {
+	var body = new ByteArray(), chunk;
+	while (chunk = Response.read()) { body.append(chunk); }
+	var html = body.toString();
+	var user = Request.param("student");
+	if (user == null) { user = "anonymous"; }
+	var notes = State.get("notes:" + Request.path + ":" + user);
+	var injected = "<div class='annotations'>";
+	if (notes != null) {
+		var list = JSON.parse(notes);
+		for (var i = 0; i < list.length; i++) {
+			injected += "<div class='post-it'>" + list[i] + "</div>";
+		}
+	}
+	injected += "</div></body>";
+	Response.write(html.replace("</body>", injected));
+};
+p.register();
+
+// Posting a new annotation stores it in the site's hard state.
+var post = new Policy();
+post.url = [ "annotations.example.org/annotate" ];
+post.method = [ "POST" ];
+post.onRequest = function() {
+	var user = Request.param("student");
+	var target = Request.param("target");
+	var key = "notes:" + target + ":" + user;
+	var existing = State.get(key);
+	var list = existing == null ? [] : JSON.parse(existing);
+	var body = new ByteArray(), chunk;
+	while (chunk = Request.read()) { body.append(chunk); }
+	list.push(body.toString());
+	State.put(key, JSON.stringify(list));
+	Response.setHeader("Content-Type", "text/plain");
+	Response.write("stored " + list.length + " notes");
+};
+post.register();
+`
+
+// TranscoderScript is the cell-phone image transcoding extension (Section
+// 5.4, extension 2): Figure 2 generalized to cache transformed content and
+// to select on the device's User-Agent.
+const TranscoderScript = `
+// Image transcoding for a 176x208 phone screen, with caching of the
+// transformed content.
+var SCREEN_W = 176;
+var SCREEN_H = 208;
+var p = new Policy();
+p.headers = { "User-Agent": [ "(?i)nokia" ] };
+p.onResponse = function() {
+	var type = ImageTransformer.type(Response.contentType);
+	if (type == null) { return; }
+	var cacheKey = "phone-thumb:" + Request.url;
+	var cached = Cache.get(cacheKey);
+	if (cached != null) {
+		Response.setHeader("Content-Type", "image/jpeg");
+		Response.setHeader("X-Transcode-Cache", "hit");
+		Response.write(cached.body);
+		return;
+	}
+	var body = new ByteArray(), buff = null;
+	while (buff = Response.read()) {
+		body.append(buff);
+	}
+	var dim = ImageTransformer.dimensions(body, type);
+	if (dim.x > SCREEN_W || dim.y > SCREEN_H) {
+		var img;
+		if (dim.x/SCREEN_W > dim.y/SCREEN_H) {
+			img = ImageTransformer.transform(body, type, "jpeg", SCREEN_W, dim.y/dim.x*SCREEN_H);
+		} else {
+			img = ImageTransformer.transform(body, type, "jpeg", dim.x/dim.y*SCREEN_W, SCREEN_H);
+		}
+		Cache.put(cacheKey, img, 3600, "image/jpeg");
+		Response.setHeader("Content-Type", "image/jpeg");
+		Response.setHeader("Content-Length", img.length);
+		Response.setHeader("X-Transcode-Cache", "miss");
+		Response.write(img);
+	}
+};
+p.register();
+`
+
+// BlacklistScript is the content-blocking extension (Section 5.4, extension
+// 3): a static script reads a blacklist from a preconfigured URL and
+// generates the code of a second stage that blocks each listed URL with the
+// Figure 5 denial handler.
+const BlacklistScript = `
+// Blacklist-driven content blocking: generate a blocking stage from a
+// blacklist published at a well-known URL.
+var BLACKLIST_URL = "http://nakika.net/blacklist.txt";
+var deny = function() { Request.terminate(403); };
+var r = Fetch.get(BLACKLIST_URL);
+if (r.status == 200) {
+	var entries = r.body.toString().split("\n");
+	for (var i = 0; i < entries.length; i++) {
+		var entry = entries[i].trim();
+		if (entry.length == 0 || entry.charAt(0) == "#") { continue; }
+		var p = new Policy();
+		p.url = [ entry ];
+		p.onRequest = deny;
+		p.register();
+	}
+}
+`

@@ -1,0 +1,309 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nakika/internal/httpmsg"
+)
+
+// fakeClock is a controllable time source for expiration tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func okResponse(body string) *httpmsg.Response {
+	r := httpmsg.NewTextResponse(200, body)
+	return r
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	c := New(Config{})
+	if got := c.Get("GET http://example.org/"); got != nil {
+		t.Fatal("expected miss")
+	}
+	c.Put("GET http://example.org/", okResponse("home"))
+	got := c.Get("GET http://example.org/")
+	if got == nil || string(got.Body) != "home" {
+		t.Fatalf("expected hit, got %v", got)
+	}
+	if !got.FromCache {
+		t.Error("FromCache should be set on hits")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCachedBodyIsIsolated(t *testing.T) {
+	c := New(Config{})
+	c.Put("k", okResponse("original"))
+	a := c.Get("k")
+	a.Body[0] = 'X'
+	b := c.Get("k")
+	if string(b.Body) != "original" {
+		t.Error("mutating a returned response must not affect the cached copy")
+	}
+}
+
+func TestExpiration(t *testing.T) {
+	clock := newFakeClock()
+	c := New(Config{DefaultTTL: 10 * time.Second, Clock: clock.Now})
+	c.Put("k", okResponse("v"))
+	if c.Get("k") == nil {
+		t.Fatal("expected hit before expiry")
+	}
+	clock.Advance(11 * time.Second)
+	if c.Get("k") != nil {
+		t.Fatal("expected miss after default TTL")
+	}
+	if c.Stats().Expired != 1 {
+		t.Errorf("expired counter = %d", c.Stats().Expired)
+	}
+}
+
+func TestMaxAgeRespected(t *testing.T) {
+	clock := newFakeClock()
+	c := New(Config{DefaultTTL: 1 * time.Second, Clock: clock.Now})
+	r := okResponse("long-lived")
+	r.SetMaxAge(3600)
+	c.Put("k", r)
+	clock.Advance(30 * time.Minute)
+	if c.Get("k") == nil {
+		t.Fatal("max-age=3600 entry should still be fresh after 30 minutes")
+	}
+	clock.Advance(31 * time.Minute)
+	if c.Get("k") != nil {
+		t.Fatal("entry should expire after max-age")
+	}
+}
+
+func TestUncacheableNotStored(t *testing.T) {
+	c := New(Config{})
+	r := okResponse("secret")
+	r.Header.Set("Cache-Control", "no-store")
+	if c.Put("k", r) {
+		t.Error("no-store response should not be stored")
+	}
+	if c.Get("k") != nil {
+		t.Error("no-store response should not be returned")
+	}
+	if c.Put("err", httpmsg.NewTextResponse(500, "oops")) {
+		t.Error("500 response should not be stored")
+	}
+}
+
+func TestNegativeEntries(t *testing.T) {
+	clock := newFakeClock()
+	c := New(Config{NegativeTTL: time.Minute, Clock: clock.Now})
+	key := "GET http://example.org/nakika.js"
+	if c.GetNegative(key) {
+		t.Error("no negative entry expected yet")
+	}
+	c.PutNegative(key)
+	if !c.GetNegative(key) {
+		t.Error("negative entry should be visible")
+	}
+	if c.Get(key) != nil {
+		t.Error("negative entries must not satisfy Get")
+	}
+	clock.Advance(2 * time.Minute)
+	if c.GetNegative(key) {
+		t.Error("negative entry should expire")
+	}
+}
+
+func TestLRUEvictionByCount(t *testing.T) {
+	c := New(Config{MaxEntries: 3})
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), okResponse("v"))
+	}
+	// Touch k0 so k1 becomes least recently used.
+	c.Get("k0")
+	c.Put("k3", okResponse("v"))
+	if c.Get("k1") != nil {
+		t.Error("k1 should have been evicted (LRU)")
+	}
+	if c.Get("k0") == nil || c.Get("k3") == nil {
+		t.Error("k0 and k3 should remain")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("eviction counter should be non-zero")
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	c := New(Config{MaxBytes: 100, MaxEntries: 1000})
+	c.Put("a", okResponse(strings.Repeat("x", 60)))
+	c.Put("b", okResponse(strings.Repeat("y", 60)))
+	if c.Get("a") != nil {
+		t.Error("a should be evicted to stay under the byte budget")
+	}
+	if c.Get("b") == nil {
+		t.Error("b should remain")
+	}
+	if c.Stats().Bytes > 100 {
+		t.Errorf("bytes = %d exceeds budget", c.Stats().Bytes)
+	}
+}
+
+func TestInvalidateAndClear(t *testing.T) {
+	c := New(Config{})
+	c.Put("a", okResponse("1"))
+	c.Put("b", okResponse("2"))
+	c.Invalidate("a")
+	if c.Get("a") != nil {
+		t.Error("a should be gone after Invalidate")
+	}
+	if c.Get("b") == nil {
+		t.Error("b should remain after invalidating a")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Error("Clear should remove everything")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	c := New(Config{})
+	c.Put("a", okResponse("1"))
+	c.Put("b", okResponse("2"))
+	c.PutNegative("neg")
+	keys := c.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v, want 2 positive entries", keys)
+	}
+	for _, k := range keys {
+		if k == "neg" {
+			t.Error("negative entries must not appear in Keys")
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	c := New(Config{})
+	c.Put("k", okResponse("old"))
+	c.Put("k", okResponse("new"))
+	if got := c.Get("k"); string(got.Body) != "new" {
+		t.Errorf("got %q, want new", got.Body)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d after overwrite", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{MaxEntries: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("key-%d", i%32)
+				if i%3 == 0 {
+					c.Put(key, okResponse(fmt.Sprintf("v%d-%d", g, i)))
+				} else {
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// No assertion beyond absence of data races (run with -race) and a sane
+	// entry count.
+	if c.Len() > 128 {
+		t.Errorf("len = %d exceeds MaxEntries", c.Len())
+	}
+}
+
+func TestMemo(t *testing.T) {
+	m := NewMemo[string](0, 0)
+	if _, ok := m.Get("x"); ok {
+		t.Error("unexpected hit")
+	}
+	m.Put("x", "decision-tree")
+	if v, ok := m.Get("x"); !ok || v != "decision-tree" {
+		t.Errorf("got %q %v", v, ok)
+	}
+	m.Delete("x")
+	if _, ok := m.Get("x"); ok {
+		t.Error("entry should be deleted")
+	}
+}
+
+func TestMemoExpiry(t *testing.T) {
+	clock := newFakeClock()
+	m := NewMemo[int](time.Minute, 0)
+	m.SetClock(clock.Now)
+	m.Put("k", 42)
+	if v, ok := m.Get("k"); !ok || v != 42 {
+		t.Fatal("expected fresh hit")
+	}
+	clock.Advance(2 * time.Minute)
+	if _, ok := m.Get("k"); ok {
+		t.Error("expected expiry")
+	}
+}
+
+func TestMemoBounded(t *testing.T) {
+	m := NewMemo[int](0, 4)
+	for i := 0; i < 100; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if m.Len() > 5 {
+		t.Errorf("memo grew to %d entries, want bounded", m.Len())
+	}
+}
+
+func TestPropertyPutGetRoundTrip(t *testing.T) {
+	f := func(keys []string, body string) bool {
+		c := New(Config{MaxEntries: 10_000, MaxBytes: 1 << 30})
+		for _, k := range keys {
+			c.Put("k:"+k, okResponse(body))
+		}
+		for _, k := range keys {
+			got := c.Get("k:" + k)
+			if got == nil || string(got.Body) != body {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNeverExceedsLimits(t *testing.T) {
+	f := func(n uint8) bool {
+		c := New(Config{MaxEntries: 8, MaxBytes: 1 << 20})
+		for i := 0; i < int(n); i++ {
+			c.Put(fmt.Sprintf("k%d", i), okResponse("body"))
+		}
+		return c.Len() <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,508 @@
+// Package core implements the Na Kika edge node: the proxy runtime that ties
+// the scripting pipeline, the proxy cache, the congestion-based resource
+// manager, the structured overlay, hard state, and content integrity into
+// one deployable unit (Figure 1 of the paper).
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nakika/internal/cache"
+	"nakika/internal/httpmsg"
+	"nakika/internal/overlay"
+	"nakika/internal/pipeline"
+	"nakika/internal/resource"
+	"nakika/internal/script"
+	"nakika/internal/state"
+)
+
+// Fetcher retrieves a resource from an upstream server. The default fetcher
+// uses net/http; tests and simulations inject in-process origins.
+type Fetcher interface {
+	Do(req *httpmsg.Request) (*httpmsg.Response, error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(req *httpmsg.Request) (*httpmsg.Response, error)
+
+// Do implements Fetcher.
+func (f FetcherFunc) Do(req *httpmsg.Request) (*httpmsg.Response, error) { return f(req) }
+
+// HTTPFetcher fetches over real HTTP with net/http.
+type HTTPFetcher struct {
+	Client *http.Client
+}
+
+// Do implements Fetcher.
+func (f *HTTPFetcher) Do(req *httpmsg.Request) (*httpmsg.Response, error) {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	hr, err := req.ToHTTPRequest()
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := client.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	return httpmsg.FromHTTPResponse(hresp)
+}
+
+// Config configures an edge node.
+type Config struct {
+	// Name identifies the node in the overlay, in Via headers, and in logs.
+	Name string
+	// Region is the node's coarse location, used by the redirector to pick
+	// nearby nodes for clients.
+	Region string
+	// Upstream fetches from origin servers; nil means a real HTTP client.
+	Upstream Fetcher
+	// Cache configures the proxy cache.
+	Cache cache.Config
+	// ScriptLimits bounds every stage's scripting context; zero values mean
+	// 50M steps and 64 MiB of heap.
+	ScriptLimits script.Limits
+	// Resources configures the congestion controller; EnableResources turns
+	// it on (off matches the paper's "without resource controls" baseline).
+	Resources       resource.Config
+	EnableResources bool
+	// ClientWallURL and ServerWallURL override the administrative control
+	// script locations.
+	ClientWallURL string
+	ServerWallURL string
+	// LocalNetworks lists CIDR blocks considered part of the node's hosting
+	// organization for System.isLocal.
+	LocalNetworks []string
+	// Ring is the shared overlay; nil disables cooperative caching.
+	Ring *overlay.Ring
+	// Directory locates peer nodes for cooperative cache fetches; nil
+	// disables peer fetches even when Ring is set.
+	Directory *Directory
+	// Bus is the shared reliable messaging service for hard state
+	// replication; nil disables replication.
+	Bus *state.Bus
+	// StateQuota is the per-site persistent storage quota in bytes.
+	StateQuota int64
+	// ClientHostLookup resolves client IPs to hostnames for client
+	// predicates.
+	ClientHostLookup func(ip string) string
+}
+
+// Stats aggregates node-level counters.
+type Stats struct {
+	Requests      int64
+	CacheHits     int64
+	PeerHits      int64
+	OriginFetches int64
+	Generated     int64
+	Rejected      int64
+	Errors        int64
+	Cache         cache.Stats
+	Resources     resource.Stats
+}
+
+// Directory maps node names to live nodes so cooperative cache fetches can
+// be served in-process; it stands in for the peer-to-peer HTTP fetches a
+// distributed deployment would perform.
+type Directory struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory { return &Directory{nodes: make(map[string]*Node)} }
+
+// Register adds a node.
+func (d *Directory) Register(n *Node) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nodes[n.Name()] = n
+}
+
+// Lookup returns the named node, or nil.
+func (d *Directory) Lookup(name string) *Node {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.nodes[name]
+}
+
+// Node is one Na Kika edge node.
+type Node struct {
+	cfg      Config
+	cache    *cache.Cache
+	loader   *pipeline.Loader
+	executor *pipeline.Executor
+	res      *resource.Manager
+	store    *state.Store
+	log      *state.AccessLog
+	overlay  *overlay.Node
+	localNet []*net.IPNet
+	replicas map[string]*state.Replica
+	repMu    sync.Mutex
+
+	requests      atomic.Int64
+	cacheHits     atomic.Int64
+	peerHits      atomic.Int64
+	originFetches atomic.Int64
+	generated     atomic.Int64
+	rejected      atomic.Int64
+	errors        atomic.Int64
+}
+
+// NewNode builds a node from cfg.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: node name is required")
+	}
+	if cfg.Upstream == nil {
+		cfg.Upstream = &HTTPFetcher{}
+	}
+	if cfg.ScriptLimits.MaxSteps == 0 {
+		cfg.ScriptLimits.MaxSteps = 50_000_000
+	}
+	if cfg.ScriptLimits.MaxHeapBytes == 0 {
+		cfg.ScriptLimits.MaxHeapBytes = 64 << 20
+	}
+	n := &Node{
+		cfg:      cfg,
+		cache:    cache.New(cfg.Cache),
+		store:    state.NewStore(cfg.StateQuota),
+		log:      state.NewAccessLog(),
+		replicas: make(map[string]*state.Replica),
+	}
+	for _, cidr := range cfg.LocalNetworks {
+		_, ipnet, err := net.ParseCIDR(cidr)
+		if err != nil {
+			return nil, fmt.Errorf("core: local network %q: %w", cidr, err)
+		}
+		n.localNet = append(n.localNet, ipnet)
+	}
+	n.res = resource.NewManager(cfg.Resources)
+	n.res.SetEnabled(cfg.EnableResources)
+	n.loader = pipeline.NewLoader(n, cfg.ScriptLimits)
+	n.executor = &pipeline.Executor{
+		Loader:           n.loader,
+		Host:             n,
+		FetchOrigin:      n.fetchWithCache,
+		ClientWallURL:    cfg.ClientWallURL,
+		ServerWallURL:    cfg.ServerWallURL,
+		ClientHostLookup: cfg.ClientHostLookup,
+	}
+	if cfg.EnableResources {
+		n.executor.Resources = n.res
+	}
+	if cfg.Ring != nil {
+		n.overlay = cfg.Ring.Join(cfg.Name, cfg.Region)
+	}
+	if cfg.Directory != nil {
+		cfg.Directory.Register(n)
+	}
+	return n, nil
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Region returns the node's region.
+func (n *Node) Region() string { return n.cfg.Region }
+
+// Resources exposes the node's resource manager (benchmarks drive its
+// control loop directly; deployments run Manager.Run in a goroutine).
+func (n *Node) Resources() *resource.Manager { return n.res }
+
+// Cache exposes the node's proxy cache.
+func (n *Node) Cache() *cache.Cache { return n.cache }
+
+// AccessLog exposes the node's per-site access log.
+func (n *Node) AccessLog() *state.AccessLog { return n.log }
+
+// Loader exposes the stage loader (extensions inject generated stages with
+// it).
+func (n *Node) Loader() *pipeline.Loader { return n.loader }
+
+// SetResourceControls enables or disables congestion-based resource
+// controls at runtime (the Section 5.1 comparison).
+func (n *Node) SetResourceControls(on bool) {
+	n.res.SetEnabled(on)
+	if on {
+		n.executor.Resources = n.res
+	} else {
+		n.executor.Resources = nil
+	}
+}
+
+// Stats returns a snapshot of node counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Requests:      n.requests.Load(),
+		CacheHits:     n.cacheHits.Load(),
+		PeerHits:      n.peerHits.Load(),
+		OriginFetches: n.originFetches.Load(),
+		Generated:     n.generated.Load(),
+		Rejected:      n.rejected.Load(),
+		Errors:        n.errors.Load(),
+		Cache:         n.cache.Stats(),
+		Resources:     n.res.Stats(),
+	}
+}
+
+// Handle runs one request through the node: pipeline execution, caching, and
+// access logging. It is the programmatic entry point; ServeHTTP wraps it for
+// real HTTP traffic.
+func (n *Node) Handle(req *httpmsg.Request) (*httpmsg.Response, *pipeline.Trace, error) {
+	n.requests.Add(1)
+	start := time.Now()
+	resp, trace, err := n.executor.Execute(req)
+	if err != nil {
+		n.errors.Add(1)
+		return nil, trace, err
+	}
+	if trace.RejectedBusy {
+		n.rejected.Add(1)
+	}
+	if trace.Generated {
+		n.generated.Add(1)
+	}
+	if resp != nil {
+		if resp.Via == "" {
+			resp.Via = n.cfg.Name
+		}
+		resp.Header.Set("X-Na-Kika-Node", n.cfg.Name)
+		n.log.Append(req.SiteKey(), state.FormatAccess(req.ClientIP, req.Method, req.URL.String(), resp.Status, len(resp.Body), time.Since(start)))
+	}
+	return resp, trace, nil
+}
+
+// ServeHTTP implements http.Handler so the node can serve as a real proxy.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	req, err := httpmsg.FromHTTPRequest(r, 8<<20)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Strip the .nakika.net suffix clients append for DNS redirection, so
+	// the origin host is recovered (Section 3).
+	if host := req.URL.Hostname(); strings.HasSuffix(host, ".nakika.net") {
+		req.URL.Host = strings.TrimSuffix(host, ".nakika.net")
+	}
+	resp, _, err := n.Handle(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := resp.WriteTo(w); err != nil {
+		n.errors.Add(1)
+	}
+}
+
+// fetchWithCache is the pipeline's origin fetcher: local cache, then the
+// cooperative cache via the overlay, then the upstream origin. Successful
+// fetches are cached and published in the overlay index.
+func (n *Node) fetchWithCache(req *httpmsg.Request) (*httpmsg.Response, error) {
+	key := req.CacheKey()
+	cacheable := req.Method == http.MethodGet || req.Method == http.MethodHead
+
+	if cacheable {
+		if resp := n.cache.Get(key); resp != nil {
+			n.cacheHits.Add(1)
+			return resp, nil
+		}
+		// Cooperative cache: ask the overlay who has a copy and fetch it
+		// from that peer's cache.
+		if n.overlay != nil && n.cfg.Directory != nil {
+			holders, _ := n.overlay.Locate(key)
+			for _, holder := range holders {
+				if holder == n.cfg.Name {
+					continue
+				}
+				peer := n.cfg.Directory.Lookup(holder)
+				if peer == nil {
+					continue
+				}
+				if resp := peer.cache.Get(key); resp != nil {
+					n.peerHits.Add(1)
+					resp.Via = holder
+					n.cache.Put(key, resp)
+					n.publish(key)
+					return resp, nil
+				}
+			}
+		}
+	}
+
+	n.originFetches.Add(1)
+	resp, err := n.cfg.Upstream.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable && resp.Cacheable() {
+		if n.cache.Put(key, resp) && resp.Status == http.StatusOK {
+			// Only successful responses are announced in the cooperative
+			// index; error responses stay in the local cache only.
+			n.publish(key)
+		}
+	} else if resp.Status == http.StatusNotFound && cacheable {
+		n.cache.PutNegative(key)
+	}
+	return resp, nil
+}
+
+func (n *Node) publish(key string) {
+	if n.overlay == nil {
+		return
+	}
+	// Publication failures (empty ring) are harmless: the local cache still
+	// has the copy.
+	_, _ = n.overlay.Publish(key)
+}
+
+// FlushLogs posts accumulated access-log entries to each site's configured
+// log URL through the upstream fetcher.
+func (n *Node) FlushLogs() error {
+	return n.log.Flush(func(site, postURL string, lines []string) error {
+		req, err := httpmsg.NewRequest(http.MethodPost, postURL)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		req.Body = []byte(strings.Join(lines, "\n"))
+		resp, err := n.cfg.Upstream.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.Status >= 400 {
+			return fmt.Errorf("core: log post to %s returned %d", postURL, resp.Status)
+		}
+		return nil
+	})
+}
+
+// SetLogPostURL configures where a site's access log entries are posted.
+func (n *Node) SetLogPostURL(site, url string) { n.log.SetPostURL(site, url) }
+
+// replica returns (creating on demand) the hard state replica for site.
+func (n *Node) replica(site string) *state.Replica {
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	if r, ok := n.replicas[site]; ok {
+		return r
+	}
+	r := &state.Replica{Site: site, Node: n.cfg.Name, Store: n.store, Bus: n.cfg.Bus}
+	if n.cfg.Bus != nil {
+		r.Attach()
+	}
+	n.replicas[site] = r
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// vocab.Host implementation
+// ---------------------------------------------------------------------------
+
+// Fetch retrieves a resource on behalf of a script (and of the stage
+// loader), going through the same cache path as origin fetches.
+func (n *Node) Fetch(req *httpmsg.Request) (*httpmsg.Response, error) {
+	return n.fetchWithCache(req)
+}
+
+// CacheGet gives scripts read access to the proxy cache under script-chosen
+// keys (namespaced to avoid clashing with response cache keys).
+func (n *Node) CacheGet(key string) *httpmsg.Response {
+	return n.cache.Get("script:" + key)
+}
+
+// CachePut stores script-generated content in the proxy cache.
+func (n *Node) CachePut(key string, resp *httpmsg.Response) {
+	n.cache.Put("script:"+key, resp)
+}
+
+// IsLocalClient reports whether ip falls in one of the node's configured
+// local networks (loopback always counts).
+func (n *Node) IsLocalClient(ip string) bool {
+	parsed := net.ParseIP(ip)
+	if parsed == nil {
+		return false
+	}
+	if parsed.IsLoopback() {
+		return true
+	}
+	for _, ipnet := range n.localNet {
+		if ipnet.Contains(parsed) {
+			return true
+		}
+	}
+	return false
+}
+
+// Usage exposes a site's normalized congestion contribution to scripts.
+func (n *Node) Usage(site, resourceName string) float64 {
+	var kind resource.Kind
+	switch resourceName {
+	case "cpu":
+		kind = resource.CPU
+	case "memory":
+		kind = resource.Memory
+	case "bandwidth":
+		kind = resource.Bandwidth
+	case "running-time":
+		kind = resource.RunningTime
+	case "bytes-transferred":
+		kind = resource.BytesTransferred
+	default:
+		return 0
+	}
+	return n.res.Usage(site, kind)
+}
+
+// Log appends a message to the site's access log.
+func (n *Node) Log(site, message string) { n.log.Append(site, message) }
+
+// StateGet reads site-partitioned hard state.
+func (n *Node) StateGet(site, key string) (string, bool) { return n.replica(site).Get(key) }
+
+// StatePut writes site-partitioned hard state and propagates the update when
+// a bus is configured.
+func (n *Node) StatePut(site, key, value string) error {
+	r := n.replica(site)
+	if n.cfg.Bus == nil {
+		return n.store.Put(site, key, value)
+	}
+	return r.Put(key, value)
+}
+
+// StateDelete removes site-partitioned hard state.
+func (n *Node) StateDelete(site, key string) {
+	r := n.replica(site)
+	if n.cfg.Bus == nil {
+		n.store.Delete(site, key)
+		return
+	}
+	r.Delete(key)
+}
+
+// StateKeys lists a site's hard state keys.
+func (n *Node) StateKeys(site string) []string { return n.store.Keys(site) }
+
+// Propagate sends an application-level replication message for site.
+func (n *Node) Propagate(site, message string) error {
+	if n.cfg.Bus == nil {
+		return fmt.Errorf("core: no messaging service configured")
+	}
+	n.cfg.Bus.Publish(site, n.cfg.Name, message)
+	return nil
+}
+
+// NodeName identifies the node to scripts.
+func (n *Node) NodeName() string { return n.cfg.Name }
+
+// Now returns the current time.
+func (n *Node) Now() time.Time { return time.Now() }

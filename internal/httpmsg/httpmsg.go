@@ -1,0 +1,486 @@
+// Package httpmsg defines the HTTP request and response representation used
+// by the Na Kika scripting pipeline.
+//
+// Pipeline stages interpose on complete messages: for responses, the body
+// always represents the entire instance of the HTTP resource (Section 3.1 of
+// the paper) so that the resource can be correctly transcoded. The types here
+// are deliberately independent of net/http so they can flow between the
+// proxy, the cache, the script vocabularies, and the overlay without carrying
+// connection state; conversion helpers to and from net/http live at the
+// bottom of this file.
+package httpmsg
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/textproto"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Request is a complete HTTP request as seen by the pipeline.
+type Request struct {
+	// Method is the HTTP method (GET, POST, ...).
+	Method string
+	// URL is the absolute request URL.
+	URL *url.URL
+	// Header holds the request headers in canonical form.
+	Header http.Header
+	// Body is the full request body (may be nil).
+	Body []byte
+	// ClientIP is the IP address of the originating client (without port).
+	ClientIP string
+	// Received is when the edge node accepted the request.
+	Received time.Time
+	// terminated, when non-nil, is a response produced by a script calling
+	// Request.terminate(status); the pipeline short-circuits to it.
+	terminated *Response
+	// Redirected records whether a script rewrote the URL.
+	Redirected bool
+}
+
+// NewRequest builds a request for the given method and raw URL.
+func NewRequest(method, rawURL string) (*Request, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("httpmsg: parse url %q: %w", rawURL, err)
+	}
+	if u.Scheme == "" {
+		u.Scheme = "http"
+	}
+	return &Request{
+		Method:   method,
+		URL:      u,
+		Header:   make(http.Header),
+		Received: time.Now(),
+	}, nil
+}
+
+// MustRequest is NewRequest that panics on error; for tests and fixtures.
+func MustRequest(method, rawURL string) *Request {
+	r, err := NewRequest(method, rawURL)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Host returns the host (without port) the request is addressed to.
+func (r *Request) Host() string {
+	if r.URL == nil {
+		return ""
+	}
+	return r.URL.Hostname()
+}
+
+// Path returns the URL path, defaulting to "/".
+func (r *Request) Path() string {
+	if r.URL == nil || r.URL.Path == "" {
+		return "/"
+	}
+	return r.URL.Path
+}
+
+// SiteKey identifies the origin site for resource accounting and hard state
+// partitioning: the URL host without port, lower-cased.
+func (r *Request) SiteKey() string {
+	return strings.ToLower(r.Host())
+}
+
+// CacheKey is the canonical key under which a response to this request is
+// cached and published in the cooperative cache index: method plus the URL
+// without fragment.
+func (r *Request) CacheKey() string {
+	u := *r.URL
+	u.Fragment = ""
+	return r.Method + " " + u.String()
+}
+
+// Clone returns a deep copy of the request (headers and body included).
+func (r *Request) Clone() *Request {
+	cp := &Request{
+		Method:     r.Method,
+		Header:     cloneHeader(r.Header),
+		ClientIP:   r.ClientIP,
+		Received:   r.Received,
+		Redirected: r.Redirected,
+	}
+	if r.URL != nil {
+		u := *r.URL
+		cp.URL = &u
+	}
+	if r.Body != nil {
+		cp.Body = append([]byte(nil), r.Body...)
+	}
+	return cp
+}
+
+// SetURL replaces the request URL, marking the request as redirected when the
+// host or path changes; scripts use this to interpose one service on another
+// (Section 3.1, dynamically scheduled stages).
+func (r *Request) SetURL(rawURL string) error {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return fmt.Errorf("httpmsg: parse url %q: %w", rawURL, err)
+	}
+	if u.Scheme == "" {
+		u.Scheme = "http"
+	}
+	if r.URL == nil || u.Host != r.URL.Host || u.Path != r.URL.Path || u.RawQuery != r.URL.RawQuery {
+		r.Redirected = true
+	}
+	r.URL = u
+	return nil
+}
+
+// Terminate records a terminal response with the given status code, as
+// produced by the Request.terminate(code) vocabulary call in Figure 5 of the
+// paper. A zero or invalid code maps to 500.
+func (r *Request) Terminate(status int) *Response {
+	if status < 100 || status > 599 {
+		status = http.StatusInternalServerError
+	}
+	resp := NewResponse(status)
+	resp.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	resp.SetBodyString(fmt.Sprintf("%d %s\n", status, http.StatusText(status)))
+	r.terminated = resp
+	return resp
+}
+
+// Terminated returns the response recorded by Terminate, or nil.
+func (r *Request) Terminated() *Response { return r.terminated }
+
+// ClearTermination removes a previously recorded termination; the pipeline
+// uses this between stages.
+func (r *Request) ClearTermination() { r.terminated = nil }
+
+// Cookie returns the named cookie value and whether it was present.
+func (r *Request) Cookie(name string) (string, bool) {
+	for _, line := range r.Header.Values("Cookie") {
+		for _, part := range strings.Split(line, ";") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) == 2 && kv[0] == name {
+				return kv[1], true
+			}
+		}
+	}
+	return "", false
+}
+
+// SetCookie appends a cookie to the request's Cookie header.
+func (r *Request) SetCookie(name, value string) {
+	existing := r.Header.Get("Cookie")
+	pair := name + "=" + value
+	if existing == "" {
+		r.Header.Set("Cookie", pair)
+		return
+	}
+	r.Header.Set("Cookie", existing+"; "+pair)
+}
+
+// Query returns the named query parameter (first value).
+func (r *Request) Query(name string) string {
+	if r.URL == nil {
+		return ""
+	}
+	return r.URL.Query().Get(name)
+}
+
+// Response is a complete HTTP response as seen by the pipeline.
+type Response struct {
+	// Status is the HTTP status code.
+	Status int
+	// Header holds the response headers in canonical form.
+	Header http.Header
+	// Body is the entire instance of the resource.
+	Body []byte
+	// Generated marks responses created by scripts (rather than fetched from
+	// the origin or the cache); generated responses skip origin fetching.
+	Generated bool
+	// FromCache marks responses served from the local or cooperative cache.
+	FromCache bool
+	// Via records which node produced or forwarded the response (cooperative
+	// caching provenance).
+	Via string
+	// Fetched is when the response was obtained from its source.
+	Fetched time.Time
+}
+
+// NewResponse returns an empty response with the given status.
+func NewResponse(status int) *Response {
+	return &Response{
+		Status:  status,
+		Header:  make(http.Header),
+		Fetched: time.Now(),
+	}
+}
+
+// NewTextResponse builds a text/plain response with the given status and
+// body.
+func NewTextResponse(status int, body string) *Response {
+	r := NewResponse(status)
+	r.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	r.SetBodyString(body)
+	return r
+}
+
+// NewHTMLResponse builds a text/html response.
+func NewHTMLResponse(status int, body string) *Response {
+	r := NewResponse(status)
+	r.Header.Set("Content-Type", "text/html; charset=utf-8")
+	r.SetBodyString(body)
+	return r
+}
+
+// SetBody replaces the response body and keeps Content-Length consistent.
+func (r *Response) SetBody(b []byte) {
+	r.Body = b
+	r.Header.Set("Content-Length", strconv.Itoa(len(b)))
+}
+
+// SetBodyString replaces the body with the given string.
+func (r *Response) SetBodyString(s string) { r.SetBody([]byte(s)) }
+
+// ContentType returns the Content-Type header without parameters.
+func (r *Response) ContentType() string {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.Index(ct, ";"); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct)
+}
+
+// Clone returns a deep copy of the response.
+func (r *Response) Clone() *Response {
+	cp := &Response{
+		Status:    r.Status,
+		Header:    cloneHeader(r.Header),
+		Generated: r.Generated,
+		FromCache: r.FromCache,
+		Via:       r.Via,
+		Fetched:   r.Fetched,
+	}
+	if r.Body != nil {
+		cp.Body = append([]byte(nil), r.Body...)
+	}
+	return cp
+}
+
+// Size returns the body length in bytes.
+func (r *Response) Size() int { return len(r.Body) }
+
+// ---------------------------------------------------------------------------
+// Cache-control helpers (expiration-based consistency, Section 3.3)
+// ---------------------------------------------------------------------------
+
+// Cacheable reports whether the response may be stored by a shared cache.
+func (r *Response) Cacheable() bool {
+	if r.Status != http.StatusOK && r.Status != http.StatusNotModified &&
+		r.Status != http.StatusMovedPermanently && r.Status != http.StatusNotFound {
+		return false
+	}
+	cc := strings.ToLower(r.Header.Get("Cache-Control"))
+	if strings.Contains(cc, "no-store") || strings.Contains(cc, "private") || strings.Contains(cc, "no-cache") {
+		return false
+	}
+	return true
+}
+
+// FreshFor returns how long the response may be served from cache without
+// revalidation, following max-age and Expires. The default TTL is applied by
+// the cache, not here; zero means "no explicit freshness information".
+func (r *Response) FreshFor(now time.Time) time.Duration {
+	cc := r.Header.Get("Cache-Control")
+	for _, directive := range strings.Split(cc, ",") {
+		directive = strings.TrimSpace(directive)
+		if strings.HasPrefix(directive, "max-age=") {
+			if secs, err := strconv.Atoi(strings.TrimPrefix(directive, "max-age=")); err == nil {
+				return time.Duration(secs) * time.Second
+			}
+		}
+		if strings.HasPrefix(directive, "s-maxage=") {
+			if secs, err := strconv.Atoi(strings.TrimPrefix(directive, "s-maxage=")); err == nil {
+				return time.Duration(secs) * time.Second
+			}
+		}
+	}
+	if exp := r.Header.Get("Expires"); exp != "" {
+		if t, err := http.ParseTime(exp); err == nil {
+			d := t.Sub(now)
+			if d < 0 {
+				return 0
+			}
+			return d
+		}
+	}
+	return 0
+}
+
+// SetMaxAge sets the Cache-Control max-age directive in seconds.
+func (r *Response) SetMaxAge(seconds int) {
+	r.Header.Set("Cache-Control", "max-age="+strconv.Itoa(seconds))
+}
+
+// SetAbsoluteExpiry sets the Expires header to an absolute time; the content
+// integrity scheme in Section 6 requires absolute expiration times because
+// untrusted nodes cannot be trusted to decrement relative ones.
+func (r *Response) SetAbsoluteExpiry(t time.Time) {
+	r.Header.Set("Expires", t.UTC().Format(http.TimeFormat))
+}
+
+// ---------------------------------------------------------------------------
+// Conversion to and from net/http
+// ---------------------------------------------------------------------------
+
+// FromHTTPRequest converts an inbound net/http request (as received by the
+// proxy listener) into a pipeline Request, reading at most maxBody bytes of
+// body. A maxBody of zero or less means unlimited.
+func FromHTTPRequest(hr *http.Request, maxBody int64) (*Request, error) {
+	u := *hr.URL
+	if u.Host == "" {
+		u.Host = hr.Host
+	}
+	if u.Scheme == "" {
+		u.Scheme = "http"
+	}
+	req := &Request{
+		Method:   hr.Method,
+		URL:      &u,
+		Header:   cloneHeader(hr.Header),
+		Received: time.Now(),
+	}
+	host := hr.RemoteAddr
+	if i := strings.LastIndex(host, ":"); i > 0 {
+		host = host[:i]
+	}
+	req.ClientIP = strings.Trim(host, "[]")
+	if hr.Body != nil {
+		var body []byte
+		var err error
+		if maxBody > 0 {
+			body = make([]byte, 0, 4096)
+			buf := make([]byte, 32*1024)
+			var total int64
+			for {
+				n, rerr := hr.Body.Read(buf)
+				if n > 0 {
+					total += int64(n)
+					if total > maxBody {
+						return nil, fmt.Errorf("httpmsg: request body exceeds %d bytes", maxBody)
+					}
+					body = append(body, buf[:n]...)
+				}
+				if rerr != nil {
+					break
+				}
+			}
+		} else {
+			body, err = readAll(hr.Body)
+			if err != nil {
+				return nil, fmt.Errorf("httpmsg: read request body: %w", err)
+			}
+		}
+		req.Body = body
+	}
+	return req, nil
+}
+
+// WriteTo writes the response to a net/http ResponseWriter.
+func (r *Response) WriteTo(w http.ResponseWriter) error {
+	for k, vs := range r.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(r.Body)))
+	w.WriteHeader(r.Status)
+	_, err := w.Write(r.Body)
+	return err
+}
+
+// ToHTTPRequest converts a pipeline request to an outbound net/http request
+// for fetching from the origin.
+func (r *Request) ToHTTPRequest() (*http.Request, error) {
+	var body *strings.Reader
+	if r.Body != nil {
+		body = strings.NewReader(string(r.Body))
+	} else {
+		body = strings.NewReader("")
+	}
+	hr, err := http.NewRequest(r.Method, r.URL.String(), body)
+	if err != nil {
+		return nil, fmt.Errorf("httpmsg: build outbound request: %w", err)
+	}
+	for k, vs := range r.Header {
+		// Hop-by-hop headers must not be forwarded.
+		if isHopByHop(k) {
+			continue
+		}
+		for _, v := range vs {
+			hr.Header.Add(k, v)
+		}
+	}
+	return hr, nil
+}
+
+// FromHTTPResponse converts a net/http response into a pipeline Response,
+// reading the full body (the pipeline operates on complete instances).
+func FromHTTPResponse(hr *http.Response) (*Response, error) {
+	resp := &Response{
+		Status:  hr.StatusCode,
+		Header:  cloneHeader(hr.Header),
+		Fetched: time.Now(),
+	}
+	if hr.Body != nil {
+		body, err := readAll(hr.Body)
+		if err != nil {
+			return nil, fmt.Errorf("httpmsg: read response body: %w", err)
+		}
+		resp.Body = body
+	}
+	return resp, nil
+}
+
+var hopByHopHeaders = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+func isHopByHop(name string) bool {
+	return hopByHopHeaders[textproto.CanonicalMIMEHeaderKey(name)]
+}
+
+func cloneHeader(h http.Header) http.Header {
+	out := make(http.Header, len(h))
+	for k, vs := range h {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+func readAll(r io.Reader) ([]byte, error) { return io.ReadAll(r) }
+
+// HeaderFingerprint returns a deterministic digest-friendly serialization of
+// selected headers; the integrity layer signs over it together with the body
+// hash.
+func HeaderFingerprint(h http.Header, names ...string) string {
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		sb.WriteString(textproto.CanonicalMIMEHeaderKey(n))
+		sb.WriteString(":")
+		sb.WriteString(strings.Join(h.Values(n), ","))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,365 @@
+package httpmsg
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewRequest(t *testing.T) {
+	r, err := NewRequest("GET", "http://med.nyu.edu/simm/module1.html?student=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Host() != "med.nyu.edu" {
+		t.Errorf("Host = %q", r.Host())
+	}
+	if r.Path() != "/simm/module1.html" {
+		t.Errorf("Path = %q", r.Path())
+	}
+	if r.Query("student") != "42" {
+		t.Errorf("Query(student) = %q", r.Query("student"))
+	}
+	if r.SiteKey() != "med.nyu.edu" {
+		t.Errorf("SiteKey = %q", r.SiteKey())
+	}
+}
+
+func TestNewRequestDefaults(t *testing.T) {
+	r, err := NewRequest("GET", "example.org/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.URL.Scheme != "http" {
+		t.Errorf("scheme = %q, want http", r.URL.Scheme)
+	}
+	if r.Path() == "" {
+		t.Error("Path should never be empty")
+	}
+}
+
+func TestNewRequestInvalid(t *testing.T) {
+	if _, err := NewRequest("GET", "http://bad url with spaces\x7f"); err == nil {
+		t.Error("expected error for invalid URL")
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	a := MustRequest("GET", "http://example.org/a#frag")
+	b := MustRequest("GET", "http://example.org/a")
+	if a.CacheKey() != b.CacheKey() {
+		t.Errorf("fragment should not affect cache key: %q vs %q", a.CacheKey(), b.CacheKey())
+	}
+	c := MustRequest("POST", "http://example.org/a")
+	if a.CacheKey() == c.CacheKey() {
+		t.Error("method should affect cache key")
+	}
+	d := MustRequest("GET", "http://example.org/a?x=1")
+	if a.CacheKey() == d.CacheKey() {
+		t.Error("query should affect cache key")
+	}
+}
+
+func TestRequestClone(t *testing.T) {
+	r := MustRequest("POST", "http://example.org/submit")
+	r.Header.Set("X-Test", "1")
+	r.Body = []byte("payload")
+	r.ClientIP = "10.0.0.1"
+	cp := r.Clone()
+	cp.Header.Set("X-Test", "2")
+	cp.Body[0] = 'X'
+	cp.URL.Path = "/other"
+	if r.Header.Get("X-Test") != "1" {
+		t.Error("clone header mutation leaked")
+	}
+	if string(r.Body) != "payload" {
+		t.Error("clone body mutation leaked")
+	}
+	if r.URL.Path != "/submit" {
+		t.Error("clone URL mutation leaked")
+	}
+}
+
+func TestSetURLMarksRedirect(t *testing.T) {
+	r := MustRequest("GET", "http://a.example.org/x")
+	if err := r.SetURL("http://a.example.org/x"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Redirected {
+		t.Error("same URL should not mark redirect")
+	}
+	if err := r.SetURL("http://b.example.org/y"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Redirected {
+		t.Error("changed URL should mark redirect")
+	}
+	if err := r.SetURL("://bad"); err == nil {
+		t.Error("expected error for invalid URL")
+	}
+}
+
+func TestTerminate(t *testing.T) {
+	r := MustRequest("GET", "http://content.nejm.org/cgi/reprint/1.pdf")
+	resp := r.Terminate(401)
+	if resp.Status != 401 {
+		t.Errorf("status = %d", resp.Status)
+	}
+	if r.Terminated() != resp {
+		t.Error("Terminated() should return the recorded response")
+	}
+	if !strings.Contains(string(resp.Body), "401") {
+		t.Error("body should mention the status code")
+	}
+	r.ClearTermination()
+	if r.Terminated() != nil {
+		t.Error("ClearTermination should remove the response")
+	}
+	// Invalid status codes map to 500.
+	if got := r.Terminate(9999).Status; got != 500 {
+		t.Errorf("invalid status mapped to %d, want 500", got)
+	}
+}
+
+func TestCookies(t *testing.T) {
+	r := MustRequest("GET", "http://example.org/")
+	if _, ok := r.Cookie("session"); ok {
+		t.Error("unexpected cookie")
+	}
+	r.SetCookie("session", "abc123")
+	r.SetCookie("student", "42")
+	if v, ok := r.Cookie("session"); !ok || v != "abc123" {
+		t.Errorf("session cookie = %q, %v", v, ok)
+	}
+	if v, ok := r.Cookie("student"); !ok || v != "42" {
+		t.Errorf("student cookie = %q, %v", v, ok)
+	}
+}
+
+func TestResponseBodyAndContentType(t *testing.T) {
+	r := NewResponse(200)
+	r.Header.Set("Content-Type", "text/html; charset=utf-8")
+	r.SetBodyString("<html></html>")
+	if r.ContentType() != "text/html" {
+		t.Errorf("ContentType = %q", r.ContentType())
+	}
+	if r.Size() != 13 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	if r.Header.Get("Content-Length") != "13" {
+		t.Errorf("Content-Length = %q", r.Header.Get("Content-Length"))
+	}
+}
+
+func TestResponseClone(t *testing.T) {
+	r := NewTextResponse(200, "hello")
+	r.Via = "node-1"
+	cp := r.Clone()
+	cp.Body[0] = 'X'
+	cp.Header.Set("X-New", "1")
+	if string(r.Body) != "hello" {
+		t.Error("clone body mutation leaked")
+	}
+	if r.Header.Get("X-New") != "" {
+		t.Error("clone header mutation leaked")
+	}
+	if cp.Via != "node-1" {
+		t.Error("Via not copied")
+	}
+}
+
+func TestCacheable(t *testing.T) {
+	cases := []struct {
+		status int
+		cc     string
+		want   bool
+	}{
+		{200, "", true},
+		{200, "max-age=60", true},
+		{200, "no-store", false},
+		{200, "private", false},
+		{200, "no-cache", false},
+		{404, "", true},
+		{500, "", false},
+		{302, "", false},
+	}
+	for _, c := range cases {
+		r := NewResponse(c.status)
+		if c.cc != "" {
+			r.Header.Set("Cache-Control", c.cc)
+		}
+		if got := r.Cacheable(); got != c.want {
+			t.Errorf("Cacheable(status=%d, cc=%q) = %v, want %v", c.status, c.cc, got, c.want)
+		}
+	}
+}
+
+func TestFreshFor(t *testing.T) {
+	now := time.Now()
+	r := NewResponse(200)
+	if r.FreshFor(now) != 0 {
+		t.Error("no headers should mean zero freshness")
+	}
+	r.SetMaxAge(300)
+	if r.FreshFor(now) != 300*time.Second {
+		t.Errorf("max-age freshness = %v", r.FreshFor(now))
+	}
+	r2 := NewResponse(200)
+	r2.SetAbsoluteExpiry(now.Add(90 * time.Second))
+	fresh := r2.FreshFor(now)
+	if fresh < 85*time.Second || fresh > 95*time.Second {
+		t.Errorf("Expires freshness = %v", fresh)
+	}
+	r3 := NewResponse(200)
+	r3.SetAbsoluteExpiry(now.Add(-10 * time.Second))
+	if r3.FreshFor(now) != 0 {
+		t.Error("expired response should have zero freshness")
+	}
+	r4 := NewResponse(200)
+	r4.Header.Set("Cache-Control", "public, s-maxage=120")
+	if r4.FreshFor(now) != 120*time.Second {
+		t.Errorf("s-maxage freshness = %v", r4.FreshFor(now))
+	}
+}
+
+func TestHTTPConversion(t *testing.T) {
+	// Round-trip through net/http types using a live test server.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Forwarded-Test") != "yes" {
+			t.Error("header not forwarded")
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		w.Header().Set("Cache-Control", "max-age=60")
+		w.WriteHeader(200)
+		if _, err := w.Write([]byte("origin content")); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+
+	req := MustRequest("GET", srv.URL+"/resource")
+	req.Header.Set("X-Forwarded-Test", "yes")
+	req.Header.Set("Connection", "keep-alive") // hop-by-hop: must be dropped
+	hr, err := req.ToHTTPRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Header.Get("Connection") != "" {
+		t.Error("hop-by-hop header should be dropped")
+	}
+	hresp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := FromHTTPResponse(hresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "origin content" {
+		t.Errorf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if resp.FreshFor(time.Now()) != 60*time.Second {
+		t.Error("cache-control lost in conversion")
+	}
+}
+
+func TestFromHTTPRequest(t *testing.T) {
+	hr := httptest.NewRequest("POST", "http://site.example.org/form", strings.NewReader("a=1&b=2"))
+	hr.RemoteAddr = "192.168.1.50:54321"
+	hr.Header.Set("User-Agent", "test-agent")
+	req, err := FromHTTPRequest(hr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ClientIP != "192.168.1.50" {
+		t.Errorf("ClientIP = %q", req.ClientIP)
+	}
+	if string(req.Body) != "a=1&b=2" {
+		t.Errorf("Body = %q", req.Body)
+	}
+	if req.Header.Get("User-Agent") != "test-agent" {
+		t.Error("header lost")
+	}
+}
+
+func TestFromHTTPRequestBodyLimit(t *testing.T) {
+	hr := httptest.NewRequest("POST", "http://site.example.org/upload", strings.NewReader(strings.Repeat("x", 1000)))
+	if _, err := FromHTTPRequest(hr, 100); err == nil {
+		t.Error("expected body limit error")
+	}
+	if _, err := FromHTTPRequest(httptest.NewRequest("POST", "http://x.org/", strings.NewReader("small")), 100); err != nil {
+		t.Errorf("small body should pass: %v", err)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	resp := NewHTMLResponse(201, "<p>created</p>")
+	resp.Header.Set("X-Custom", "v")
+	rec := httptest.NewRecorder()
+	if err := resp.WriteTo(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != 201 {
+		t.Errorf("code = %d", rec.Code)
+	}
+	if rec.Header().Get("X-Custom") != "v" {
+		t.Error("custom header lost")
+	}
+	if rec.Body.String() != "<p>created</p>" {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestHeaderFingerprint(t *testing.T) {
+	h := make(http.Header)
+	h.Set("Cache-Control", "max-age=60")
+	h.Set("Expires", "Thu, 01 Jan 2026 00:00:00 GMT")
+	a := HeaderFingerprint(h, "Cache-Control", "Expires")
+	b := HeaderFingerprint(h, "Expires", "Cache-Control")
+	if a != b {
+		t.Error("fingerprint should be order-independent")
+	}
+	h.Set("Cache-Control", "max-age=120")
+	if HeaderFingerprint(h, "Cache-Control", "Expires") == a {
+		t.Error("fingerprint should change when header value changes")
+	}
+}
+
+func TestPropertyCacheKeyDeterministic(t *testing.T) {
+	f := func(path string) bool {
+		clean := make([]rune, 0, len(path))
+		for _, r := range path {
+			if r > 32 && r < 127 && r != '#' && r != '?' && r != '%' {
+				clean = append(clean, r)
+			}
+		}
+		p := "/" + string(clean)
+		a, err1 := NewRequest("GET", "http://example.org"+p)
+		b, err2 := NewRequest("GET", "http://example.org"+p)
+		if err1 != nil || err2 != nil {
+			return true // skip unparsable paths
+		}
+		return a.CacheKey() == b.CacheKey()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCloneIndependence(t *testing.T) {
+	f := func(body []byte) bool {
+		r := NewResponse(200)
+		r.SetBody(append([]byte(nil), body...))
+		cp := r.Clone()
+		for i := range cp.Body {
+			cp.Body[i] = 0
+		}
+		return string(r.Body) == string(body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

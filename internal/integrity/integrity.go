@@ -1,0 +1,296 @@
+// Package integrity implements the content-integrity mechanisms described in
+// Section 6 of the paper.
+//
+// For original content, integrity and freshness are provided by two response
+// headers: X-Content-SHA256 carries a hash of the body (which origin servers
+// can precompute), and X-Signature carries a signature over the content hash
+// and the cache-control headers. Absolute expiration times (Expires) are
+// required instead of relative max-age, because untrusted nodes cannot be
+// trusted to decrement relative times.
+//
+// For processed or generated content, the package provides the probabilistic
+// verification registry: clients forward a fraction of received content to
+// other proxies, which repeat the processing; mismatches are reported to a
+// trusted registry that evicts misbehaving nodes.
+package integrity
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"nakika/internal/httpmsg"
+)
+
+// Header names used by the integrity scheme.
+const (
+	HeaderContentSHA256 = "X-Content-Sha256"
+	HeaderSignature     = "X-Signature"
+	HeaderKeyID         = "X-Signature-Key"
+)
+
+// Signer signs origin content. Each content producer holds one; its public
+// key is distributed to edge nodes out of band (or through the trusted
+// registry).
+type Signer struct {
+	KeyID   string
+	private ed25519.PrivateKey
+	public  ed25519.PublicKey
+}
+
+// NewSigner generates a fresh keypair identified by keyID.
+func NewSigner(keyID string) (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("integrity: generate key: %w", err)
+	}
+	return &Signer{KeyID: keyID, private: priv, public: pub}, nil
+}
+
+// PublicKey returns the signer's public key for registration with verifiers.
+func (s *Signer) PublicKey() ed25519.PublicKey { return s.public }
+
+// ContentHash returns the hex SHA-256 of body.
+func ContentHash(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// signedPayload builds the byte string covered by the signature: the content
+// hash plus the cache-control headers that govern freshness.
+func signedPayload(contentHash string, header interface{ Get(string) string }) []byte {
+	return []byte(contentHash + "\n" +
+		"Expires:" + header.Get("Expires") + "\n" +
+		"Cache-Control:" + header.Get("Cache-Control") + "\n")
+}
+
+// Sign attaches integrity headers to resp: the content hash, the signature
+// over hash and cache-control headers, and the key ID. The response must
+// already carry an absolute Expires header; Sign sets one expiresIn from now
+// if absent.
+func (s *Signer) Sign(resp *httpmsg.Response, expiresIn time.Duration) {
+	if resp.Header.Get("Expires") == "" {
+		resp.SetAbsoluteExpiry(time.Now().Add(expiresIn))
+	}
+	// The integrity scheme relies on absolute expiration; drop relative
+	// max-age directives so intermediaries cannot manipulate them.
+	resp.Header.Del("Cache-Control")
+	hash := ContentHash(resp.Body)
+	resp.Header.Set(HeaderContentSHA256, hash)
+	sig := ed25519.Sign(s.private, signedPayload(hash, resp.Header))
+	resp.Header.Set(HeaderSignature, hex.EncodeToString(sig))
+	resp.Header.Set(HeaderKeyID, s.KeyID)
+}
+
+// VerifyError describes why verification failed.
+type VerifyError struct{ Reason string }
+
+func (e *VerifyError) Error() string { return "integrity: " + e.Reason }
+
+// Verifier checks signed responses against registered producer keys.
+type Verifier struct {
+	mu   sync.RWMutex
+	keys map[string]ed25519.PublicKey
+	// Clock is the time source for expiry checks; nil means time.Now.
+	Clock func() time.Time
+}
+
+// NewVerifier returns an empty verifier.
+func NewVerifier() *Verifier {
+	return &Verifier{keys: make(map[string]ed25519.PublicKey)}
+}
+
+// RegisterKey associates keyID with a producer public key.
+func (v *Verifier) RegisterKey(keyID string, key ed25519.PublicKey) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.keys[keyID] = key
+}
+
+func (v *Verifier) now() time.Time {
+	if v.Clock != nil {
+		return v.Clock()
+	}
+	return time.Now()
+}
+
+// Verify checks resp's integrity headers: the body hash must match, the
+// signature must verify under the registered key, and the absolute expiry
+// must be in the future. Responses without integrity headers return
+// (false, nil) — unsigned but not invalid.
+func (v *Verifier) Verify(resp *httpmsg.Response) (signed bool, err error) {
+	hash := resp.Header.Get(HeaderContentSHA256)
+	sigHex := resp.Header.Get(HeaderSignature)
+	keyID := resp.Header.Get(HeaderKeyID)
+	if hash == "" && sigHex == "" {
+		return false, nil
+	}
+	if hash == "" || sigHex == "" || keyID == "" {
+		return true, &VerifyError{Reason: "incomplete integrity headers"}
+	}
+	if got := ContentHash(resp.Body); got != hash {
+		return true, &VerifyError{Reason: "content hash mismatch"}
+	}
+	v.mu.RLock()
+	key, ok := v.keys[keyID]
+	v.mu.RUnlock()
+	if !ok {
+		return true, &VerifyError{Reason: "unknown signing key " + keyID}
+	}
+	sig, decErr := hex.DecodeString(sigHex)
+	if decErr != nil {
+		return true, &VerifyError{Reason: "malformed signature"}
+	}
+	if !ed25519.Verify(key, signedPayload(hash, resp.Header), sig) {
+		return true, &VerifyError{Reason: "signature verification failed"}
+	}
+	expires := resp.Header.Get("Expires")
+	if expires == "" {
+		return true, &VerifyError{Reason: "missing absolute expiration"}
+	}
+	t, perr := time.Parse("Mon, 02 Jan 2006 15:04:05 GMT", expires)
+	if perr != nil {
+		return true, &VerifyError{Reason: "unparsable Expires header"}
+	}
+	if v.now().After(t) {
+		return true, &VerifyError{Reason: "content expired"}
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Probabilistic verification of processed content
+// ---------------------------------------------------------------------------
+
+// Registry is the trusted membership registry for the probabilistic
+// verification model: it tracks mismatch reports against nodes and evicts
+// nodes whose report count crosses the threshold.
+type Registry struct {
+	mu        sync.Mutex
+	members   map[string]bool
+	reports   map[string]int
+	threshold int
+	evictions []string
+}
+
+// NewRegistry returns a registry that evicts a node after threshold
+// mismatch reports (zero means 3).
+func NewRegistry(threshold int) *Registry {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	return &Registry{members: make(map[string]bool), reports: make(map[string]int), threshold: threshold}
+}
+
+// AddMember registers a node as a member of the edge network.
+func (r *Registry) AddMember(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.members[node] = true
+}
+
+// IsMember reports whether node is currently a member.
+func (r *Registry) IsMember(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members[node]
+}
+
+// ReportMismatch records that reporter observed node serving content whose
+// re-processing did not match. When the report count reaches the threshold,
+// the node is evicted. It returns whether the node was evicted by this
+// report.
+func (r *Registry) ReportMismatch(node, reporter string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[node] {
+		return false
+	}
+	r.reports[node]++
+	if r.reports[node] >= r.threshold {
+		delete(r.members, node)
+		r.evictions = append(r.evictions, node)
+		return true
+	}
+	return false
+}
+
+// Evictions returns the nodes evicted so far, in order.
+func (r *Registry) Evictions() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.evictions...)
+}
+
+// SpotChecker decides which responses a client forwards for re-processing
+// and compares the two versions. Fraction is the probability of checking any
+// given response.
+type SpotChecker struct {
+	Fraction float64
+	Registry *Registry
+	// Reprocess re-runs the processing for the request on a different,
+	// randomly chosen proxy and returns the resulting body.
+	Reprocess func(req *httpmsg.Request) ([]byte, error)
+	// pick decides whether to check; tests may replace it for determinism.
+	Pick    func() bool
+	mu      sync.Mutex
+	checked int64
+	flagged int64
+}
+
+// Check possibly verifies resp (served by servingNode for req) by
+// re-processing it elsewhere. It returns whether a mismatch was detected.
+func (sc *SpotChecker) Check(servingNode string, req *httpmsg.Request, resp *httpmsg.Response) (bool, error) {
+	pick := sc.Pick
+	if pick == nil {
+		pick = func() bool { return randFloat() < sc.Fraction }
+	}
+	if !pick() {
+		return false, nil
+	}
+	sc.mu.Lock()
+	sc.checked++
+	sc.mu.Unlock()
+	other, err := sc.Reprocess(req)
+	if err != nil {
+		return false, fmt.Errorf("integrity: reprocess: %w", err)
+	}
+	if ContentHash(other) == ContentHash(resp.Body) {
+		return false, nil
+	}
+	sc.mu.Lock()
+	sc.flagged++
+	sc.mu.Unlock()
+	if sc.Registry != nil {
+		sc.Registry.ReportMismatch(servingNode, "client")
+	}
+	return true, nil
+}
+
+// Checked and Flagged report the spot checker's counters.
+func (sc *SpotChecker) Checked() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.checked
+}
+
+// Flagged returns the number of mismatches detected.
+func (sc *SpotChecker) Flagged() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.flagged
+}
+
+// randFloat returns a uniform value in [0,1) from crypto/rand; the check
+// rate does not need to be fast.
+func randFloat() float64 {
+	var b [2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0
+	}
+	return float64(uint16(b[0])<<8|uint16(b[1])) / 65536.0
+}

@@ -1,0 +1,203 @@
+package integrity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nakika/internal/httpmsg"
+)
+
+func TestSignAndVerify(t *testing.T) {
+	signer, err := NewSigner("med.nyu.edu-2026")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := httpmsg.NewHTMLResponse(200, "<html>study results</html>")
+	signer.Sign(resp, time.Hour)
+
+	if resp.Header.Get(HeaderContentSHA256) == "" || resp.Header.Get(HeaderSignature) == "" {
+		t.Fatal("integrity headers missing after Sign")
+	}
+	if resp.Header.Get("Expires") == "" {
+		t.Fatal("Sign must ensure an absolute Expires header")
+	}
+	if resp.Header.Get("Cache-Control") != "" {
+		t.Error("relative cache-control must be dropped by the integrity scheme")
+	}
+
+	v := NewVerifier()
+	v.RegisterKey("med.nyu.edu-2026", signer.PublicKey())
+	signed, err := v.Verify(resp)
+	if !signed || err != nil {
+		t.Fatalf("verify: signed=%v err=%v", signed, err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	signer, _ := NewSigner("k1")
+	v := NewVerifier()
+	v.RegisterKey("k1", signer.PublicKey())
+
+	// Body tampering.
+	resp := httpmsg.NewHTMLResponse(200, "original results")
+	signer.Sign(resp, time.Hour)
+	resp.SetBodyString("falsified results")
+	if _, err := v.Verify(resp); err == nil {
+		t.Error("tampered body must fail verification")
+	}
+
+	// Header (freshness) tampering: extending the expiry invalidates the
+	// signature.
+	resp2 := httpmsg.NewHTMLResponse(200, "content")
+	signer.Sign(resp2, time.Hour)
+	resp2.SetAbsoluteExpiry(time.Now().Add(100 * time.Hour))
+	if _, err := v.Verify(resp2); err == nil {
+		t.Error("tampered expiry must fail verification")
+	}
+
+	// Hash swapped along with the body but signature left alone.
+	resp3 := httpmsg.NewHTMLResponse(200, "content")
+	signer.Sign(resp3, time.Hour)
+	resp3.SetBodyString("other")
+	resp3.Header.Set(HeaderContentSHA256, ContentHash(resp3.Body))
+	if _, err := v.Verify(resp3); err == nil {
+		t.Error("recomputed hash without a valid signature must fail")
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	signer, _ := NewSigner("k1")
+	v := NewVerifier()
+	v.RegisterKey("k1", signer.PublicKey())
+	resp := httpmsg.NewHTMLResponse(200, "content")
+	signer.Sign(resp, time.Minute)
+	v.Clock = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	_, err := v.Verify(resp)
+	if err == nil || !strings.Contains(err.Error(), "expired") {
+		t.Errorf("expected expiry error, got %v", err)
+	}
+}
+
+func TestVerifyUnknownKeyAndUnsigned(t *testing.T) {
+	signer, _ := NewSigner("unregistered")
+	v := NewVerifier()
+	resp := httpmsg.NewHTMLResponse(200, "content")
+	signer.Sign(resp, time.Hour)
+	if _, err := v.Verify(resp); err == nil {
+		t.Error("unknown key must fail verification")
+	}
+	// Unsigned responses are not an error — just unsigned.
+	plain := httpmsg.NewHTMLResponse(200, "plain")
+	signed, err := v.Verify(plain)
+	if signed || err != nil {
+		t.Errorf("unsigned: signed=%v err=%v", signed, err)
+	}
+	// Incomplete headers are an error.
+	partial := httpmsg.NewHTMLResponse(200, "x")
+	partial.Header.Set(HeaderContentSHA256, ContentHash(partial.Body))
+	if _, err := v.Verify(partial); err == nil {
+		t.Error("incomplete integrity headers must fail")
+	}
+}
+
+func TestContentHashProperties(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ha, hb := ContentHash(a), ContentHash(b)
+		if string(a) == string(b) {
+			return ha == hb
+		}
+		return ha != hb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySignVerifyRoundTrip(t *testing.T) {
+	signer, _ := NewSigner("prop-key")
+	v := NewVerifier()
+	v.RegisterKey("prop-key", signer.PublicKey())
+	f := func(body []byte) bool {
+		resp := httpmsg.NewResponse(200)
+		resp.SetBody(append([]byte(nil), body...))
+		signer.Sign(resp, time.Hour)
+		signed, err := v.Verify(resp)
+		return signed && err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryEviction(t *testing.T) {
+	r := NewRegistry(3)
+	r.AddMember("good-node")
+	r.AddMember("bad-node")
+	if !r.IsMember("bad-node") {
+		t.Fatal("member should be present")
+	}
+	if r.ReportMismatch("bad-node", "c1") {
+		t.Error("first report should not evict")
+	}
+	r.ReportMismatch("bad-node", "c2")
+	if !r.ReportMismatch("bad-node", "c3") {
+		t.Error("third report should evict")
+	}
+	if r.IsMember("bad-node") {
+		t.Error("evicted node must not be a member")
+	}
+	if r.IsMember("good-node") == false {
+		t.Error("unreported node must remain a member")
+	}
+	if len(r.Evictions()) != 1 || r.Evictions()[0] != "bad-node" {
+		t.Errorf("evictions = %v", r.Evictions())
+	}
+	// Reports against non-members are ignored.
+	if r.ReportMismatch("unknown-node", "c1") {
+		t.Error("non-member cannot be evicted")
+	}
+}
+
+func TestSpotChecker(t *testing.T) {
+	reg := NewRegistry(2)
+	reg.AddMember("cheater")
+	// The honest re-processing always yields "honest output"; the serving
+	// node returned something else.
+	sc := &SpotChecker{
+		Fraction: 1.0,
+		Registry: reg,
+		Pick:     func() bool { return true },
+		Reprocess: func(req *httpmsg.Request) ([]byte, error) {
+			return []byte("honest output"), nil
+		},
+	}
+	req := httpmsg.MustRequest("GET", "http://site.org/processed.html")
+	good := httpmsg.NewTextResponse(200, "honest output")
+	bad := httpmsg.NewTextResponse(200, "tampered output")
+
+	mismatch, err := sc.Check("cheater", req, good)
+	if err != nil || mismatch {
+		t.Errorf("matching content flagged: %v %v", mismatch, err)
+	}
+	mismatch, err = sc.Check("cheater", req, bad)
+	if err != nil || !mismatch {
+		t.Errorf("tampered content not flagged: %v %v", mismatch, err)
+	}
+	if sc.Checked() != 2 || sc.Flagged() != 1 {
+		t.Errorf("checked=%d flagged=%d", sc.Checked(), sc.Flagged())
+	}
+	// One more mismatch report evicts the cheater (threshold 2).
+	if _, err := sc.Check("cheater", req, bad); err != nil {
+		t.Fatal(err)
+	}
+	if reg.IsMember("cheater") {
+		t.Error("cheater should be evicted after repeated mismatches")
+	}
+	// A checker that never picks does nothing.
+	lazy := &SpotChecker{Fraction: 0, Pick: func() bool { return false }}
+	if m, err := lazy.Check("x", req, bad); m || err != nil {
+		t.Error("never-picking checker should not flag")
+	}
+}

@@ -1,0 +1,134 @@
+// Package nkp implements Na Kika Pages (Section 3.1): a markup-based
+// programming model in the style of PHP/JSP/ASP.NET layered on top of the
+// event-based model. HTTP resources with the .nkp extension or the text/nkp
+// MIME type are processed on the edge: all text between <?nkp and ?> tags is
+// treated as NKScript and replaced by the output of running that code.
+//
+// In the paper this is a 60-line script on top of the scripting engine; here
+// the translator produces an onResponse handler body (as source text) so it
+// can be dropped into a stage, plus a direct Render helper used by the node.
+package nkp
+
+import (
+	"fmt"
+	"strings"
+
+	"nakika/internal/script"
+)
+
+// Segment is one piece of a parsed page: either literal markup or code.
+type Segment struct {
+	Code bool
+	Text string
+}
+
+// Parse splits a page into literal and code segments. An unterminated code
+// block is an error.
+func Parse(page string) ([]Segment, error) {
+	var segs []Segment
+	for {
+		start := strings.Index(page, "<?nkp")
+		if start < 0 {
+			if page != "" {
+				segs = append(segs, Segment{Text: page})
+			}
+			return segs, nil
+		}
+		if start > 0 {
+			segs = append(segs, Segment{Text: page[:start]})
+		}
+		rest := page[start+len("<?nkp"):]
+		end := strings.Index(rest, "?>")
+		if end < 0 {
+			return nil, fmt.Errorf("nkp: unterminated <?nkp block")
+		}
+		segs = append(segs, Segment{Code: true, Text: rest[:end]})
+		page = rest[end+len("?>"):]
+	}
+}
+
+// IsPage reports whether a resource should be processed as a Na Kika Page,
+// based on its URL path and content type.
+func IsPage(path, contentType string) bool {
+	if strings.HasSuffix(strings.ToLower(path), ".nkp") {
+		return true
+	}
+	ct := strings.ToLower(contentType)
+	if i := strings.Index(ct, ";"); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == "text/nkp"
+}
+
+// Render executes a page in ctx and returns the expanded output. Code
+// segments run in order within the shared context, so variables defined in
+// one block are visible in later blocks (as in PHP). Inside code blocks the
+// echo(value) function appends to the output; the value of the block's last
+// expression statement is NOT implicitly echoed, matching the paper's "<?nkp
+// ... ?> is replaced by the output of running that code".
+func Render(ctx *script.Context, page string) (string, error) {
+	segs, err := Parse(page)
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	ctx.DefineGlobal("echo", &script.Native{Name: "echo", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		for _, a := range args {
+			out.WriteString(script.ToString(a))
+		}
+		return script.Undefined{}, nil
+	}})
+	for i, seg := range segs {
+		if !seg.Code {
+			out.WriteString(seg.Text)
+			continue
+		}
+		if _, err := ctx.RunSource(seg.Text, fmt.Sprintf("nkp-block-%d", i)); err != nil {
+			return "", fmt.Errorf("nkp: block %d: %w", i, err)
+		}
+	}
+	return out.String(), nil
+}
+
+// HandlerSource generates the NKScript source of an onResponse event handler
+// that renders Na Kika Pages, for installation as a pipeline stage. The
+// generated handler reads the response body, splits on the nkp tags with
+// string operations, evaluates code blocks with the host-provided evalBlock
+// function, and writes the rendered output back. It mirrors the prototype's
+// "simple, 60 line script" implementation of pages on top of the event
+// model.
+func HandlerSource() string {
+	return `
+// Na Kika Pages: render <?nkp ... ?> blocks in text/nkp responses.
+var p = new Policy();
+p.headers = { "Content-Type": ["text/nkp", "\\.nkp"] };
+p.onResponse = function() {
+	var body = new ByteArray(), chunk;
+	while (chunk = Response.read()) { body.append(chunk); }
+	var page = body.toString();
+	var outText = NKP.render(page);
+	Response.setHeader("Content-Type", "text/html; charset=utf-8");
+	Response.write(outText);
+};
+p.register();
+`
+}
+
+// InstallRenderer defines the NKP.render native used by the generated
+// handler: it renders a page string inside the same context, so code blocks
+// see the stage's vocabularies (Request, State, and so on).
+func InstallRenderer(ctx *script.Context) {
+	obj := script.NewObject()
+	obj.ClassName = "NKP"
+	obj.Set("render", &script.Native{Name: "NKP.render", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.Str(""), nil
+		}
+		out, err := Render(c, script.ToString(args[0]))
+		if err != nil {
+			return nil, script.ThrowString(err.Error())
+		}
+		return script.Str(out), nil
+	}})
+	ctx.DefineGlobal("NKP", obj)
+}

@@ -1,0 +1,180 @@
+package nkp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/script"
+	"nakika/internal/vocab"
+)
+
+func TestParse(t *testing.T) {
+	segs, err := Parse(`<html><?nkp echo("hi"); ?></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 || segs[0].Code || !segs[1].Code || segs[2].Code {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if strings.TrimSpace(segs[1].Text) != `echo("hi");` {
+		t.Errorf("code segment = %q", segs[1].Text)
+	}
+	// Plain markup has a single literal segment.
+	segs, err = Parse("<html>static</html>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Code {
+		t.Errorf("segments = %+v", segs)
+	}
+	// Empty page.
+	segs, err = Parse("")
+	if err != nil || len(segs) != 0 {
+		t.Errorf("empty page: %v %v", segs, err)
+	}
+	// Unterminated block.
+	if _, err := Parse("<html><?nkp echo(1);"); err == nil {
+		t.Error("unterminated block should fail")
+	}
+}
+
+func TestIsPage(t *testing.T) {
+	cases := []struct {
+		path, ct string
+		want     bool
+	}{
+		{"/index.nkp", "", true},
+		{"/INDEX.NKP", "", true},
+		{"/page.html", "text/nkp", true},
+		{"/page.html", "text/nkp; charset=utf-8", true},
+		{"/page.html", "text/html", false},
+		{"/file.nkpx", "text/html", false},
+	}
+	for _, c := range cases {
+		if got := IsPage(c.path, c.ct); got != c.want {
+			t.Errorf("IsPage(%q, %q) = %v, want %v", c.path, c.ct, got, c.want)
+		}
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	ctx := script.NewContext(script.Limits{})
+	out, err := Render(ctx, `<h1>Total: <?nkp var total = 0; for (var i = 1; i <= 4; i++) { total += i; } echo(total); ?></h1>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "<h1>Total: 10</h1>" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRenderSharedStateBetweenBlocks(t *testing.T) {
+	ctx := script.NewContext(script.Limits{})
+	page := `<?nkp var user = "maria"; ?><p>Hello <?nkp echo(user.toUpperCase()); ?></p>`
+	out, err := Render(ctx, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "<p>Hello MARIA</p>" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRenderCanUseVocabularies(t *testing.T) {
+	// Pages can reach Request and State like any other script.
+	ctx := script.NewContext(script.Limits{})
+	vocab.Install(ctx, vocab.NopHost{}, "site.example.org")
+	req := httpmsg.MustRequest("GET", "http://site.example.org/hello.nkp?name=student")
+	vocab.BindRequest(ctx, req)
+	out, err := Render(ctx, `<body><?nkp echo("Hi " + Request.param("name")); ?></body>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "<body>Hi student</body>" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRenderScriptError(t *testing.T) {
+	ctx := script.NewContext(script.Limits{})
+	if _, err := Render(ctx, `<?nkp this is not valid (( ?>`); err == nil {
+		t.Error("invalid code block should fail")
+	}
+	if _, err := Render(ctx, `<?nkp throw "boom"; ?>`); err == nil {
+		t.Error("uncaught exception in a block should fail")
+	}
+}
+
+func TestInstallRendererAndHandlerSource(t *testing.T) {
+	// The generated handler source must parse, and NKP.render must work from
+	// script code.
+	if _, err := script.Parse(HandlerSource(), "nkp-handler.js"); err != nil {
+		t.Fatalf("generated handler does not parse: %v", err)
+	}
+	ctx := script.NewContext(script.Limits{})
+	InstallRenderer(ctx)
+	v, err := ctx.RunSource(`NKP.render("a<?nkp echo(1+1); ?>b")`, "t.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.ToString(v) != "a2b" {
+		t.Errorf("render = %q", script.ToString(v))
+	}
+	// Errors inside render are catchable from script.
+	v, err = ctx.RunSource(`
+		var caught = false;
+		try { NKP.render("<?nkp bad(("); } catch (e) { caught = true; }
+		caught
+	`, "t2.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bool(v.(script.Bool)) {
+		t.Error("render errors should be catchable")
+	}
+}
+
+// Property: pages without any nkp tags render to themselves.
+func TestPropertyPlainPagesUnchanged(t *testing.T) {
+	f := func(s string) bool {
+		if strings.Contains(s, "<?nkp") {
+			return true // skip
+		}
+		ctx := script.NewContext(script.Limits{})
+		out, err := Render(ctx, s)
+		return err == nil && out == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of parsed segments is consistent with the number of
+// code blocks.
+func TestPropertySegmentCount(t *testing.T) {
+	f := func(n uint8) bool {
+		blocks := int(n % 10)
+		var sb strings.Builder
+		for i := 0; i < blocks; i++ {
+			sb.WriteString("text")
+			sb.WriteString("<?nkp echo(1); ?>")
+		}
+		sb.WriteString("tail")
+		segs, err := Parse(sb.String())
+		if err != nil {
+			return false
+		}
+		code := 0
+		for _, s := range segs {
+			if s.Code {
+				code++
+			}
+		}
+		return code == blocks
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,379 @@
+// Package overlay implements the structured overlay network Na Kika uses to
+// coordinate local caches and enable incremental deployment (Section 3.4).
+//
+// The paper treats the overlay largely as a black box provided by an
+// existing DHT (Coral in the prototype). This reproduction provides a
+// Chord-style consistent-hashing overlay with successor lists: node and key
+// identifiers are SHA-1 hashes on a 160-bit ring, each node maintains a
+// finger table for O(log n) lookups, and the key-to-node mapping is used for
+// two purposes:
+//
+//   - a cooperative cache index mapping resource cache keys to the nodes
+//     that hold cached copies, so one cached copy anywhere in the network is
+//     sufficient to avoid an origin access, and
+//   - a redirector that stands in for Coral's DNS redirection, returning a
+//     nearby node for a client region.
+//
+// The overlay here is an in-process simulation of the distributed protocol:
+// all nodes live in one Ring and communicate through direct method calls
+// while the routing logic (successors, fingers, hop counting) is faithful to
+// the distributed algorithm. Wide-area costs are injected by the simnet
+// package at the experiment layer.
+package overlay
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ID is a point on the 160-bit ring, truncated to 64 bits for arithmetic
+// convenience (collision probability is irrelevant at the scales involved).
+type ID uint64
+
+// HashID maps an arbitrary string to a ring position.
+func HashID(s string) ID {
+	sum := sha1.Sum([]byte(s))
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// between reports whether id lies in the half-open ring interval (from, to].
+func between(id, from, to ID) bool {
+	if from < to {
+		return id > from && id <= to
+	}
+	if from > to {
+		return id > from || id <= to
+	}
+	return true // from == to: full circle
+}
+
+// Entry is one cooperative-cache index record: a node that holds a cached
+// copy of the keyed resource.
+type Entry struct {
+	NodeName string
+	Expires  time.Time
+}
+
+// Node is a member of the overlay.
+type Node struct {
+	Name   string
+	Region string
+	ID     ID
+
+	mu      sync.Mutex
+	ring    *Ring
+	index   map[string][]Entry // keys this node is responsible for
+	alive   bool
+	lookups int64
+	hops    int64
+}
+
+// Stats reports per-node overlay activity.
+type NodeStats struct {
+	Lookups   int64
+	TotalHops int64
+	IndexKeys int
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NodeStats{Lookups: n.lookups, TotalHops: n.hops, IndexKeys: len(n.index)}
+}
+
+// Ring is the in-process overlay: the set of member nodes plus the routing
+// structures. All methods are safe for concurrent use.
+type Ring struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	// sorted node IDs for successor computation.
+	sorted []ID
+	byID   map[ID]*Node
+	// DefaultTTL governs how long index entries live; zero means 60 seconds.
+	DefaultTTL time.Duration
+	// Clock returns the current time; nil means time.Now.
+	Clock func() time.Time
+}
+
+// NewRing returns an empty overlay.
+func NewRing() *Ring {
+	return &Ring{nodes: make(map[string]*Node), byID: make(map[ID]*Node)}
+}
+
+func (r *Ring) now() time.Time {
+	if r.Clock != nil {
+		return r.Clock()
+	}
+	return time.Now()
+}
+
+func (r *Ring) ttl() time.Duration {
+	if r.DefaultTTL > 0 {
+		return r.DefaultTTL
+	}
+	return 60 * time.Second
+}
+
+// Join adds a node with the given name and region to the overlay and returns
+// it. Joining is idempotent: re-joining an existing name returns the
+// existing node. This models the paper's low-administrative-overhead
+// addition of nodes.
+func (r *Ring) Join(name, region string) *Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[name]; ok {
+		n.alive = true
+		return n
+	}
+	n := &Node{Name: name, Region: region, ID: HashID(name), ring: r, index: make(map[string][]Entry), alive: true}
+	r.nodes[name] = n
+	r.byID[n.ID] = n
+	r.sorted = append(r.sorted, n.ID)
+	sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+	return n
+}
+
+// Leave removes a node from the overlay. Index entries owned by the departed
+// node become the responsibility of its successor on the next publish; the
+// expiration-based consistency model tolerates the transient loss.
+func (r *Ring) Leave(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[name]
+	if !ok {
+		return
+	}
+	n.alive = false
+	delete(r.nodes, name)
+	delete(r.byID, n.ID)
+	for i, id := range r.sorted {
+		if id == n.ID {
+			r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+			break
+		}
+	}
+}
+
+// Size returns the number of live nodes.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Nodes returns the names of all live nodes, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for name := range r.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// successorLocked returns the node responsible for id: the first node whose
+// ID is >= id, wrapping around the ring.
+func (r *Ring) successorLocked(id ID) *Node {
+	if len(r.sorted) == 0 {
+		return nil
+	}
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= id })
+	if i == len(r.sorted) {
+		i = 0
+	}
+	return r.byID[r.sorted[i]]
+}
+
+// Successor returns the node responsible for key.
+func (r *Ring) Successor(key string) *Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.successorLocked(HashID(key))
+}
+
+// Lookup routes from the starting node to the node responsible for key,
+// counting the routing hops a distributed Chord deployment would take
+// (each hop at least halves the remaining ring distance). The hop count is
+// what the simnet layer converts into wide-area latency.
+func (n *Node) Lookup(key string) (*Node, int) {
+	r := n.ring
+	r.mu.RLock()
+	target := HashID(key)
+	owner := r.successorLocked(target)
+	size := len(r.sorted)
+	r.mu.RUnlock()
+	if owner == nil {
+		return nil, 0
+	}
+	// Chord routes in O(log2 n) hops; compute the hop count deterministically
+	// from the ring distance so repeated lookups are stable.
+	hops := chordHops(n.ID, owner.ID, size)
+	n.mu.Lock()
+	n.lookups++
+	n.hops += int64(hops)
+	n.mu.Unlock()
+	return owner, hops
+}
+
+// chordHops estimates the number of routing hops between two ring positions
+// in a network of size nodes, as ceil(log2(distance fraction * size)), the
+// standard Chord bound.
+func chordHops(from, to ID, size int) int {
+	if size <= 1 || from == to {
+		return 0
+	}
+	dist := uint64(to - from) // ring arithmetic wraps naturally on uint64
+	// fraction of the ring covered, times network size, gives the expected
+	// number of nodes passed; log2 of that is the hop count.
+	frac := float64(dist) / float64(^uint64(0))
+	expected := frac * float64(size)
+	if expected <= 1 {
+		return 1
+	}
+	h := bits.Len64(uint64(expected))
+	maxHops := bits.Len64(uint64(size))
+	if h > maxHops {
+		h = maxHops
+	}
+	return h
+}
+
+// Publish records that node holds a cached copy of key. The record is stored
+// at the node responsible for the key (the DHT put) and expires after the
+// ring's TTL.
+func (n *Node) Publish(key string) (int, error) {
+	owner, hops := n.Lookup(key)
+	if owner == nil {
+		return hops, fmt.Errorf("overlay: empty ring")
+	}
+	owner.mu.Lock()
+	defer owner.mu.Unlock()
+	entries := owner.index[key]
+	now := n.ring.now()
+	// Refresh an existing entry for this node or append a new one, dropping
+	// expired entries as we go.
+	kept := entries[:0]
+	found := false
+	for _, e := range entries {
+		if e.Expires.Before(now) {
+			continue
+		}
+		if e.NodeName == n.Name {
+			e.Expires = now.Add(n.ring.ttl())
+			found = true
+		}
+		kept = append(kept, e)
+	}
+	if !found {
+		kept = append(kept, Entry{NodeName: n.Name, Expires: now.Add(n.ring.ttl())})
+	}
+	owner.index[key] = kept
+	return hops, nil
+}
+
+// Locate returns the names of nodes believed to hold cached copies of key,
+// together with the routing hop count. Expired entries are filtered out.
+func (n *Node) Locate(key string) ([]string, int) {
+	owner, hops := n.Lookup(key)
+	if owner == nil {
+		return nil, hops
+	}
+	owner.mu.Lock()
+	defer owner.mu.Unlock()
+	now := n.ring.now()
+	var out []string
+	kept := owner.index[key][:0]
+	for _, e := range owner.index[key] {
+		if e.Expires.Before(now) {
+			continue
+		}
+		kept = append(kept, e)
+		if e.NodeName != n.Name {
+			out = append(out, e.NodeName)
+		} else {
+			// The local copy counts too; callers usually check their own
+			// cache first, but include it for completeness.
+			out = append(out, e.NodeName)
+		}
+	}
+	owner.index[key] = kept
+	return out, hops
+}
+
+// Unpublish removes this node's entry for key (for example after cache
+// eviction).
+func (n *Node) Unpublish(key string) {
+	owner, _ := n.Lookup(key)
+	if owner == nil {
+		return
+	}
+	owner.mu.Lock()
+	defer owner.mu.Unlock()
+	entries := owner.index[key]
+	kept := entries[:0]
+	for _, e := range entries {
+		if e.NodeName != n.Name {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 {
+		delete(owner.index, key)
+	} else {
+		owner.index[key] = kept
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Redirection (DNS substitute)
+// ---------------------------------------------------------------------------
+
+// Redirector chooses a nearby edge node for a client, standing in for
+// Coral's DNS redirection of clients to nearby nodes. Proximity is
+// region-based: a node in the client's region is preferred; otherwise the
+// choice is round-robin over all live nodes for load balancing.
+type Redirector struct {
+	ring *Ring
+	mu   sync.Mutex
+	rr   int
+}
+
+// NewRedirector returns a redirector over ring.
+func NewRedirector(ring *Ring) *Redirector { return &Redirector{ring: ring} }
+
+// Pick returns the name of the edge node a client in region should use, or
+// "" when the overlay is empty.
+func (rd *Redirector) Pick(region string) string {
+	rd.ring.mu.RLock()
+	var inRegion []string
+	var all []string
+	for name, n := range rd.ring.nodes {
+		all = append(all, name)
+		if n.Region == region {
+			inRegion = append(inRegion, name)
+		}
+	}
+	rd.ring.mu.RUnlock()
+	sort.Strings(inRegion)
+	sort.Strings(all)
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	if len(inRegion) > 0 {
+		name := inRegion[rd.rr%len(inRegion)]
+		rd.rr++
+		return name
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	name := all[rd.rr%len(all)]
+	rd.rr++
+	return name
+}

@@ -1,0 +1,409 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/policy"
+	"nakika/internal/resource"
+	"nakika/internal/script"
+	"nakika/internal/vocab"
+)
+
+// Default well-known script locations (Section 3.1): administrative control
+// scripts come from the Na Kika site itself; the site-specific script is the
+// nakika.js resource at the site root.
+const (
+	DefaultClientWallURL = "http://nakika.net/clientwall.js"
+	DefaultServerWallURL = "http://nakika.net/serverwall.js"
+	SiteScriptName       = "nakika.js"
+)
+
+// DefaultMaxStages bounds dynamically scheduled stages so a malicious script
+// cannot schedule stages forever.
+const DefaultMaxStages = 32
+
+// Executor runs the scripting pipeline for one edge node.
+type Executor struct {
+	// Loader resolves stage script URLs to loaded stages.
+	Loader *Loader
+	// Host provides vocabularies during handler execution (same host the
+	// loader uses).
+	Host vocab.Host
+	// FetchOrigin retrieves the original resource when no onRequest handler
+	// generated a response; the proxy wires its cache + upstream client in
+	// here.
+	FetchOrigin func(*httpmsg.Request) (*httpmsg.Response, error)
+	// Resources, when non-nil, receives admission decisions, consumption
+	// charges, and termination registrations.
+	Resources *resource.Manager
+	// ClientWallURL and ServerWallURL override the administrative control
+	// script locations; node administrators may point these at their own,
+	// location-specific policies.
+	ClientWallURL string
+	ServerWallURL string
+	// MaxStages bounds the total number of stages per pipeline; zero means
+	// DefaultMaxStages.
+	MaxStages int
+	// ClientHostLookup maps a client IP to a hostname for client predicates;
+	// nil means no hostname information.
+	ClientHostLookup func(ip string) string
+}
+
+// StageTrace records one executed stage for diagnostics and benchmarks.
+type StageTrace struct {
+	ScriptURL   string
+	Matched     bool
+	PolicySrc   string
+	RanRequest  bool
+	RanResponse bool
+	Err         string
+}
+
+// Trace summarizes a pipeline execution.
+type Trace struct {
+	Stages       []StageTrace
+	Generated    bool
+	FromCache    bool
+	Terminated   bool
+	RejectedBusy bool
+	Elapsed      time.Duration
+}
+
+// Execute runs the full pipeline of Figure 4 for req and returns the
+// response to deliver to the client together with an execution trace.
+func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, error) {
+	start := time.Now()
+	trace := &Trace{}
+	site := req.SiteKey()
+
+	// Admission control by the resource manager: throttled sites see a
+	// server-busy error before any processing happens (requests are dropped
+	// early, before resources have been expended).
+	if e.Resources != nil && !e.Resources.Admit(site) {
+		trace.RejectedBusy = true
+		trace.Elapsed = time.Since(start)
+		return httpmsg.NewTextResponse(http.StatusServiceUnavailable, "server busy\n"), trace, nil
+	}
+
+	// Register the pipeline with the resource manager so it can be
+	// terminated if the site causes persistent congestion.
+	var terminated bool
+	var pipelineIDs []int64
+	registerCtx := func(ctx *script.Context) {
+		if e.Resources == nil || ctx == nil {
+			return
+		}
+		id := e.Resources.RegisterPipeline(site, ctx.Terminate)
+		pipelineIDs = append(pipelineIDs, id)
+	}
+	defer func() {
+		if e.Resources != nil {
+			for _, id := range pipelineIDs {
+				e.Resources.UnregisterPipeline(site, id)
+			}
+		}
+	}()
+
+	maxStages := e.MaxStages
+	if maxStages <= 0 {
+		maxStages = DefaultMaxStages
+	}
+
+	// forward is the stack of stage script URLs still to run; the top of the
+	// stack is the end of the slice.
+	forward := []string{
+		e.serverWallURL(),
+		e.siteScriptURL(req),
+		e.clientWallURL(),
+	}
+	type executedStage struct {
+		stage  *Stage
+		pol    *policy.Policy
+		script string
+	}
+	var backward []executedStage
+	var response *httpmsg.Response
+	stagesRun := 0
+
+	for len(forward) > 0 && stagesRun < maxStages {
+		scriptURL := forward[len(forward)-1]
+		forward = forward[:len(forward)-1]
+		stagesRun++
+
+		st := StageTrace{ScriptURL: scriptURL}
+		stage, err := e.Loader.Load(scriptURL, site)
+		if err != nil {
+			st.Err = err.Error()
+		}
+		pol := stage.Match(e.policyInput(req))
+		if pol != nil {
+			st.Matched = true
+			st.PolicySrc = pol.Source
+		}
+		backward = append(backward, executedStage{stage: stage, pol: pol, script: scriptURL})
+
+		if pol != nil && pol.OnRequest != nil {
+			st.RanRequest = true
+			resp, err := e.runOnRequest(stage, pol, req)
+			if err != nil {
+				if errors.Is(err, script.ErrTerminated) || errors.Is(err, script.ErrStepLimit) || errors.Is(err, script.ErrMemoryLimit) {
+					terminated = true
+					st.Err = err.Error()
+					trace.Stages = append(trace.Stages, st)
+					break
+				}
+				st.Err = err.Error()
+			}
+			if resp != nil {
+				// Handler created a response: reverse direction.
+				response = resp
+				trace.Generated = true
+				trace.Stages = append(trace.Stages, st)
+				registerCtx(stage.ctx)
+				break
+			}
+		}
+		if pol != nil && len(pol.NextStages) > 0 {
+			// Dynamically scheduled stages run directly after this stage but
+			// before already scheduled ones: push them so that
+			// NextStages[0] pops first.
+			for i := len(pol.NextStages) - 1; i >= 0; i-- {
+				forward = append(forward, pol.NextStages[i])
+			}
+		}
+		trace.Stages = append(trace.Stages, st)
+		if stage.ctx != nil {
+			registerCtx(stage.ctx)
+		}
+	}
+
+	if terminated {
+		trace.Terminated = true
+		trace.Elapsed = time.Since(start)
+		e.charge(site, req, nil, trace)
+		return httpmsg.NewTextResponse(http.StatusServiceUnavailable, "pipeline terminated\n"), trace, nil
+	}
+
+	// Fetch the original resource when no handler generated a response.
+	if response == nil {
+		if e.FetchOrigin == nil {
+			return nil, trace, fmt.Errorf("pipeline: no origin fetcher configured")
+		}
+		resp, err := e.FetchOrigin(req)
+		if err != nil {
+			resp = httpmsg.NewTextResponse(http.StatusBadGateway, "origin fetch failed: "+err.Error()+"\n")
+		}
+		response = resp
+		trace.FromCache = resp.FromCache
+	}
+
+	// Unwind: run onResponse handlers in reverse order of stage execution.
+	for i := len(backward) - 1; i >= 0; i-- {
+		ex := backward[i]
+		if ex.pol == nil || ex.pol.OnResponse == nil {
+			continue
+		}
+		for j := range trace.Stages {
+			if trace.Stages[j].ScriptURL == ex.script {
+				trace.Stages[j].RanResponse = true
+			}
+		}
+		if err := e.runOnResponse(ex.stage, ex.pol, req, response); err != nil {
+			if errors.Is(err, script.ErrTerminated) || errors.Is(err, script.ErrStepLimit) || errors.Is(err, script.ErrMemoryLimit) {
+				trace.Terminated = true
+				trace.Elapsed = time.Since(start)
+				e.charge(site, req, nil, trace)
+				return httpmsg.NewTextResponse(http.StatusServiceUnavailable, "pipeline terminated\n"), trace, nil
+			}
+			for j := range trace.Stages {
+				if trace.Stages[j].ScriptURL == ex.script && trace.Stages[j].Err == "" {
+					trace.Stages[j].Err = err.Error()
+				}
+			}
+		}
+	}
+
+	trace.Elapsed = time.Since(start)
+	e.charge(site, req, response, trace)
+	return response, trace, nil
+}
+
+// runOnRequest executes a policy's onRequest handler against req and returns
+// the response it produced, if any.
+func (e *Executor) runOnRequest(stage *Stage, pol *policy.Policy, req *httpmsg.Request) (*httpmsg.Response, error) {
+	var produced *httpmsg.Response
+	err := stage.WithContext(func(ctx *script.Context) error {
+		vocab.BindRequest(ctx, req)
+		// Bind a fresh response the handler may choose to fill from scratch.
+		generated := vocab.NewGeneratedResponse()
+		vocab.BindResponse(ctx, generated)
+		beforeSteps, beforeHeap := ctx.Steps(), ctx.HeapBytes()
+		ret, err := ctx.Call(pol.OnRequest, script.Undefined{})
+		e.chargeSteps(stage.Site, ctx.Steps()-beforeSteps, ctx.HeapBytes()-beforeHeap)
+		if err != nil {
+			return err
+		}
+		// A handler creates a response by terminating the request, by
+		// writing to the bound Response, or by returning a response-shaped
+		// object.
+		if t := req.Terminated(); t != nil {
+			produced = t
+			req.ClearTermination()
+			return nil
+		}
+		if generated.Generated {
+			produced = generated
+			return nil
+		}
+		if obj, ok := ret.(*script.Object); ok {
+			if resp := scriptObjectToResponse(obj); resp != nil {
+				produced = resp
+			}
+		}
+		return nil
+	})
+	return produced, err
+}
+
+// runOnResponse executes a policy's onResponse handler against resp.
+func (e *Executor) runOnResponse(stage *Stage, pol *policy.Policy, req *httpmsg.Request, resp *httpmsg.Response) error {
+	return stage.WithContext(func(ctx *script.Context) error {
+		vocab.BindRequest(ctx, req)
+		vocab.BindResponse(ctx, resp)
+		beforeSteps, beforeHeap := ctx.Steps(), ctx.HeapBytes()
+		_, err := ctx.Call(pol.OnResponse, script.Undefined{})
+		e.chargeSteps(stage.Site, ctx.Steps()-beforeSteps, ctx.HeapBytes()-beforeHeap)
+		return err
+	})
+}
+
+// chargeSteps reports the CPU and memory consumed by one handler execution
+// (deltas over the reused context's counters) to the resource manager.
+func (e *Executor) chargeSteps(site string, steps, heapBytes int64) {
+	if e.Resources == nil {
+		return
+	}
+	if steps > 0 {
+		e.Resources.Charge(site, resource.CPU, float64(steps))
+	}
+	if heapBytes > 0 {
+		e.Resources.Charge(site, resource.Memory, float64(heapBytes))
+	}
+}
+
+// charge records per-request bandwidth, bytes transferred, and running time.
+func (e *Executor) charge(site string, req *httpmsg.Request, resp *httpmsg.Response, trace *Trace) {
+	if e.Resources == nil {
+		return
+	}
+	bytes := float64(len(req.Body))
+	if resp != nil {
+		bytes += float64(len(resp.Body))
+	}
+	if bytes > 0 {
+		e.Resources.Charge(site, resource.Bandwidth, bytes)
+		e.Resources.Charge(site, resource.BytesTransferred, bytes)
+	}
+	e.Resources.Charge(site, resource.RunningTime, trace.Elapsed.Seconds())
+}
+
+// policyInput converts the request into the predicate evaluation input.
+func (e *Executor) policyInput(req *httpmsg.Request) policy.Input {
+	in := policy.Input{
+		Host:     req.Host(),
+		Port:     req.URL.Port(),
+		Path:     req.Path(),
+		ClientIP: req.ClientIP,
+		Method:   req.Method,
+		Header:   req.Header,
+	}
+	if h := req.Header.Get("X-Na-Kika-Client-Host"); h != "" {
+		in.ClientHost = h
+	} else if e.ClientHostLookup != nil {
+		in.ClientHost = e.ClientHostLookup(req.ClientIP)
+	}
+	return in
+}
+
+func (e *Executor) clientWallURL() string {
+	if e.ClientWallURL != "" {
+		return e.ClientWallURL
+	}
+	return DefaultClientWallURL
+}
+
+func (e *Executor) serverWallURL() string {
+	if e.ServerWallURL != "" {
+		return e.ServerWallURL
+	}
+	return DefaultServerWallURL
+}
+
+// siteScriptURL returns the nakika.js location for the request's site,
+// accessed relative to the server's domain (comparable to robots.txt).
+func (e *Executor) siteScriptURL(req *httpmsg.Request) string {
+	host := req.URL.Host
+	scheme := req.URL.Scheme
+	if scheme == "" {
+		scheme = "http"
+	}
+	return scheme + "://" + host + "/" + SiteScriptName
+}
+
+// scriptObjectToResponse converts a { status, headers, body } object returned
+// by an onRequest handler into a response; it returns nil when the object
+// does not look like a response.
+func scriptObjectToResponse(obj *script.Object) *httpmsg.Response {
+	statusVal, hasStatus := obj.Get("status")
+	bodyVal, hasBody := obj.Get("body")
+	if !hasStatus && !hasBody {
+		return nil
+	}
+	status := 200
+	if hasStatus {
+		status = script.ToInt(statusVal)
+	}
+	if status < 100 || status > 599 {
+		return nil
+	}
+	resp := httpmsg.NewResponse(status)
+	resp.Generated = true
+	resp.Header.Set("Content-Type", "text/html; charset=utf-8")
+	if hv, ok := obj.Get("headers"); ok {
+		if ho, ok := hv.(*script.Object); ok {
+			for _, k := range ho.Keys() {
+				v, _ := ho.Get(k)
+				resp.Header.Set(k, script.ToString(v))
+			}
+		}
+	}
+	if hasBody {
+		switch b := bodyVal.(type) {
+		case *script.ByteArray:
+			resp.SetBody(append([]byte(nil), b.Data...))
+		default:
+			if !script.IsNullish(b) {
+				resp.SetBodyString(script.ToString(b))
+			}
+		}
+	}
+	return resp
+}
+
+// SiteOf extracts the site (host without port) from a script URL; used by
+// callers that need to attribute dynamically scheduled stages to their
+// hosting site.
+func SiteOf(scriptURL string) string {
+	u := scriptURL
+	u = strings.TrimPrefix(u, "http://")
+	u = strings.TrimPrefix(u, "https://")
+	if i := strings.IndexAny(u, "/:"); i >= 0 {
+		u = u[:i]
+	}
+	return strings.ToLower(u)
+}

@@ -1,0 +1,196 @@
+// Package pipeline implements Na Kika's scripting pipeline: the Figure 4
+// EXECUTE-PIPELINE algorithm that interleaves stage scheduling with
+// onRequest event-handler execution, fetches the original resource when no
+// handler created a response, and then unwinds the stages' onResponse
+// handlers in reverse order.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"nakika/internal/cache"
+	"nakika/internal/httpmsg"
+	"nakika/internal/policy"
+	"nakika/internal/script"
+	"nakika/internal/vocab"
+)
+
+// Stage is a loaded pipeline stage: the policies registered by one script
+// URL, the decision tree over them, and the reusable scripting context their
+// event handlers execute in. Contexts are reused across event-handler
+// executions (Section 4 of the paper) and protected by a mutex so concurrent
+// pipelines serialize on a stage rather than sharing mutable globals.
+type Stage struct {
+	// URL is the script URL this stage was loaded from.
+	URL string
+	// Site is the site the stage's resource consumption is charged to.
+	Site string
+	// Empty marks a stage whose script does not exist (negative cache), for
+	// example a site without a nakika.js.
+	Empty bool
+
+	mu   sync.Mutex
+	ctx  *script.Context
+	tree *policy.Tree
+}
+
+// Match returns the closest valid policy for the input, or nil.
+func (s *Stage) Match(in policy.Input) *policy.Policy {
+	if s.Empty || s.tree == nil {
+		return nil
+	}
+	return s.tree.Match(in)
+}
+
+// Policies returns the stage's registered policies (diagnostics, tests).
+func (s *Stage) Policies() []*policy.Policy {
+	if s.tree == nil {
+		return nil
+	}
+	return s.tree.Policies()
+}
+
+// Context returns the stage's scripting context. Callers must hold the stage
+// via WithContext for anything that executes script code.
+func (s *Stage) Context() *script.Context { return s.ctx }
+
+// WithContext runs fn while holding the stage's execution lock. The context
+// is reset between executions only when the previous run was terminated.
+func (s *Stage) WithContext(fn func(ctx *script.Context) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx == nil {
+		return fmt.Errorf("pipeline: stage %s has no context", s.URL)
+	}
+	if s.ctx.Terminated() {
+		s.ctx.Reset()
+	}
+	return fn(s.ctx)
+}
+
+// Loader fetches stage scripts through the host (and therefore through the
+// proxy cache), evaluates them, and caches the resulting stages keyed by
+// script URL. This realizes the prototype's caching of decision trees and
+// scripting contexts as well as its negative caching of missing nakika.js
+// resources.
+type Loader struct {
+	// Host provides script fetching and the vocabularies installed into
+	// stage contexts.
+	Host vocab.Host
+	// Limits bounds each stage context.
+	Limits script.Limits
+	// stages caches loaded stages by script URL.
+	stages *cache.Memo[*Stage]
+	// missing caches script URLs known not to exist.
+	missing *cache.Memo[bool]
+}
+
+// NewLoader returns a loader backed by host.
+func NewLoader(host vocab.Host, limits script.Limits) *Loader {
+	return &Loader{
+		Host:    host,
+		Limits:  limits,
+		stages:  cache.NewMemo[*Stage](0, 4096),
+		missing: cache.NewMemo[bool](0, 4096),
+	}
+}
+
+// InvalidateStage drops the cached stage for scriptURL so the next load
+// re-fetches and re-evaluates it; the node calls this when a cached script
+// response expires.
+func (l *Loader) InvalidateStage(scriptURL string) {
+	l.stages.Delete(scriptURL)
+	l.missing.Delete(scriptURL)
+}
+
+// CachedStages returns the number of cached stages (diagnostics).
+func (l *Loader) CachedStages() int { return l.stages.Len() }
+
+// Load returns the stage for scriptURL, charging it to site. Missing scripts
+// (404 or fetch failure) yield an Empty stage that is negatively cached.
+func (l *Loader) Load(scriptURL, site string) (*Stage, error) {
+	if st, ok := l.stages.Get(scriptURL); ok {
+		return st, nil
+	}
+	if miss, ok := l.missing.Get(scriptURL); ok && miss {
+		return &Stage{URL: scriptURL, Site: site, Empty: true}, nil
+	}
+	req, err := httpmsg.NewRequest("GET", scriptURL)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage url %q: %w", scriptURL, err)
+	}
+	resp, err := l.Host.Fetch(req)
+	if err != nil || resp == nil || resp.Status != 200 {
+		l.missing.Put(scriptURL, true)
+		return &Stage{URL: scriptURL, Site: site, Empty: true}, nil
+	}
+	st, err := l.compile(scriptURL, site, string(resp.Body))
+	if err != nil {
+		// A script that fails to parse or evaluate contributes no policies;
+		// it must not take the node down. The error is reported so the trace
+		// can surface it.
+		l.missing.Put(scriptURL, true)
+		return &Stage{URL: scriptURL, Site: site, Empty: true}, err
+	}
+	l.stages.Put(scriptURL, st)
+	return st, nil
+}
+
+// LoadSource compiles a stage directly from source text; used by tests, by
+// Na Kika Pages, and by extensions that generate stage code dynamically (the
+// blacklist extension in Section 5.4).
+func (l *Loader) LoadSource(scriptURL, site, source string) (*Stage, error) {
+	st, err := l.compile(scriptURL, site, source)
+	if err != nil {
+		return nil, err
+	}
+	l.stages.Put(scriptURL, st)
+	return st, nil
+}
+
+func (l *Loader) compile(scriptURL, site, source string) (*Stage, error) {
+	ctx := script.NewContext(l.Limits)
+	reg := &vocab.Registry{}
+	vocab.InstallPolicyConstructor(ctx, reg)
+	vocab.Install(ctx, l.Host, site)
+	// Stage scripts run without a bound Request/Response: registration-time
+	// code only declares policies. Handlers run later with bindings.
+	if _, err := ctx.RunSource(source, scriptURL); err != nil {
+		return nil, fmt.Errorf("pipeline: evaluate %s: %w", scriptURL, err)
+	}
+	policies := make([]*policy.Policy, 0, len(reg.Objects)+2)
+	for _, obj := range reg.Objects {
+		p, err := policy.FromScriptObject(obj, scriptURL)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: policy in %s: %w", scriptURL, err)
+		}
+		policies = append(policies, p)
+	}
+	// Top-level onRequest/onResponse assignments (without a policy object)
+	// form an implicit catch-all policy, which is how the simplest scripts
+	// in the paper are written (Figure 2).
+	implicit := &policy.Policy{Source: scriptURL}
+	if v, ok := ctx.Global("onRequest"); ok && script.Callable(v) {
+		implicit.OnRequest = v
+	}
+	if v, ok := ctx.Global("onResponse"); ok && script.Callable(v) {
+		implicit.OnResponse = v
+	}
+	if v, ok := ctx.Global("nextStages"); ok {
+		if arr, isArr := v.(*script.Array); isArr {
+			for _, e := range arr.Elems {
+				implicit.NextStages = append(implicit.NextStages, script.ToString(e))
+			}
+		}
+	}
+	if implicit.HasHandlers() {
+		policies = append(policies, implicit)
+	}
+	return &Stage{
+		URL:  scriptURL,
+		Site: site,
+		ctx:  ctx,
+		tree: policy.NewTree(policies),
+	}, nil
+}

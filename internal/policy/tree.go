@@ -1,0 +1,164 @@
+package policy
+
+import "strings"
+
+// Tree is the decision-tree matcher from Section 4 of the paper. While
+// loading a script and registering policy objects, the matcher builds a
+// decision tree for that pipeline stage, with nodes representing choices.
+// Starting from the root, nodes represent the components of the resource
+// URL's server name (from the registrable suffix inward), then the path
+// components. Policies whose URL property is empty are attached to the root.
+// Dynamic predicate evaluation is a walk down the tree following the request
+// host and path, collecting candidate policies from every node along the
+// way (deeper nodes are more specific), then resolving the closest valid
+// match among the candidates using the full predicate evaluation (client,
+// method, headers).
+//
+// The tree trades space for evaluation time: a request whose host shares no
+// suffix with any registered policy terminates at the root after inspecting
+// a handful of map entries, regardless of how many policies are registered,
+// whereas the linear Set matcher evaluates every policy. The Pred-n
+// micro-benchmark (Table 2) exercises exactly this difference.
+type Tree struct {
+	root *treeNode
+	// all retains every policy (used by Policies and for stats).
+	all []*Policy
+}
+
+type treeNode struct {
+	// children maps the next host label (walking the host right to left) or
+	// path segment (walking left to right) to the child node.
+	hostChildren map[string]*treeNode
+	pathChildren map[string]*treeNode
+	// policies attached at this node: their URL patterns end here.
+	policies []*Policy
+}
+
+func newTreeNode() *treeNode {
+	return &treeNode{
+		hostChildren: make(map[string]*treeNode),
+		pathChildren: make(map[string]*treeNode),
+	}
+}
+
+// NewTree builds a decision tree over the given policies.
+func NewTree(policies []*Policy) *Tree {
+	t := &Tree{root: newTreeNode()}
+	for _, p := range policies {
+		t.Add(p)
+	}
+	return t
+}
+
+// Add inserts a policy into the tree. A policy with n URL patterns is added
+// along n paths, as described in the paper ("if a property contains multiple
+// values, nodes are added along multiple paths").
+func (t *Tree) Add(p *Policy) {
+	t.all = append(t.all, p)
+	if len(p.URLs) == 0 {
+		t.root.policies = append(t.root.policies, p)
+		return
+	}
+	for _, pattern := range p.URLs {
+		host, path := splitURLPattern(pattern)
+		node := t.root
+		// Host labels are inserted from the rightmost label inward so that
+		// suffix patterns ("nyu.edu") sit on the prefix of more specific
+		// patterns ("med.nyu.edu").
+		labels := splitHostLabels(host)
+		for i := len(labels) - 1; i >= 0; i-- {
+			child, ok := node.hostChildren[labels[i]]
+			if !ok {
+				child = newTreeNode()
+				node.hostChildren[labels[i]] = child
+			}
+			node = child
+		}
+		for _, seg := range splitSegments(path) {
+			child, ok := node.pathChildren[seg]
+			if !ok {
+				child = newTreeNode()
+				node.pathChildren[seg] = child
+			}
+			node = child
+		}
+		node.policies = append(node.policies, p)
+	}
+}
+
+// Len returns the number of policies in the tree.
+func (t *Tree) Len() int { return len(t.all) }
+
+// Policies returns all registered policies in registration order.
+func (t *Tree) Policies() []*Policy { return t.all }
+
+// Match walks the tree for the request's host and path, gathers candidate
+// policies, and returns the closest valid match (or nil).
+func (t *Tree) Match(in Input) *Policy {
+	candidates := t.candidates(in.Host, in.Path)
+	var best *Policy
+	var bestScore Score
+	for _, p := range candidates {
+		score, ok := p.Match(in)
+		if !ok {
+			continue
+		}
+		if best == nil || !score.Less(bestScore) {
+			best = p
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// candidates collects the policies attached to every node along the
+// host/path walk. Policies at deeper nodes have more specific URL patterns,
+// but the final specificity comparison is delegated to Policy.Match so the
+// tree and linear matchers agree exactly.
+func (t *Tree) candidates(host, path string) []*Policy {
+	out := append([]*Policy(nil), t.root.policies...)
+	labels := splitHostLabels(strings.ToLower(host))
+	node := t.root
+	// Walk host labels right to left; stop at the first missing edge.
+	i := len(labels) - 1
+	for ; i >= 0; i-- {
+		child, ok := node.hostChildren[labels[i]]
+		if !ok {
+			break
+		}
+		node = child
+		out = append(out, node.policies...)
+	}
+	// Path segments only matter below the host node we stopped at.
+	for _, seg := range splitSegments(path) {
+		child, ok := node.pathChildren[seg]
+		if !ok {
+			break
+		}
+		node = child
+		out = append(out, node.policies...)
+	}
+	return out
+}
+
+func splitURLPattern(pattern string) (host, path string) {
+	pattern = strings.TrimSpace(strings.ToLower(pattern))
+	pattern = strings.TrimPrefix(pattern, "http://")
+	pattern = strings.TrimPrefix(pattern, "https://")
+	host, path = pattern, ""
+	if i := strings.Index(pattern, "/"); i >= 0 {
+		host, path = pattern[:i], pattern[i:]
+	}
+	if i := strings.Index(host, ":"); i >= 0 {
+		host = host[:i]
+	}
+	return host, path
+}
+
+func splitHostLabels(host string) []string {
+	host = strings.TrimSuffix(host, ".")
+	if host == "" {
+		return nil
+	}
+	return strings.Split(host, ".")
+}

@@ -1,0 +1,297 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// SyntaxError describes a lexing or parsing failure with source position.
+type SyntaxError struct {
+	Msg  string
+	Line int
+	Col  int
+	File string
+}
+
+func (e *SyntaxError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer turns NKScript source text into a token stream.
+type Lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src. The file name is used in error messages
+// only.
+func NewLexer(src, file string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (l *Lexer) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Msg: fmt.Sprintf(format, args...), Line: l.line, Col: l.col, File: l.file}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace, line comments, and block
+// comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || unicode.IsDigit(rune(c))
+}
+
+// multi-character punctuators, longest first.
+var punctuators = []string{
+	"===", "!==", ">>>", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "=>", "<<", ">>",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]", "&", "|", "^", "~",
+}
+
+// Next returns the next token in the stream, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Type = TokenEOF
+		return tok, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		tok.Literal = l.src[start:l.pos]
+		if isKeyword(tok.Literal) {
+			tok.Type = TokenKeyword
+		} else {
+			tok.Type = TokenIdent
+		}
+		return tok, nil
+
+	case unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.peekAt(1)))):
+		return l.lexNumber()
+
+	case c == '"' || c == '\'':
+		return l.lexString(c)
+	}
+
+	// Punctuators.
+	for _, p := range punctuators {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			for range p {
+				l.advance()
+			}
+			tok.Type = TokenPunct
+			tok.Literal = p
+			return tok, nil
+		}
+	}
+	return Token{}, l.errorf("unexpected character %q", string(c))
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	tok := Token{Type: TokenNumber, Line: l.line, Col: l.col}
+	start := l.pos
+	// Hex literal.
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		v, err := strconv.ParseUint(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			return Token{}, l.errorf("invalid hex literal %q", l.src[start:l.pos])
+		}
+		tok.Num = float64(v)
+		tok.Literal = l.src[start:l.pos]
+		return tok, nil
+	}
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		l.advance()
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			l.advance()
+		}
+	}
+	lit := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return Token{}, l.errorf("invalid number literal %q", lit)
+	}
+	tok.Num = v
+	tok.Literal = lit
+	return tok, nil
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *Lexer) lexString(quote byte) (Token, error) {
+	tok := Token{Type: TokenString, Line: l.line, Col: l.col}
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, l.errorf("unterminated string literal")
+		}
+		c := l.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return Token{}, l.errorf("newline in string literal")
+		}
+		if c == '\\' {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf("unterminated escape sequence")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '0':
+				sb.WriteByte(0)
+			case 'b':
+				sb.WriteByte('\b')
+			case 'f':
+				sb.WriteByte('\f')
+			case 'v':
+				sb.WriteByte('\v')
+			case '\\', '\'', '"', '/':
+				sb.WriteByte(e)
+			case 'x':
+				if l.pos+1 >= len(l.src) || !isHexDigit(l.peek()) || !isHexDigit(l.peekAt(1)) {
+					return Token{}, l.errorf("invalid \\x escape")
+				}
+				h := string(l.advance()) + string(l.advance())
+				v, _ := strconv.ParseUint(h, 16, 8)
+				sb.WriteByte(byte(v))
+			case 'u':
+				if l.pos+3 >= len(l.src) {
+					return Token{}, l.errorf("invalid \\u escape")
+				}
+				h := string(l.advance()) + string(l.advance()) + string(l.advance()) + string(l.advance())
+				v, err := strconv.ParseUint(h, 16, 32)
+				if err != nil {
+					return Token{}, l.errorf("invalid \\u escape %q", h)
+				}
+				sb.WriteRune(rune(v))
+			default:
+				return Token{}, l.errorf("unknown escape sequence \\%c", e)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	tok.Literal = sb.String()
+	return tok, nil
+}
+
+// Tokenize lexes an entire source string; it is a convenience used by tests
+// and by the Na Kika Pages translator.
+func Tokenize(src, file string) ([]Token, error) {
+	l := NewLexer(src, file)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Type == TokenEOF {
+			return toks, nil
+		}
+	}
+}

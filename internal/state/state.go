@@ -1,0 +1,458 @@
+// Package state implements Na Kika's hard state support (Section 3.3):
+// per-site edge-side access logs and replicated application state.
+//
+// Replication follows Gao et al.'s distributed-object approach as adopted by
+// the paper: a local store plus a reliable messaging service, with the
+// actual replication strategy implemented by regular scripts. The Go layer
+// provides the two substrates — Store (local storage with per-site
+// partitioning and storage quotas) and Bus (a reliable, in-order message
+// bus connecting the nodes' update channels) — plus the AccessLog that
+// batches log entries and posts them to producer-specified URLs.
+package state
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExceeded is returned when a site's persistent storage quota would
+// be exceeded by a put.
+var ErrQuotaExceeded = fmt.Errorf("state: site storage quota exceeded")
+
+// Store is a per-node key-value store partitioned by site, with per-site
+// byte quotas enforcing the paper's resource constraints on persistent
+// storage.
+type Store struct {
+	mu    sync.Mutex
+	data  map[string]map[string]string // site -> key -> value
+	bytes map[string]int64             // site -> bytes used
+	quota int64                        // per-site quota; zero means 16 MiB
+}
+
+// NewStore returns a store with the given per-site quota in bytes (zero
+// means 16 MiB).
+func NewStore(perSiteQuota int64) *Store {
+	if perSiteQuota <= 0 {
+		perSiteQuota = 16 << 20
+	}
+	return &Store{
+		data:  make(map[string]map[string]string),
+		bytes: make(map[string]int64),
+		quota: perSiteQuota,
+	}
+}
+
+// Get returns the value for key in site's partition.
+func (s *Store) Get(site, key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	part, ok := s.data[site]
+	if !ok {
+		return "", false
+	}
+	v, ok := part[key]
+	return v, ok
+}
+
+// Put stores value under key in site's partition, enforcing the quota.
+func (s *Store) Put(site, key, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	part, ok := s.data[site]
+	if !ok {
+		part = make(map[string]string)
+		s.data[site] = part
+	}
+	delta := int64(len(key) + len(value))
+	if old, exists := part[key]; exists {
+		delta -= int64(len(key) + len(old))
+	}
+	if s.bytes[site]+delta > s.quota {
+		return ErrQuotaExceeded
+	}
+	part[key] = value
+	s.bytes[site] += delta
+	return nil
+}
+
+// Delete removes key from site's partition.
+func (s *Store) Delete(site, key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	part, ok := s.data[site]
+	if !ok {
+		return
+	}
+	if old, exists := part[key]; exists {
+		s.bytes[site] -= int64(len(key) + len(old))
+		delete(part, key)
+	}
+}
+
+// Keys returns the keys in site's partition, sorted.
+func (s *Store) Keys(site string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	part := s.data[site]
+	out := make([]string, 0, len(part))
+	for k := range part {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bytes returns the storage consumed by site.
+func (s *Store) Bytes(site string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes[site]
+}
+
+// ---------------------------------------------------------------------------
+// Reliable message bus
+// ---------------------------------------------------------------------------
+
+// Message is a replication update published by a node for a site.
+type Message struct {
+	Site    string
+	Origin  string // originating node name
+	Payload string
+	Seq     int64
+	Sent    time.Time
+}
+
+// Handler consumes replication messages delivered to a subscriber.
+type Handler func(msg Message)
+
+// Bus is an in-process reliable messaging service (the JORAM substitute):
+// messages published for a site are delivered, in publication order, to
+// every subscribed node except the originator. Delivery is synchronous by
+// default; SetAsync switches to buffered asynchronous delivery, in which
+// case Flush waits for the queue to drain.
+type Bus struct {
+	mu          sync.Mutex
+	subscribers map[string]map[string]Handler // site -> node name -> handler
+	seq         int64
+	delivered   int64
+	async       bool
+	queue       chan Message
+	wg          sync.WaitGroup
+	closed      bool
+}
+
+// NewBus returns a synchronous bus.
+func NewBus() *Bus {
+	return &Bus{subscribers: make(map[string]map[string]Handler)}
+}
+
+// SetAsync switches the bus to asynchronous delivery with the given queue
+// depth. Must be called before any Publish.
+func (b *Bus) SetAsync(depth int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.async {
+		return
+	}
+	if depth <= 0 {
+		depth = 1024
+	}
+	b.async = true
+	b.queue = make(chan Message, depth)
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for msg := range b.queue {
+			b.deliver(msg)
+		}
+	}()
+}
+
+// Subscribe registers node's handler for site's replication messages.
+func (b *Bus) Subscribe(site, node string, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.subscribers[site] == nil {
+		b.subscribers[site] = make(map[string]Handler)
+	}
+	b.subscribers[site][node] = h
+}
+
+// Unsubscribe removes node's handler for site.
+func (b *Bus) Unsubscribe(site, node string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if subs, ok := b.subscribers[site]; ok {
+		delete(subs, node)
+	}
+}
+
+// Publish sends a replication message from origin for site. It returns the
+// message's sequence number.
+func (b *Bus) Publish(site, origin, payload string) int64 {
+	b.mu.Lock()
+	b.seq++
+	msg := Message{Site: site, Origin: origin, Payload: payload, Seq: b.seq, Sent: time.Now()}
+	async := b.async
+	queue := b.queue
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return msg.Seq
+	}
+	if async {
+		queue <- msg
+	} else {
+		b.deliver(msg)
+	}
+	return msg.Seq
+}
+
+// deliver invokes every subscriber for the message's site except the
+// originator.
+func (b *Bus) deliver(msg Message) {
+	b.mu.Lock()
+	handlers := make(map[string]Handler)
+	for node, h := range b.subscribers[msg.Site] {
+		if node != msg.Origin {
+			handlers[node] = h
+		}
+	}
+	b.mu.Unlock()
+	// Deterministic delivery order.
+	names := make([]string, 0, len(handlers))
+	for n := range handlers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		handlers[n](msg)
+		b.mu.Lock()
+		b.delivered++
+		b.mu.Unlock()
+	}
+}
+
+// Delivered returns the total number of handler deliveries.
+func (b *Bus) Delivered() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.delivered
+}
+
+// Close shuts down asynchronous delivery and waits for the queue to drain.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	async := b.async
+	b.mu.Unlock()
+	if async {
+		close(b.queue)
+		b.wg.Wait()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Edge-side access logs
+// ---------------------------------------------------------------------------
+
+// LogEntry is one access recorded on behalf of a site.
+type LogEntry struct {
+	Time    time.Time
+	Message string
+}
+
+// Poster delivers a batch of log lines to a site's configured log URL; the
+// node wires its HTTP client in here.
+type Poster func(site, postURL string, lines []string) error
+
+// AccessLog collects per-site log entries and periodically posts them to the
+// URL each site's script configured (Section 3.3: "Periodically, each Na
+// Kika node scans its log, collects all entries for each specific site, and
+// posts those portions of the log to the specified URLs").
+type AccessLog struct {
+	mu      sync.Mutex
+	entries map[string][]LogEntry
+	urls    map[string]string
+	posted  int64
+}
+
+// NewAccessLog returns an empty access log.
+func NewAccessLog() *AccessLog {
+	return &AccessLog{entries: make(map[string][]LogEntry), urls: make(map[string]string)}
+}
+
+// SetPostURL records the URL to which site's log entries should be posted;
+// a site script calls this through the Log vocabulary.
+func (l *AccessLog) SetPostURL(site, url string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.urls[site] = url
+}
+
+// Append records a log entry for site.
+func (l *AccessLog) Append(site, message string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[site] = append(l.entries[site], LogEntry{Time: time.Now(), Message: message})
+}
+
+// Pending returns the number of unposted entries for site.
+func (l *AccessLog) Pending(site string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries[site])
+}
+
+// Posted returns the total number of entries successfully posted.
+func (l *AccessLog) Posted() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.posted
+}
+
+// Flush posts every site's accumulated entries to its configured URL using
+// post. Sites without a configured URL retain their entries. Entries are
+// retained on post failure so the next flush retries them.
+func (l *AccessLog) Flush(post Poster) error {
+	l.mu.Lock()
+	type batch struct {
+		site, url string
+		lines     []string
+		count     int
+	}
+	var batches []batch
+	for site, entries := range l.entries {
+		url, ok := l.urls[site]
+		if !ok || len(entries) == 0 {
+			continue
+		}
+		lines := make([]string, len(entries))
+		for i, e := range entries {
+			lines[i] = e.Time.UTC().Format(time.RFC3339) + " " + e.Message
+		}
+		batches = append(batches, batch{site: site, url: url, lines: lines, count: len(entries)})
+	}
+	l.mu.Unlock()
+
+	var firstErr error
+	for _, bt := range batches {
+		if err := post(bt.site, bt.url, bt.lines); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		l.mu.Lock()
+		// Drop exactly the entries we posted; new entries appended since the
+		// snapshot stay queued.
+		l.entries[bt.site] = l.entries[bt.site][bt.count:]
+		l.posted += int64(bt.count)
+		l.mu.Unlock()
+	}
+	return firstErr
+}
+
+// FormatAccess renders the standard access-log line the node writes for each
+// proxied request.
+func FormatAccess(clientIP, method, url string, status, bytes int, elapsed time.Duration) string {
+	return fmt.Sprintf("%s %s %s %d %d %s", clientIP, method, url, status, bytes, elapsed.Round(time.Millisecond))
+}
+
+// ---------------------------------------------------------------------------
+// Replicated state: store + bus + script-defined strategy
+// ---------------------------------------------------------------------------
+
+// Replica ties a node's local store to the bus for one site, implementing
+// the default optimistic replication strategy (propagate every update to all
+// nodes, last-writer-wins). Sites that need different semantics implement
+// them in their scripts via the State vocabulary's propagate and the
+// onMessage hook; Replica is the building block those scripts run on.
+type Replica struct {
+	Site  string
+	Node  string
+	Store *Store
+	Bus   *Bus
+	// OnMessage, when non-nil, is invoked for every remote update after it
+	// has been applied locally; the node uses it to hand the message to the
+	// site's script.
+	OnMessage func(Message)
+}
+
+// Attach subscribes the replica to the bus.
+func (r *Replica) Attach() {
+	r.Bus.Subscribe(r.Site, r.Node, r.apply)
+}
+
+// Detach unsubscribes the replica.
+func (r *Replica) Detach() {
+	r.Bus.Unsubscribe(r.Site, r.Node)
+}
+
+// Put writes locally and propagates the update to other replicas.
+func (r *Replica) Put(key, value string) error {
+	if err := r.Store.Put(r.Site, key, value); err != nil {
+		return err
+	}
+	r.Bus.Publish(r.Site, r.Node, encodeUpdate("put", key, value))
+	return nil
+}
+
+// Delete removes locally and propagates the removal.
+func (r *Replica) Delete(key string) {
+	r.Store.Delete(r.Site, key)
+	r.Bus.Publish(r.Site, r.Node, encodeUpdate("del", key, ""))
+}
+
+// Get reads from the local replica.
+func (r *Replica) Get(key string) (string, bool) {
+	return r.Store.Get(r.Site, key)
+}
+
+// apply handles a remote update.
+func (r *Replica) apply(msg Message) {
+	op, key, value, ok := decodeUpdate(msg.Payload)
+	if ok {
+		switch op {
+		case "put":
+			// Quota violations on replicated writes are dropped; the
+			// originating replica already accepted the write and the local
+			// node simply cannot hold it.
+			_ = r.Store.Put(r.Site, key, value)
+		case "del":
+			r.Store.Delete(r.Site, key)
+		}
+	}
+	if r.OnMessage != nil {
+		r.OnMessage(msg)
+	}
+}
+
+// encodeUpdate and decodeUpdate use a trivial length-prefixed encoding so
+// keys and values may contain any characters.
+func encodeUpdate(op, key, value string) string {
+	return fmt.Sprintf("%s %d %d %s%s", op, len(key), len(value), key, value)
+}
+
+func decodeUpdate(s string) (op, key, value string, ok bool) {
+	parts := strings.SplitN(s, " ", 4)
+	if len(parts) != 4 {
+		return "", "", "", false
+	}
+	var klen, vlen int
+	if _, err := fmt.Sscanf(parts[1]+" "+parts[2], "%d %d", &klen, &vlen); err != nil {
+		return "", "", "", false
+	}
+	rest := parts[3]
+	if len(rest) < klen+vlen {
+		return "", "", "", false
+	}
+	return parts[0], rest[:klen], rest[klen : klen+vlen], true
+}

@@ -1,0 +1,330 @@
+// Package vocab implements Na Kika's vocabularies: the native-code libraries
+// exposed to scripts as global objects (Section 3.1 of the paper).
+//
+// Vocabularies are the only way for sandboxed scripts to reach beyond pure
+// computation. The set provided here mirrors the paper's list: managing HTTP
+// messages and state, accessing URL components, cookies, and the proxy
+// cache, fetching other web resources, managing hard state, processing
+// regular expressions (via the RegExp builtin in the script package), parsing
+// and transforming XML documents, and transcoding images.
+package vocab
+
+import (
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/script"
+)
+
+// Host is the interface the edge node provides to vocabularies. All methods
+// must be safe for concurrent use; vocabularies never retain references to a
+// Host beyond a single pipeline execution.
+type Host interface {
+	// Fetch retrieves another web resource on behalf of a script (the
+	// server-side administrative control stage interposes on these fetches
+	// at the pipeline level, not here).
+	Fetch(req *httpmsg.Request) (*httpmsg.Response, error)
+	// CacheGet and CachePut give scripts access to the proxy cache, keyed by
+	// arbitrary strings (the image transcoding extension caches transformed
+	// content this way).
+	CacheGet(key string) *httpmsg.Response
+	CachePut(key string, resp *httpmsg.Response)
+	// IsLocalClient reports whether ip belongs to the node's hosting
+	// organization (System.isLocal in Figure 5).
+	IsLocalClient(ip string) bool
+	// Usage returns the owning site's normalized congestion contribution for
+	// the named resource ("cpu", "memory", "bandwidth", "running-time",
+	// "bytes-transferred"); scripts use it to adapt to congestion.
+	Usage(site, resource string) float64
+	// Log records a message in the site's edge-side access log.
+	Log(site, message string)
+	// Hard state operations, partitioned by site.
+	StateGet(site, key string) (string, bool)
+	StatePut(site, key, value string) error
+	StateDelete(site, key string)
+	StateKeys(site string) []string
+	// Propagate sends a replication message to the site's update channel on
+	// other nodes via the reliable messaging layer.
+	Propagate(site, message string) error
+	// NodeName identifies this edge node (diagnostics, Via headers).
+	NodeName() string
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+}
+
+// NopHost is a Host implementation whose operations all succeed trivially;
+// tests and the quickstart example embed it and override what they need.
+type NopHost struct{}
+
+// Fetch returns 502 for every request.
+func (NopHost) Fetch(req *httpmsg.Request) (*httpmsg.Response, error) {
+	return httpmsg.NewTextResponse(502, "no upstream configured"), nil
+}
+
+// CacheGet always misses.
+func (NopHost) CacheGet(key string) *httpmsg.Response { return nil }
+
+// CachePut discards the response.
+func (NopHost) CachePut(key string, resp *httpmsg.Response) {}
+
+// IsLocalClient treats loopback and RFC1918 prefixes as local.
+func (NopHost) IsLocalClient(ip string) bool {
+	return ip == "127.0.0.1" || ip == "::1" ||
+		hasPrefix(ip, "10.") || hasPrefix(ip, "192.168.")
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// Usage reports zero consumption.
+func (NopHost) Usage(site, resource string) float64 { return 0 }
+
+// Log discards the message.
+func (NopHost) Log(site, message string) {}
+
+// StateGet always misses.
+func (NopHost) StateGet(site, key string) (string, bool) { return "", false }
+
+// StatePut discards the value.
+func (NopHost) StatePut(site, key, value string) error { return nil }
+
+// StateDelete is a no-op.
+func (NopHost) StateDelete(site, key string) {}
+
+// StateKeys returns nothing.
+func (NopHost) StateKeys(site string) []string { return nil }
+
+// Propagate discards the message.
+func (NopHost) Propagate(site, message string) error { return nil }
+
+// NodeName returns a placeholder name.
+func (NopHost) NodeName() string { return "nop-node" }
+
+// Now returns the wall-clock time.
+func (NopHost) Now() time.Time { return time.Now() }
+
+// Registry collects the policy objects a stage script registers while it is
+// being evaluated (the register() call on script-level Policy objects).
+type Registry struct {
+	Objects []*script.Object
+}
+
+// InstallPolicyConstructor defines the Policy constructor in ctx. Policies
+// created with new Policy() gain a register() method that appends the object
+// to reg.
+func InstallPolicyConstructor(ctx *script.Context, reg *Registry) {
+	ctx.DefineGlobal("Policy", &script.Native{
+		Name: "Policy",
+		Construct: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+			obj := script.NewObject()
+			obj.ClassName = "Policy"
+			obj.Set("register", &script.Native{Name: "Policy.register", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+				o, ok := this.(*script.Object)
+				if !ok {
+					return nil, script.ThrowString("Policy.register: receiver is not a policy object")
+				}
+				reg.Objects = append(reg.Objects, o)
+				return script.Undefined{}, nil
+			}})
+			return obj, nil
+		},
+		Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+			return nil, script.ThrowString("Policy must be invoked with new")
+		},
+	})
+}
+
+// Install binds every host-backed vocabulary (System, Cache, Fetch, State,
+// Log) into ctx for a pipeline execution owned by site. The Request and
+// Response vocabularies are bound separately per message by BindRequest and
+// BindResponse since they change as the pipeline progresses.
+func Install(ctx *script.Context, host Host, site string) {
+	installSystem(ctx, host, site)
+	installCacheVocabulary(ctx, host)
+	installFetch(ctx, host)
+	installState(ctx, host, site)
+	installLog(ctx, host, site)
+	installImageTransformer(ctx)
+	installXML(ctx)
+}
+
+func installSystem(ctx *script.Context, host Host, site string) {
+	sys := script.NewObject()
+	sys.ClassName = "System"
+	sys.Set("nodeName", script.Str(host.NodeName()))
+	sys.Set("isLocal", &script.Native{Name: "System.isLocal", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.Boolean(false), nil
+		}
+		return script.Boolean(host.IsLocalClient(script.ToString(args[0]))), nil
+	}})
+	sys.Set("time", &script.Native{Name: "System.time", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		return script.Num(float64(host.Now().UnixMilli())), nil
+	}})
+	sys.Set("usage", &script.Native{Name: "System.usage", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		resource := "cpu"
+		if len(args) > 0 {
+			resource = script.ToString(args[0])
+		}
+		return script.Num(host.Usage(site, resource)), nil
+	}})
+	sys.Set("log", &script.Native{Name: "System.log", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) > 0 {
+			host.Log(site, script.ToString(args[0]))
+		}
+		return script.Undefined{}, nil
+	}})
+	ctx.DefineGlobal("System", sys)
+}
+
+func installCacheVocabulary(ctx *script.Context, host Host) {
+	cacheObj := script.NewObject()
+	cacheObj.ClassName = "Cache"
+	cacheObj.Set("get", &script.Native{Name: "Cache.get", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.NullValue(), nil
+		}
+		resp := host.CacheGet(script.ToString(args[0]))
+		if resp == nil {
+			return script.NullValue(), nil
+		}
+		return responseToScript(resp), nil
+	}})
+	cacheObj.Set("put", &script.Native{Name: "Cache.put", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 2 {
+			return script.Boolean(false), nil
+		}
+		key := script.ToString(args[0])
+		resp := httpmsg.NewResponse(200)
+		switch body := args[1].(type) {
+		case *script.ByteArray:
+			resp.SetBody(append([]byte(nil), body.Data...))
+		default:
+			resp.SetBodyString(script.ToString(body))
+		}
+		resp.Header.Set("Content-Type", "application/octet-stream")
+		ttl := 60
+		if len(args) > 2 {
+			ttl = script.ToInt(args[2])
+		}
+		if len(args) > 3 {
+			resp.Header.Set("Content-Type", script.ToString(args[3]))
+		}
+		resp.SetMaxAge(ttl)
+		host.CachePut(key, resp)
+		return script.Boolean(true), nil
+	}})
+	ctx.DefineGlobal("Cache", cacheObj)
+}
+
+func installFetch(ctx *script.Context, host Host) {
+	fetch := &script.Native{Name: "Fetch.get", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return nil, script.ThrowString("Fetch.get: missing URL")
+		}
+		method := "GET"
+		if len(args) > 1 {
+			method = script.ToString(args[1])
+		}
+		req, err := httpmsg.NewRequest(method, script.ToString(args[0]))
+		if err != nil {
+			return nil, script.ThrowString("Fetch.get: " + err.Error())
+		}
+		if len(args) > 2 {
+			switch body := args[2].(type) {
+			case *script.ByteArray:
+				req.Body = append([]byte(nil), body.Data...)
+			default:
+				if !script.IsNullish(body) {
+					req.Body = []byte(script.ToString(body))
+				}
+			}
+		}
+		resp, err := host.Fetch(req)
+		if err != nil {
+			return nil, script.ThrowString("Fetch.get: " + err.Error())
+		}
+		return responseToScript(resp), nil
+	}}
+	fetchObj := script.NewObject()
+	fetchObj.ClassName = "Fetch"
+	fetchObj.Set("get", fetch)
+	ctx.DefineGlobal("Fetch", fetchObj)
+	// The bare function form matches the paper's "fetching other web
+	// resources" vocabulary usage.
+	ctx.DefineGlobal("fetch", fetch)
+}
+
+func installState(ctx *script.Context, host Host, site string) {
+	state := script.NewObject()
+	state.ClassName = "State"
+	state.Set("get", &script.Native{Name: "State.get", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.NullValue(), nil
+		}
+		v, ok := host.StateGet(site, script.ToString(args[0]))
+		if !ok {
+			return script.NullValue(), nil
+		}
+		return script.Str(v), nil
+	}})
+	state.Set("put", &script.Native{Name: "State.put", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 2 {
+			return script.Boolean(false), nil
+		}
+		if err := host.StatePut(site, script.ToString(args[0]), script.ToString(args[1])); err != nil {
+			return nil, script.ThrowString("State.put: " + err.Error())
+		}
+		return script.Boolean(true), nil
+	}})
+	state.Set("remove", &script.Native{Name: "State.remove", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) > 0 {
+			host.StateDelete(site, script.ToString(args[0]))
+		}
+		return script.Undefined{}, nil
+	}})
+	state.Set("keys", &script.Native{Name: "State.keys", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		arr := script.NewArray()
+		for _, k := range host.StateKeys(site) {
+			arr.Elems = append(arr.Elems, script.Str(k))
+		}
+		return arr, nil
+	}})
+	state.Set("propagate", &script.Native{Name: "State.propagate", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.Boolean(false), nil
+		}
+		if err := host.Propagate(site, script.ToString(args[0])); err != nil {
+			return nil, script.ThrowString("State.propagate: " + err.Error())
+		}
+		return script.Boolean(true), nil
+	}})
+	ctx.DefineGlobal("State", state)
+}
+
+func installLog(ctx *script.Context, host Host, site string) {
+	logObj := script.NewObject()
+	logObj.ClassName = "Log"
+	logObj.Set("write", &script.Native{Name: "Log.write", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) > 0 {
+			host.Log(site, script.ToString(args[0]))
+		}
+		return script.Undefined{}, nil
+	}})
+	ctx.DefineGlobal("Log", logObj)
+}
+
+// responseToScript converts a pipeline response into the plain script object
+// returned by Cache.get and Fetch.get: { status, headers, body, contentType }.
+func responseToScript(resp *httpmsg.Response) *script.Object {
+	o := script.NewObject()
+	o.Set("status", script.Int(resp.Status))
+	headers := script.NewObject()
+	for k := range resp.Header {
+		headers.Set(k, script.Str(resp.Header.Get(k)))
+	}
+	o.Set("headers", headers)
+	o.Set("contentType", script.Str(resp.ContentType()))
+	o.Set("body", script.NewByteArray(append([]byte(nil), resp.Body...)))
+	o.Set("fromCache", script.Boolean(resp.FromCache))
+	return o
+}

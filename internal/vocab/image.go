@@ -1,0 +1,140 @@
+package vocab
+
+import (
+	"bytes"
+	"image"
+	"image/gif"
+	"image/jpeg"
+	"image/png"
+	"strings"
+
+	"nakika/internal/script"
+)
+
+// installImageTransformer defines the ImageTransformer vocabulary used by
+// the Figure 2 transcoding handler and the cell-phone image extension in
+// Section 5.4: type(contentType), dimensions(body, type), and
+// transform(body, type, outType, width, height).
+//
+// The paper's prototype used native image libraries behind SpiderMonkey; the
+// reproduction uses Go's standard image, image/jpeg, image/png, and
+// image/gif packages, which exercise the same decode → scale → re-encode
+// code path.
+func installImageTransformer(ctx *script.Context) {
+	it := script.NewObject()
+	it.ClassName = "ImageTransformer"
+
+	it.Set("type", &script.Native{Name: "ImageTransformer.type", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.NullValue(), nil
+		}
+		t := imageTypeFromContentType(script.ToString(args[0]))
+		if t == "" {
+			return script.NullValue(), nil
+		}
+		return script.Str(t), nil
+	}})
+
+	it.Set("dimensions", &script.Native{Name: "ImageTransformer.dimensions", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return nil, script.ThrowString("ImageTransformer.dimensions: missing body")
+		}
+		data, err := bodyBytes(args[0])
+		if err != nil {
+			return nil, err
+		}
+		cfg, _, derr := image.DecodeConfig(bytes.NewReader(data))
+		if derr != nil {
+			return nil, script.ThrowString("ImageTransformer.dimensions: " + derr.Error())
+		}
+		out := script.NewObject()
+		out.Set("x", script.Int(cfg.Width))
+		out.Set("y", script.Int(cfg.Height))
+		return out, nil
+	}})
+
+	it.Set("transform", &script.Native{Name: "ImageTransformer.transform", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 5 {
+			return nil, script.ThrowString("ImageTransformer.transform: need body, type, outType, width, height")
+		}
+		data, err := bodyBytes(args[0])
+		if err != nil {
+			return nil, err
+		}
+		outType := strings.ToLower(script.ToString(args[2]))
+		width := script.ToInt(args[3])
+		height := script.ToInt(args[4])
+		if width <= 0 || height <= 0 {
+			return nil, script.ThrowString("ImageTransformer.transform: invalid target dimensions")
+		}
+		src, _, derr := image.Decode(bytes.NewReader(data))
+		if derr != nil {
+			return nil, script.ThrowString("ImageTransformer.transform: decode: " + derr.Error())
+		}
+		dst := scaleImage(src, width, height)
+		var buf bytes.Buffer
+		switch outType {
+		case "jpeg", "jpg":
+			err = jpeg.Encode(&buf, dst, &jpeg.Options{Quality: 80})
+		case "png":
+			err = png.Encode(&buf, dst)
+		case "gif":
+			err = gif.Encode(&buf, dst, nil)
+		default:
+			return nil, script.ThrowString("ImageTransformer.transform: unsupported output type " + outType)
+		}
+		if err != nil {
+			return nil, script.ThrowString("ImageTransformer.transform: encode: " + err.Error())
+		}
+		return script.NewByteArray(buf.Bytes()), nil
+	}})
+
+	ctx.DefineGlobal("ImageTransformer", it)
+}
+
+// imageTypeFromContentType maps a MIME type to the transformer's short type
+// name ("jpeg", "png", "gif").
+func imageTypeFromContentType(ct string) string {
+	ct = strings.ToLower(strings.TrimSpace(ct))
+	if i := strings.Index(ct, ";"); i >= 0 {
+		ct = ct[:i]
+	}
+	switch ct {
+	case "image/jpeg", "image/jpg", "jpeg", "jpg":
+		return "jpeg"
+	case "image/png", "png":
+		return "png"
+	case "image/gif", "gif":
+		return "gif"
+	default:
+		return ""
+	}
+}
+
+// bodyBytes extracts raw bytes from a ByteArray or string argument.
+func bodyBytes(v script.Value) ([]byte, error) {
+	switch b := v.(type) {
+	case *script.ByteArray:
+		return b.Data, nil
+	case script.String:
+		return []byte(b), nil
+	default:
+		return nil, script.ThrowString("expected a ByteArray body")
+	}
+}
+
+// scaleImage resizes src to width x height with nearest-neighbour sampling,
+// which is sufficient for the transcoding workload (the paper's claim is
+// about where transcoding runs, not about resampling quality).
+func scaleImage(src image.Image, width, height int) image.Image {
+	bounds := src.Bounds()
+	dst := image.NewRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		sy := bounds.Min.Y + y*bounds.Dy()/height
+		for x := 0; x < width; x++ {
+			sx := bounds.Min.X + x*bounds.Dx()/width
+			dst.Set(x, y, src.At(sx, sy))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,222 @@
+package vocab
+
+import (
+	"strings"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/script"
+)
+
+// bodyChunkSize is the size of the chunks Request.read() and Response.read()
+// hand to scripts, mirroring the prototype's bucket-brigade-sized buffers
+// (the example in Figure 2 reads the body in chunks to enable cut-through
+// routing).
+const bodyChunkSize = 8 * 1024
+
+// BindRequest exposes req to ctx as the global Request object. Mutations the
+// script performs through the vocabulary (setHeader, setURL, terminate) are
+// applied to req directly, so the pipeline observes them.
+func BindRequest(ctx *script.Context, req *httpmsg.Request) {
+	obj := script.NewObject()
+	obj.ClassName = "Request"
+
+	refresh := func() {
+		obj.Set("method", script.Str(req.Method))
+		obj.Set("url", script.Str(req.URL.String()))
+		obj.Set("host", script.Str(req.Host()))
+		obj.Set("path", script.Str(req.Path()))
+		obj.Set("query", script.Str(req.URL.RawQuery))
+		obj.Set("clientIP", script.Str(req.ClientIP))
+	}
+	refresh()
+
+	readOffset := 0
+	obj.Set("read", &script.Native{Name: "Request.read", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if readOffset >= len(req.Body) {
+			return script.NullValue(), nil
+		}
+		end := readOffset + bodyChunkSize
+		if end > len(req.Body) {
+			end = len(req.Body)
+		}
+		chunk := script.NewByteArray(req.Body[readOffset:end])
+		readOffset = end
+		return chunk, nil
+	}})
+	obj.Set("body", &script.Native{Name: "Request.body", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		return script.NewByteArray(req.Body), nil
+	}})
+	obj.Set("getHeader", &script.Native{Name: "Request.getHeader", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.NullValue(), nil
+		}
+		v := req.Header.Get(script.ToString(args[0]))
+		if v == "" {
+			return script.NullValue(), nil
+		}
+		return script.Str(v), nil
+	}})
+	obj.Set("setHeader", &script.Native{Name: "Request.setHeader", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 2 {
+			return script.Undefined{}, nil
+		}
+		req.Header.Set(script.ToString(args[0]), script.ToString(args[1]))
+		return script.Undefined{}, nil
+	}})
+	obj.Set("removeHeader", &script.Native{Name: "Request.removeHeader", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) > 0 {
+			req.Header.Del(script.ToString(args[0]))
+		}
+		return script.Undefined{}, nil
+	}})
+	obj.Set("cookie", &script.Native{Name: "Request.cookie", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.NullValue(), nil
+		}
+		v, ok := req.Cookie(script.ToString(args[0]))
+		if !ok {
+			return script.NullValue(), nil
+		}
+		return script.Str(v), nil
+	}})
+	obj.Set("param", &script.Native{Name: "Request.param", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.NullValue(), nil
+		}
+		v := req.Query(script.ToString(args[0]))
+		if v == "" {
+			return script.NullValue(), nil
+		}
+		return script.Str(v), nil
+	}})
+	obj.Set("setURL", &script.Native{Name: "Request.setURL", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return nil, script.ThrowString("Request.setURL: missing URL")
+		}
+		if err := req.SetURL(script.ToString(args[0])); err != nil {
+			return nil, script.ThrowString("Request.setURL: " + err.Error())
+		}
+		refresh()
+		return script.Undefined{}, nil
+	}})
+	obj.Set("setMethod", &script.Native{Name: "Request.setMethod", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.Undefined{}, nil
+		}
+		req.Method = strings.ToUpper(script.ToString(args[0]))
+		refresh()
+		return script.Undefined{}, nil
+	}})
+	obj.Set("terminate", &script.Native{Name: "Request.terminate", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		status := 403
+		if len(args) > 0 {
+			status = script.ToInt(args[0])
+		}
+		resp := req.Terminate(status)
+		if len(args) > 1 {
+			resp.SetBodyString(script.ToString(args[1]))
+		}
+		return script.Undefined{}, nil
+	}})
+	ctx.DefineGlobal("Request", obj)
+}
+
+// BindResponse exposes resp to ctx as the global Response object. A script
+// that writes a body through Response.write replaces the instance; setHeader
+// and setStatus mutate resp directly.
+func BindResponse(ctx *script.Context, resp *httpmsg.Response) {
+	obj := script.NewObject()
+	obj.ClassName = "Response"
+	obj.Set("status", script.Int(resp.Status))
+	obj.Set("contentType", script.Str(resp.ContentType()))
+
+	readOffset := 0
+	written := false
+	obj.Set("read", &script.Native{Name: "Response.read", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if readOffset >= len(resp.Body) {
+			return script.NullValue(), nil
+		}
+		end := readOffset + bodyChunkSize
+		if end > len(resp.Body) {
+			end = len(resp.Body)
+		}
+		chunk := script.NewByteArray(resp.Body[readOffset:end])
+		readOffset = end
+		return chunk, nil
+	}})
+	obj.Set("body", &script.Native{Name: "Response.body", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		return script.NewByteArray(resp.Body), nil
+	}})
+	obj.Set("write", &script.Native{Name: "Response.write", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.Undefined{}, nil
+		}
+		var data []byte
+		switch b := args[0].(type) {
+		case *script.ByteArray:
+			data = b.Data
+		default:
+			data = []byte(script.ToString(b))
+		}
+		if !written {
+			// First write replaces the instance body.
+			resp.SetBody(append([]byte(nil), data...))
+			written = true
+		} else {
+			resp.SetBody(append(resp.Body, data...))
+		}
+		resp.Generated = true
+		return script.Undefined{}, nil
+	}})
+	obj.Set("getHeader", &script.Native{Name: "Response.getHeader", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.NullValue(), nil
+		}
+		v := resp.Header.Get(script.ToString(args[0]))
+		if v == "" {
+			return script.NullValue(), nil
+		}
+		return script.Str(v), nil
+	}})
+	obj.Set("setHeader", &script.Native{Name: "Response.setHeader", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 2 {
+			return script.Undefined{}, nil
+		}
+		name := script.ToString(args[0])
+		resp.Header.Set(name, script.ToString(args[1]))
+		if strings.EqualFold(name, "Content-Type") {
+			obj.Set("contentType", script.Str(resp.ContentType()))
+		}
+		return script.Undefined{}, nil
+	}})
+	obj.Set("removeHeader", &script.Native{Name: "Response.removeHeader", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) > 0 {
+			resp.Header.Del(script.ToString(args[0]))
+		}
+		return script.Undefined{}, nil
+	}})
+	obj.Set("setStatus", &script.Native{Name: "Response.setStatus", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) > 0 {
+			resp.Status = script.ToInt(args[0])
+			obj.Set("status", script.Int(resp.Status))
+		}
+		return script.Undefined{}, nil
+	}})
+	obj.Set("setMaxAge", &script.Native{Name: "Response.setMaxAge", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) > 0 {
+			resp.SetMaxAge(script.ToInt(args[0]))
+		}
+		return script.Undefined{}, nil
+	}})
+	ctx.DefineGlobal("Response", obj)
+}
+
+// NewGeneratedResponse builds an empty 200 response ready for a script's
+// onRequest handler to fill via Response.write; the pipeline binds it before
+// invoking handlers so that handlers creating responses from scratch have a
+// Response object to write into.
+func NewGeneratedResponse() *httpmsg.Response {
+	resp := httpmsg.NewResponse(200)
+	resp.Header.Set("Content-Type", "text/html; charset=utf-8")
+	return resp
+}

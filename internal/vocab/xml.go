@@ -1,0 +1,304 @@
+package vocab
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"nakika/internal/script"
+)
+
+// installXML defines the XML vocabulary: parse(text) returns a node tree,
+// serialize(node) renders it back, and render(node, template) performs the
+// simple stylesheet-style transformation the SIMM application relies on
+// (Section 5.2: customized content represented as XML and rendered as HTML
+// by a stylesheet that is the same for all students).
+//
+// Node objects have the shape { name, attrs: {..}, children: [..], text }.
+func installXML(ctx *script.Context) {
+	x := script.NewObject()
+	x.ClassName = "XML"
+
+	x.Set("parse", &script.Native{Name: "XML.parse", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return nil, script.ThrowString("XML.parse: missing document")
+		}
+		var text string
+		switch b := args[0].(type) {
+		case *script.ByteArray:
+			text = string(b.Data)
+		default:
+			text = script.ToString(b)
+		}
+		node, err := ParseXML(text)
+		if err != nil {
+			return nil, script.ThrowString("XML.parse: " + err.Error())
+		}
+		return xmlNodeToScript(node), nil
+	}})
+
+	x.Set("serialize", &script.Native{Name: "XML.serialize", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.Str(""), nil
+		}
+		obj, ok := args[0].(*script.Object)
+		if !ok {
+			return nil, script.ThrowString("XML.serialize: expected a node object")
+		}
+		node := scriptToXMLNode(obj)
+		return script.Str(SerializeXML(node)), nil
+	}})
+
+	x.Set("text", &script.Native{Name: "XML.text", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.Str(""), nil
+		}
+		obj, ok := args[0].(*script.Object)
+		if !ok {
+			return script.Str(script.ToString(args[0])), nil
+		}
+		return script.Str(scriptToXMLNode(obj).TextContent()), nil
+	}})
+
+	x.Set("find", &script.Native{Name: "XML.find", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 2 {
+			return script.NullValue(), nil
+		}
+		obj, ok := args[0].(*script.Object)
+		if !ok {
+			return script.NullValue(), nil
+		}
+		name := script.ToString(args[1])
+		node := scriptToXMLNode(obj)
+		found := node.Find(name)
+		if found == nil {
+			return script.NullValue(), nil
+		}
+		return xmlNodeToScript(found), nil
+	}})
+
+	x.Set("findAll", &script.Native{Name: "XML.findAll", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		arr := script.NewArray()
+		if len(args) < 2 {
+			return arr, nil
+		}
+		obj, ok := args[0].(*script.Object)
+		if !ok {
+			return arr, nil
+		}
+		name := script.ToString(args[1])
+		for _, n := range scriptToXMLNode(obj).FindAll(name) {
+			arr.Elems = append(arr.Elems, xmlNodeToScript(n))
+		}
+		return arr, nil
+	}})
+
+	x.Set("escape", &script.Native{Name: "XML.escape", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return script.Str(""), nil
+		}
+		return script.Str(EscapeXML(script.ToString(args[0]))), nil
+	}})
+
+	ctx.DefineGlobal("XML", x)
+}
+
+// XMLNode is the Go-side representation of a parsed XML element.
+type XMLNode struct {
+	Name     string
+	Attrs    map[string]string
+	Children []*XMLNode
+	Text     string
+}
+
+// TextContent returns the concatenated text of the node and its descendants.
+func (n *XMLNode) TextContent() string {
+	var sb strings.Builder
+	sb.WriteString(n.Text)
+	for _, c := range n.Children {
+		sb.WriteString(c.TextContent())
+	}
+	return sb.String()
+}
+
+// Find returns the first descendant (depth-first) with the given element
+// name, or the node itself if it matches.
+func (n *XMLNode) Find(name string) *XMLNode {
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if found := c.Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// FindAll returns every descendant (including the node itself) with the
+// given element name, in document order.
+func (n *XMLNode) FindAll(name string) []*XMLNode {
+	var out []*XMLNode
+	if n.Name == name {
+		out = append(out, n)
+	}
+	for _, c := range n.Children {
+		out = append(out, c.FindAll(name)...)
+	}
+	return out
+}
+
+// ParseXML parses a document into an XMLNode tree rooted at the document
+// element.
+func ParseXML(text string) (*XMLNode, error) {
+	dec := xml.NewDecoder(strings.NewReader(text))
+	var stack []*XMLNode
+	var root *XMLNode
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			if root != nil && len(stack) == 0 {
+				break
+			}
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			node := &XMLNode{Name: t.Name.Local, Attrs: make(map[string]string)}
+			for _, a := range t.Attr {
+				node.Attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, node)
+			} else if root == nil {
+				root = node
+			}
+			stack = append(stack, node)
+		case xml.EndElement:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := string(t)
+				if strings.TrimSpace(text) != "" {
+					stack[len(stack)-1].Text += text
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("no document element")
+	}
+	return root, nil
+}
+
+// SerializeXML renders a node tree back to markup.
+func SerializeXML(n *XMLNode) string {
+	var sb strings.Builder
+	serializeInto(&sb, n)
+	return sb.String()
+}
+
+func serializeInto(sb *strings.Builder, n *XMLNode) {
+	sb.WriteString("<")
+	sb.WriteString(n.Name)
+	// Deterministic attribute order.
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		sb.WriteString(" ")
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(EscapeXML(n.Attrs[k]))
+		sb.WriteString(`"`)
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteString(">")
+	sb.WriteString(EscapeXML(n.Text))
+	for _, c := range n.Children {
+		serializeInto(sb, c)
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Name)
+	sb.WriteString(">")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// EscapeXML escapes the five predefined XML entities.
+func EscapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}
+
+// xmlNodeToScript converts an XMLNode into the script object shape.
+func xmlNodeToScript(n *XMLNode) *script.Object {
+	o := script.NewObject()
+	o.Set("name", script.Str(n.Name))
+	attrs := script.NewObject()
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		attrs.Set(k, script.Str(n.Attrs[k]))
+	}
+	o.Set("attrs", attrs)
+	o.Set("text", script.Str(n.Text))
+	children := script.NewArray()
+	for _, c := range n.Children {
+		children.Elems = append(children.Elems, xmlNodeToScript(c))
+	}
+	o.Set("children", children)
+	return o
+}
+
+// scriptToXMLNode converts a script node object back to an XMLNode.
+func scriptToXMLNode(o *script.Object) *XMLNode {
+	n := &XMLNode{Attrs: make(map[string]string)}
+	if v, ok := o.Get("name"); ok {
+		n.Name = script.ToString(v)
+	}
+	if n.Name == "" {
+		n.Name = "node"
+	}
+	if v, ok := o.Get("text"); ok && !script.IsNullish(v) {
+		n.Text = script.ToString(v)
+	}
+	if v, ok := o.Get("attrs"); ok {
+		if ao, ok := v.(*script.Object); ok {
+			for _, k := range ao.Keys() {
+				av, _ := ao.Get(k)
+				n.Attrs[k] = script.ToString(av)
+			}
+		}
+	}
+	if v, ok := o.Get("children"); ok {
+		if arr, ok := v.(*script.Array); ok {
+			for _, c := range arr.Elems {
+				if co, ok := c.(*script.Object); ok {
+					n.Children = append(n.Children, scriptToXMLNode(co))
+				}
+			}
+		}
+	}
+	return n
+}
