@@ -306,6 +306,61 @@ func BenchmarkScriptPipelineStage(b *testing.B) {
 	}
 }
 
+// --- Concurrency family: pooled stage contexts, sharded cache, ------------
+// --- single-flight origin fetches. Run with -cpu 1,2,4,8 to see scaling. ---
+
+func benchmarkConcurrentHandle(b *testing.B, build func() (*Node, error)) {
+	b.Helper()
+	node, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, _, err := node.Handle(bench.ConcurrentRequest())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.Status != 200 {
+				b.Errorf("status = %d", resp.Status)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentProxyWarm is the warm proxy path: cache hits only, no
+// script handlers. Throughput should scale with -cpu since no request takes
+// a global lock.
+func BenchmarkConcurrentProxyWarm(b *testing.B) {
+	benchmarkConcurrentHandle(b, bench.NewConcurrentProxyNode)
+}
+
+// BenchmarkConcurrentMatch1 adds one matching policy whose onRequest and
+// onResponse handlers execute in pooled per-stage contexts; before the pool
+// existed every request serialized on the stage's single context mutex.
+func BenchmarkConcurrentMatch1(b *testing.B) {
+	benchmarkConcurrentHandle(b, bench.NewConcurrentMatchNode)
+}
+
+// BenchmarkConcurrentColdStampede releases 32 concurrent requests against
+// one cold key per iteration; single-flight keeps origin-fetches at 1.
+func BenchmarkConcurrentColdStampede(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunStampede(32, time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.OriginFetches != 1 {
+			b.Fatalf("stampede caused %d origin fetches, want 1", res.OriginFetches)
+		}
+		b.ReportMetric(float64(res.OriginFetches), "origin-fetches")
+	}
+}
+
 func mustMicroMatchNode(b *testing.B) *Node {
 	b.Helper()
 	origin := FetcherFunc(func(req *httpmsg.Request) (*httpmsg.Response, error) {

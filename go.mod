@@ -1,0 +1,3 @@
+module nakika
+
+go 1.22

@@ -5,6 +5,9 @@
 //   - Cache: the HTTP proxy cache holding complete responses keyed by
 //     request cache key, honouring the web's expiration-based consistency
 //     model (Section 3.3) with a configurable default TTL and LRU eviction.
+//     The cache is sharded by key hash so concurrent pipelines do not
+//     serialize on one lock, and response bodies are cloned outside the
+//     critical section.
 //   - Negative entries: the implementation "caches the fact that a site does
 //     not publish a policy script, thus avoiding repeated checks for the
 //     nakika.js resource" (Section 4).
@@ -16,6 +19,7 @@ package cache
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nakika/internal/httpmsg"
@@ -44,6 +48,11 @@ type Config struct {
 	// NegativeTTL is used for negative entries (missing nakika.js); zero
 	// means 5 minutes.
 	NegativeTTL time.Duration
+	// Shards is the desired number of lock shards, rounded down to a power
+	// of two; zero means 16. The effective count is reduced so every shard
+	// keeps a useful slice of the entry and byte budgets (small caches
+	// collapse to one shard and keep exact global LRU order).
+	Shards int
 	// Clock returns the current time; nil means time.Now. Tests and the
 	// simulator inject virtual clocks here.
 	Clock func() time.Time
@@ -63,10 +72,34 @@ func (c *Config) withDefaults() Config {
 	if out.NegativeTTL <= 0 {
 		out.NegativeTTL = 5 * time.Minute
 	}
+	if out.Shards <= 0 {
+		out.Shards = defaultShards
+	}
 	if out.Clock == nil {
 		out.Clock = time.Now
 	}
 	return out
+}
+
+const (
+	defaultShards = 16
+	// minEntriesPerShard and minBytesPerShard keep sharding from fragmenting
+	// small budgets: a shard whose LRU holds a handful of entries evicts
+	// almost randomly with respect to the global access order.
+	minEntriesPerShard = 32
+	minBytesPerShard   = 1 << 20
+)
+
+// shardCount picks the effective power-of-two shard count for a config.
+func shardCount(cfg Config) int {
+	n := 1
+	for n*2 <= cfg.Shards {
+		n *= 2
+	}
+	for n > 1 && (cfg.MaxEntries/n < minEntriesPerShard || cfg.MaxBytes/int64(n) < minBytesPerShard) {
+		n /= 2
+	}
+	return n
 }
 
 type entry struct {
@@ -78,51 +111,97 @@ type entry struct {
 	elem     *list.Element
 }
 
+// shard is one independently locked slice of the cache.
+type shard struct {
+	mu         sync.Mutex
+	entries    map[string]*entry
+	lru        *list.List // front = most recently used
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+}
+
 // Cache is a concurrency-safe expiration-based response cache with LRU
-// eviction.
+// eviction, sharded by key hash. Counters are atomics so the hot path never
+// takes a lock beyond its own shard, and cached responses are cloned outside
+// the shard lock.
 type Cache struct {
-	mu      sync.Mutex
-	cfg     Config
-	entries map[string]*entry
-	lru     *list.List // front = most recently used
-	bytes   int64
-	stats   Stats
+	cfg    Config
+	shards []*shard
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stores    atomic.Int64
+	evictions atomic.Int64
+	expired   atomic.Int64
 }
 
 // New returns a cache with the given configuration.
 func New(cfg Config) *Cache {
 	c := cfg.withDefaults()
-	return &Cache{
-		cfg:     c,
-		entries: make(map[string]*entry),
-		lru:     list.New(),
+	n := shardCount(c)
+	cache := &Cache{cfg: c, shards: make([]*shard, n), mask: uint64(n - 1)}
+	for i := range cache.shards {
+		cache.shards[i] = &shard{
+			entries:    make(map[string]*entry),
+			lru:        list.New(),
+			maxEntries: c.MaxEntries / n,
+			maxBytes:   c.MaxBytes / int64(n),
+		}
 	}
+	return cache
+}
+
+// ShardCount returns the effective number of lock shards (diagnostics,
+// tests).
+func (c *Cache) ShardCount() int { return len(c.shards) }
+
+// shard returns the shard owning key (FNV-1a over the key).
+func (c *Cache) shard(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return c.shards[h&c.mask]
 }
 
 // Get returns a cached response clone for key, or nil when absent or
 // expired. The clone protects cached bodies from mutation by pipeline
-// scripts.
+// scripts; it is taken outside the shard lock (cached responses are
+// immutable once stored).
 func (c *Cache) Get(key string) *httpmsg.Response {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	now := c.cfg.Clock()
+	sh := c.shard(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
 	if !ok {
-		c.stats.Misses++
+		sh.mu.Unlock()
+		c.misses.Add(1)
 		return nil
 	}
-	if c.cfg.Clock().After(e.expires) {
-		c.removeLocked(e)
-		c.stats.Expired++
-		c.stats.Misses++
+	if now.After(e.expires) {
+		sh.removeLocked(e)
+		sh.mu.Unlock()
+		c.expired.Add(1)
+		c.misses.Add(1)
 		return nil
 	}
 	if e.negative {
-		c.stats.Misses++
+		sh.mu.Unlock()
+		c.misses.Add(1)
 		return nil
 	}
-	c.lru.MoveToFront(e.elem)
-	c.stats.Hits++
-	resp := e.resp.Clone()
+	sh.lru.MoveToFront(e.elem)
+	cached := e.resp
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	resp := cached.Clone()
 	resp.FromCache = true
 	return resp
 }
@@ -130,23 +209,25 @@ func (c *Cache) Get(key string) *httpmsg.Response {
 // GetNegative reports whether key has a live negative entry (known-missing
 // resource).
 func (c *Cache) GetNegative(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	now := c.cfg.Clock()
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok {
 		return false
 	}
-	if c.cfg.Clock().After(e.expires) {
-		c.removeLocked(e)
-		c.stats.Expired++
+	if now.After(e.expires) {
+		sh.removeLocked(e)
+		c.expired.Add(1)
 		return false
 	}
 	return e.negative
 }
 
 // Put stores a response under key if it is cacheable, using the response's
-// freshness information or the default TTL. It returns whether the response
-// was stored.
+// freshness information or the default TTL. The stored clone is taken before
+// the shard lock is acquired. It returns whether the response was stored.
 func (c *Cache) Put(key string, resp *httpmsg.Response) bool {
 	if resp == nil || !resp.Cacheable() {
 		return false
@@ -167,89 +248,122 @@ func (c *Cache) PutNegative(key string) {
 }
 
 func (c *Cache) putEntry(key string, resp *httpmsg.Response, expires time.Time, negative bool) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var size int64
 	if resp != nil {
 		size = int64(len(resp.Body))
 	}
-	if old, ok := c.entries[key]; ok {
-		c.removeLocked(old)
+	sh := c.shard(key)
+	if size > sh.maxBytes {
+		// The response cannot survive in this shard's byte budget: storing
+		// it would only evict the shard and self-evict. Report it unstored
+		// so the node does not publish a copy it cannot hold.
+		return false
 	}
 	e := &entry{key: key, resp: resp, expires: expires, negative: negative, size: size}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	c.bytes += size
-	c.stats.Stores++
-	c.evictLocked()
+	sh.mu.Lock()
+	if old, ok := sh.entries[key]; ok {
+		sh.removeLocked(old)
+	}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[key] = e
+	sh.bytes += size
+	evicted := sh.evictLocked()
+	sh.mu.Unlock()
+	c.stores.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
 	return true
 }
 
 // Invalidate removes key from the cache.
 func (c *Cache) Invalidate(key string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
-		c.removeLocked(e)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok {
+		sh.removeLocked(e)
 	}
 }
 
 // Clear removes every entry.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*entry)
-	c.lru.Init()
-	c.bytes = 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[string]*entry)
+		sh.lru.Init()
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
 }
 
-// Keys returns the currently cached keys (including negative entries), most
-// recently used first. Used by the cooperative cache index publisher.
+// Keys returns the currently cached keys (excluding negative entries), most
+// recently used first within each shard. Used by the cooperative cache index
+// publisher; with more than one shard the global ordering across shards is
+// approximate.
 func (c *Cache) Keys() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.entries))
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry)
-		if !e.negative {
-			out = append(out, e.key)
+	var out []string
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			if !e.negative {
+				out = append(out, e.key)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Len returns the number of entries (including negative entries).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	s.Bytes = c.bytes
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stores:    c.stores.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Entries += len(sh.entries)
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
 	return s
 }
 
-func (c *Cache) removeLocked(e *entry) {
-	delete(c.entries, e.key)
-	c.lru.Remove(e.elem)
-	c.bytes -= e.size
+func (sh *shard) removeLocked(e *entry) {
+	delete(sh.entries, e.key)
+	sh.lru.Remove(e.elem)
+	sh.bytes -= e.size
 }
 
-func (c *Cache) evictLocked() {
-	for len(c.entries) > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes {
-		back := c.lru.Back()
+// evictLocked evicts LRU entries until the shard is within budget and
+// returns how many entries were evicted.
+func (sh *shard) evictLocked() int64 {
+	var evicted int64
+	for len(sh.entries) > sh.maxEntries || sh.bytes > sh.maxBytes {
+		back := sh.lru.Back()
 		if back == nil {
-			return
+			break
 		}
-		c.removeLocked(back.Value.(*entry))
-		c.stats.Evictions++
+		sh.removeLocked(back.Value.(*entry))
+		evicted++
 	}
+	return evicted
 }
 
 // ---------------------------------------------------------------------------
@@ -258,9 +372,10 @@ func (c *Cache) evictLocked() {
 
 // Memo is a small concurrency-safe memoization cache with per-entry expiry.
 // Unlike Cache it stores arbitrary values (parsed decision trees, pooled
-// scripting contexts) and does not clone them.
+// scripting contexts) and does not clone them. Reads take a shared lock so
+// the loader's stage lookups (three per request) scale across cores.
 type Memo[T any] struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	ttl     time.Duration
 	clock   func() time.Time
 	maxSize int
@@ -291,15 +406,21 @@ func (m *Memo[T]) SetClock(clock func() time.Time) {
 // Get returns the memoized value for key and whether it was present and
 // fresh.
 func (m *Memo[T]) Get(key string) (T, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var zero T
+	m.mu.RLock()
 	it, ok := m.items[key]
+	expired := ok && !it.expires.IsZero() && m.clock().After(it.expires)
+	m.mu.RUnlock()
 	if !ok {
 		return zero, false
 	}
-	if !it.expires.IsZero() && m.clock().After(it.expires) {
-		delete(m.items, key)
+	if expired {
+		m.mu.Lock()
+		// Re-check under the write lock: the entry may have been replaced.
+		if cur, still := m.items[key]; still && !cur.expires.IsZero() && m.clock().After(cur.expires) {
+			delete(m.items, key)
+		}
+		m.mu.Unlock()
 		return zero, false
 	}
 	return it.value, true
@@ -333,7 +454,7 @@ func (m *Memo[T]) Delete(key string) {
 
 // Len returns the number of memoized entries.
 func (m *Memo[T]) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.items)
 }

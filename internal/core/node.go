@@ -71,6 +71,11 @@ type Config struct {
 	// ScriptLimits bounds every stage's scripting context; zero values mean
 	// 50M steps and 64 MiB of heap.
 	ScriptLimits script.Limits
+	// StageContextPool bounds each stage's pool of ready scripting contexts
+	// (concurrent handler executions per stage); zero means one per
+	// schedulable CPU. Forking a pool context is charged to the owning
+	// site's memory budget.
+	StageContextPool int
 	// Resources configures the congestion controller; EnableResources turns
 	// it on (off matches the paper's "without resource controls" baseline).
 	Resources       resource.Config
@@ -103,11 +108,15 @@ type Stats struct {
 	CacheHits     int64
 	PeerHits      int64
 	OriginFetches int64
-	Generated     int64
-	Rejected      int64
-	Errors        int64
-	Cache         cache.Stats
-	Resources     resource.Stats
+	// CoalescedFetches counts requests that joined another request's
+	// in-flight fetch of the same key instead of contacting the origin
+	// themselves (single-flight stampede suppression).
+	CoalescedFetches int64
+	Generated        int64
+	Rejected         int64
+	Errors           int64
+	Cache            cache.Stats
+	Resources        resource.Stats
 }
 
 // Directory maps node names to live nodes so cooperative cache fetches can
@@ -148,11 +157,13 @@ type Node struct {
 	localNet []*net.IPNet
 	replicas map[string]*state.Replica
 	repMu    sync.Mutex
+	flights  flightGroup
 
 	requests      atomic.Int64
 	cacheHits     atomic.Int64
 	peerHits      atomic.Int64
 	originFetches atomic.Int64
+	coalesced     atomic.Int64
 	generated     atomic.Int64
 	rejected      atomic.Int64
 	errors        atomic.Int64
@@ -189,6 +200,10 @@ func NewNode(cfg Config) (*Node, error) {
 	n.res = resource.NewManager(cfg.Resources)
 	n.res.SetEnabled(cfg.EnableResources)
 	n.loader = pipeline.NewLoader(n, cfg.ScriptLimits)
+	n.loader.ContextPoolSize = cfg.StageContextPool
+	n.loader.ForkCharge = func(site string, heapBytes int64) {
+		n.res.Charge(site, resource.Memory, float64(heapBytes))
+	}
 	n.executor = &pipeline.Executor{
 		Loader:           n.loader,
 		Host:             n,
@@ -243,15 +258,16 @@ func (n *Node) SetResourceControls(on bool) {
 // Stats returns a snapshot of node counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		Requests:      n.requests.Load(),
-		CacheHits:     n.cacheHits.Load(),
-		PeerHits:      n.peerHits.Load(),
-		OriginFetches: n.originFetches.Load(),
-		Generated:     n.generated.Load(),
-		Rejected:      n.rejected.Load(),
-		Errors:        n.errors.Load(),
-		Cache:         n.cache.Stats(),
-		Resources:     n.res.Stats(),
+		Requests:         n.requests.Load(),
+		CacheHits:        n.cacheHits.Load(),
+		PeerHits:         n.peerHits.Load(),
+		OriginFetches:    n.originFetches.Load(),
+		CoalescedFetches: n.coalesced.Load(),
+		Generated:        n.generated.Load(),
+		Rejected:         n.rejected.Load(),
+		Errors:           n.errors.Load(),
+		Cache:            n.cache.Stats(),
+		Resources:        n.res.Stats(),
 	}
 }
 
@@ -306,35 +322,58 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // fetchWithCache is the pipeline's origin fetcher: local cache, then the
 // cooperative cache via the overlay, then the upstream origin. Successful
-// fetches are cached and published in the overlay index.
+// fetches are cached and published in the overlay index. Concurrent misses
+// of the same key are coalesced into a single origin/peer fetch whose
+// response fans out to every waiter (single-flight), so a cold-cache
+// stampede costs one upstream request instead of N.
 func (n *Node) fetchWithCache(req *httpmsg.Request) (*httpmsg.Response, error) {
 	key := req.CacheKey()
 	cacheable := req.Method == http.MethodGet || req.Method == http.MethodHead
+	if !cacheable {
+		n.originFetches.Add(1)
+		return n.cfg.Upstream.Do(req)
+	}
 
-	if cacheable {
-		if resp := n.cache.Get(key); resp != nil {
-			n.cacheHits.Add(1)
-			return resp, nil
-		}
-		// Cooperative cache: ask the overlay who has a copy and fetch it
-		// from that peer's cache.
-		if n.overlay != nil && n.cfg.Directory != nil {
-			holders, _ := n.overlay.Locate(key)
-			for _, holder := range holders {
-				if holder == n.cfg.Name {
-					continue
-				}
-				peer := n.cfg.Directory.Lookup(holder)
-				if peer == nil {
-					continue
-				}
-				if resp := peer.cache.Get(key); resp != nil {
-					n.peerHits.Add(1)
-					resp.Via = holder
-					n.cache.Put(key, resp)
-					n.publish(key)
-					return resp, nil
-				}
+	if resp := n.cache.Get(key); resp != nil {
+		n.cacheHits.Add(1)
+		return resp, nil
+	}
+	resp, shared, err := n.flights.Do(key, func() (*httpmsg.Response, error) {
+		return n.fetchMiss(key, req)
+	})
+	if shared {
+		n.coalesced.Add(1)
+	}
+	return resp, err
+}
+
+// fetchMiss is the single-flight leader path for one cacheable key:
+// cooperative cache first, then the upstream origin.
+func (n *Node) fetchMiss(key string, req *httpmsg.Request) (*httpmsg.Response, error) {
+	// Re-check the local cache: a previous flight may have stored the key
+	// between this caller's miss and its flight winning the slot.
+	if resp := n.cache.Get(key); resp != nil {
+		n.cacheHits.Add(1)
+		return resp, nil
+	}
+	// Cooperative cache: ask the overlay who has a copy and fetch it from
+	// that peer's cache.
+	if n.overlay != nil && n.cfg.Directory != nil {
+		holders, _ := n.overlay.Locate(key)
+		for _, holder := range holders {
+			if holder == n.cfg.Name {
+				continue
+			}
+			peer := n.cfg.Directory.Lookup(holder)
+			if peer == nil {
+				continue
+			}
+			if resp := peer.cache.Get(key); resp != nil {
+				n.peerHits.Add(1)
+				resp.Via = holder
+				n.cache.Put(key, resp)
+				n.publish(key)
+				return resp, nil
 			}
 		}
 	}
@@ -344,13 +383,13 @@ func (n *Node) fetchWithCache(req *httpmsg.Request) (*httpmsg.Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cacheable && resp.Cacheable() {
+	if resp.Cacheable() {
 		if n.cache.Put(key, resp) && resp.Status == http.StatusOK {
 			// Only successful responses are announced in the cooperative
 			// index; error responses stay in the local cache only.
 			n.publish(key)
 		}
-	} else if resp.Status == http.StatusNotFound && cacheable {
+	} else if resp.Status == http.StatusNotFound {
 		n.cache.PutNegative(key)
 	}
 	return resp, nil

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"nakika/internal/httpmsg"
+)
+
+// errFlightPanic is handed to waiters when the leader's fetch panicked; the
+// leader's own panic propagates to its caller after the waiters are
+// released.
+var errFlightPanic = errors.New("core: in-flight fetch panicked")
+
+// flightGroup coalesces concurrent fetches of the same cache key: a
+// cold-cache stampede (N clients missing the same key at once) issues one
+// origin/peer fetch whose response fans out to every waiter. This is the
+// standard single-flight discipline, implemented locally so the node has no
+// external dependencies.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	waiters int
+	resp    *httpmsg.Response
+	err     error
+}
+
+// Do executes fn under key, ensuring that concurrent calls for the same key
+// run fn exactly once. Every caller — leader and waiters alike — receives an
+// independent clone of the response, because each pipeline may mutate the
+// body it is handed; the call's own copy never escapes. The second return
+// value reports whether the result was shared with other callers (false for
+// the leader).
+func (g *flightGroup) Do(key string, fn func() (*httpmsg.Response, error)) (*httpmsg.Response, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return cloneFlightResponse(c.resp), true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The cleanup must run even if fn panics: a wedged entry would block
+	// every future fetch of this key forever. On panic the waiters get
+	// errFlightPanic while the leader's panic continues to its caller.
+	var waiters int
+	panicked := true
+	func() {
+		defer func() {
+			if panicked {
+				c.err = errFlightPanic
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			waiters = c.waiters
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.resp, c.err = fn()
+		panicked = false
+	}()
+	if waiters == 0 {
+		// No one joined: the leader is the sole owner and skips the clone.
+		// Joins only happen under g.mu before the delete above, so none can
+		// arrive after this point.
+		return c.resp, false, c.err
+	}
+	return cloneFlightResponse(c.resp), false, c.err
+}
+
+func cloneFlightResponse(resp *httpmsg.Response) *httpmsg.Response {
+	if resp == nil {
+		return nil
+	}
+	return resp.Clone()
+}

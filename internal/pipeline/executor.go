@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nakika/internal/httpmsg"
@@ -90,24 +91,18 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 		return httpmsg.NewTextResponse(http.StatusServiceUnavailable, "server busy\n"), trace, nil
 	}
 
-	// Register the pipeline with the resource manager so it can be
-	// terminated if the site causes persistent congestion.
+	// The pipeline registers with the resource manager for its whole
+	// lifetime through a kill flag, so termination reaches pipelines that
+	// are between phases (for example waiting on the origin fetch), not
+	// just ones inside a handler. Handlers additionally register their
+	// pooled execution context for the duration of each call (see
+	// withHandlerRun) so a running script is interrupted mid-flight.
 	var terminated bool
-	var pipelineIDs []int64
-	registerCtx := func(ctx *script.Context) {
-		if e.Resources == nil || ctx == nil {
-			return
-		}
-		id := e.Resources.RegisterPipeline(site, ctx.Terminate)
-		pipelineIDs = append(pipelineIDs, id)
+	var killed atomic.Bool
+	if e.Resources != nil {
+		id := e.Resources.RegisterPipeline(site, func() { killed.Store(true) })
+		defer e.Resources.UnregisterPipeline(site, id)
 	}
-	defer func() {
-		if e.Resources != nil {
-			for _, id := range pipelineIDs {
-				e.Resources.UnregisterPipeline(site, id)
-			}
-		}
-	}()
 
 	maxStages := e.MaxStages
 	if maxStages <= 0 {
@@ -131,6 +126,10 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 	stagesRun := 0
 
 	for len(forward) > 0 && stagesRun < maxStages {
+		if killed.Load() {
+			terminated = true
+			break
+		}
 		scriptURL := forward[len(forward)-1]
 		forward = forward[:len(forward)-1]
 		stagesRun++
@@ -149,7 +148,7 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 
 		if pol != nil && pol.OnRequest != nil {
 			st.RanRequest = true
-			resp, err := e.runOnRequest(stage, pol, req)
+			resp, err := e.runOnRequest(stage, pol, site, &killed, req)
 			if err != nil {
 				if errors.Is(err, script.ErrTerminated) || errors.Is(err, script.ErrStepLimit) || errors.Is(err, script.ErrMemoryLimit) {
 					terminated = true
@@ -164,7 +163,6 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 				response = resp
 				trace.Generated = true
 				trace.Stages = append(trace.Stages, st)
-				registerCtx(stage.ctx)
 				break
 			}
 		}
@@ -177,9 +175,6 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 			}
 		}
 		trace.Stages = append(trace.Stages, st)
-		if stage.ctx != nil {
-			registerCtx(stage.ctx)
-		}
 	}
 
 	if terminated {
@@ -202,6 +197,13 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 		trace.FromCache = resp.FromCache
 	}
 
+	if killed.Load() {
+		trace.Terminated = true
+		trace.Elapsed = time.Since(start)
+		e.charge(site, req, nil, trace)
+		return httpmsg.NewTextResponse(http.StatusServiceUnavailable, "pipeline terminated\n"), trace, nil
+	}
+
 	// Unwind: run onResponse handlers in reverse order of stage execution.
 	for i := len(backward) - 1; i >= 0; i-- {
 		ex := backward[i]
@@ -213,7 +215,7 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 				trace.Stages[j].RanResponse = true
 			}
 		}
-		if err := e.runOnResponse(ex.stage, ex.pol, req, response); err != nil {
+		if err := e.runOnResponse(ex.stage, ex.pol, site, &killed, req, response); err != nil {
 			if errors.Is(err, script.ErrTerminated) || errors.Is(err, script.ErrStepLimit) || errors.Is(err, script.ErrMemoryLimit) {
 				trace.Terminated = true
 				trace.Elapsed = time.Since(start)
@@ -233,17 +235,38 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 	return response, trace, nil
 }
 
+// withHandlerRun checks a pooled context out of the stage, registers it with
+// the resource manager for the duration of fn (so congestion control can
+// terminate the handler mid-flight), and runs fn. A pipeline whose kill
+// flag was already raised does not start another handler.
+func (e *Executor) withHandlerRun(stage *Stage, site string, killed *atomic.Bool, fn func(run *Run) error) error {
+	if killed.Load() {
+		return script.ErrTerminated
+	}
+	return stage.WithRun(func(run *Run) error {
+		if e.Resources != nil {
+			id := e.Resources.RegisterPipeline(site, run.Ctx.Terminate)
+			defer e.Resources.UnregisterPipeline(site, id)
+		}
+		if killed.Load() {
+			return script.ErrTerminated
+		}
+		return fn(run)
+	})
+}
+
 // runOnRequest executes a policy's onRequest handler against req and returns
 // the response it produced, if any.
-func (e *Executor) runOnRequest(stage *Stage, pol *policy.Policy, req *httpmsg.Request) (*httpmsg.Response, error) {
+func (e *Executor) runOnRequest(stage *Stage, pol *policy.Policy, site string, killed *atomic.Bool, req *httpmsg.Request) (*httpmsg.Response, error) {
 	var produced *httpmsg.Response
-	err := stage.WithContext(func(ctx *script.Context) error {
+	err := e.withHandlerRun(stage, site, killed, func(run *Run) error {
+		ctx := run.Ctx
 		vocab.BindRequest(ctx, req)
 		// Bind a fresh response the handler may choose to fill from scratch.
 		generated := vocab.NewGeneratedResponse()
 		vocab.BindResponse(ctx, generated)
 		beforeSteps, beforeHeap := ctx.Steps(), ctx.HeapBytes()
-		ret, err := ctx.Call(pol.OnRequest, script.Undefined{})
+		ret, err := ctx.Call(run.Handler(pol.OnRequest), script.Undefined{})
 		e.chargeSteps(stage.Site, ctx.Steps()-beforeSteps, ctx.HeapBytes()-beforeHeap)
 		if err != nil {
 			return err
@@ -271,12 +294,13 @@ func (e *Executor) runOnRequest(stage *Stage, pol *policy.Policy, req *httpmsg.R
 }
 
 // runOnResponse executes a policy's onResponse handler against resp.
-func (e *Executor) runOnResponse(stage *Stage, pol *policy.Policy, req *httpmsg.Request, resp *httpmsg.Response) error {
-	return stage.WithContext(func(ctx *script.Context) error {
+func (e *Executor) runOnResponse(stage *Stage, pol *policy.Policy, site string, killed *atomic.Bool, req *httpmsg.Request, resp *httpmsg.Response) error {
+	return e.withHandlerRun(stage, site, killed, func(run *Run) error {
+		ctx := run.Ctx
 		vocab.BindRequest(ctx, req)
 		vocab.BindResponse(ctx, resp)
 		beforeSteps, beforeHeap := ctx.Steps(), ctx.HeapBytes()
-		_, err := ctx.Call(pol.OnResponse, script.Undefined{})
+		_, err := ctx.Call(run.Handler(pol.OnResponse), script.Undefined{})
 		e.chargeSteps(stage.Site, ctx.Steps()-beforeSteps, ctx.HeapBytes()-beforeHeap)
 		return err
 	})

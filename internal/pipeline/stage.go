@@ -7,6 +7,7 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"nakika/internal/cache"
@@ -16,11 +17,18 @@ import (
 	"nakika/internal/vocab"
 )
 
+// DefaultContextPoolSize returns the default bound on a stage's context pool:
+// one ready context per schedulable CPU, so a fully loaded node can run one
+// handler per core without serializing on a stage.
+func DefaultContextPoolSize() int { return runtime.GOMAXPROCS(0) }
+
 // Stage is a loaded pipeline stage: the policies registered by one script
-// URL, the decision tree over them, and the reusable scripting context their
-// event handlers execute in. Contexts are reused across event-handler
-// executions (Section 4 of the paper) and protected by a mutex so concurrent
-// pipelines serialize on a stage rather than sharing mutable globals.
+// URL, the decision tree over them, and a bounded pool of ready scripting
+// contexts their event handlers execute in. The pristine context produced by
+// evaluating the stage script is kept as an immutable snapshot; executions
+// run in forks of it (Section 4's context reuse, extended so N concurrent
+// requests execute N handlers for the same stage in parallel instead of
+// serializing on a single context lock).
 type Stage struct {
 	// URL is the script URL this stage was loaded from.
 	URL string
@@ -30,9 +38,54 @@ type Stage struct {
 	// example a site without a nakika.js.
 	Empty bool
 
-	mu   sync.Mutex
-	ctx  *script.Context
-	tree *policy.Tree
+	pristine *script.Context
+	tree     *policy.Tree
+
+	// handlerRoots are the event-handler values extracted from the pristine
+	// context (policy onRequest/onResponse functions); each fork translates
+	// them into its own heap so concurrent executions share no script state.
+	handlerRoots []script.Value
+
+	// forkCharge, when non-nil, charges the cost of forking a new pool
+	// context (the pristine heap size, in bytes) to the stage's site.
+	forkCharge func(site string, heapBytes int64)
+
+	pool    chan *stageInstance
+	mu      sync.Mutex // guards created
+	created int
+	cap     int
+}
+
+// stageInstance is one pooled execution context plus the translation from
+// pristine handler values to this fork's copies.
+type stageInstance struct {
+	ctx      *script.Context
+	handlers map[script.Value]script.Value
+}
+
+// newStage builds a runnable stage around a pristine post-evaluation context.
+func newStage(url, site string, pristine *script.Context, tree *policy.Tree, poolSize int, forkCharge func(string, int64)) *Stage {
+	if poolSize <= 0 {
+		poolSize = DefaultContextPoolSize()
+	}
+	s := &Stage{
+		URL:        url,
+		Site:       site,
+		pristine:   pristine,
+		tree:       tree,
+		forkCharge: forkCharge,
+		pool:       make(chan *stageInstance, poolSize),
+		cap:        poolSize,
+	}
+	for _, p := range tree.Policies() {
+		if p.OnRequest != nil {
+			s.handlerRoots = append(s.handlerRoots, p.OnRequest)
+		}
+		if p.OnResponse != nil {
+			s.handlerRoots = append(s.handlerRoots, p.OnResponse)
+		}
+	}
+	return s
 }
 
 // Match returns the closest valid policy for the input, or nil.
@@ -51,22 +104,97 @@ func (s *Stage) Policies() []*policy.Policy {
 	return s.tree.Policies()
 }
 
-// Context returns the stage's scripting context. Callers must hold the stage
-// via WithContext for anything that executes script code.
-func (s *Stage) Context() *script.Context { return s.ctx }
+// Context returns the stage's pristine scripting context (diagnostics,
+// tests). Executions never run in it directly; use WithRun.
+func (s *Stage) Context() *script.Context { return s.pristine }
 
-// WithContext runs fn while holding the stage's execution lock. The context
-// is reset between executions only when the previous run was terminated.
-func (s *Stage) WithContext(fn func(ctx *script.Context) error) error {
+// PoolSize returns the stage's context pool bound (diagnostics, tests).
+func (s *Stage) PoolSize() int { return s.cap }
+
+// PooledContexts returns how many pool contexts have been forked so far
+// (diagnostics, tests).
+func (s *Stage) PooledContexts() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ctx == nil {
-		return fmt.Errorf("pipeline: stage %s has no context", s.URL)
+	return s.created
+}
+
+// Run is one checked-out pooled execution context. It is valid only for the
+// duration of the WithRun callback that produced it.
+type Run struct {
+	// Ctx is the scripting context the caller may bind messages into and run
+	// handlers in; it is owned exclusively by this run until WithRun returns.
+	Ctx *script.Context
+
+	inst *stageInstance
+}
+
+// Handler translates a handler value extracted from the stage's pristine
+// context (a policy's OnRequest/OnResponse) into this run's forked copy.
+// Values that were not part of the stage's handler set pass through
+// unchanged.
+func (r *Run) Handler(v script.Value) script.Value {
+	if t, ok := r.inst.handlers[v]; ok {
+		return t
 	}
-	if s.ctx.Terminated() {
-		s.ctx.Reset()
+	return v
+}
+
+// WithRun checks a ready context out of the stage's pool, runs fn with it,
+// and returns it. New contexts are forked from the pristine snapshot on
+// demand up to the pool bound; once the bound is reached callers block until
+// a context is released. Terminated contexts are reset before reuse.
+func (s *Stage) WithRun(fn func(run *Run) error) error {
+	inst, err := s.acquire()
+	if err != nil {
+		return err
 	}
-	return fn(s.ctx)
+	defer s.release(inst)
+	return fn(&Run{Ctx: inst.ctx, inst: inst})
+}
+
+func (s *Stage) acquire() (*stageInstance, error) {
+	if s.pristine == nil {
+		return nil, fmt.Errorf("pipeline: stage %s has no context", s.URL)
+	}
+	select {
+	case inst := <-s.pool:
+		return inst, nil
+	default:
+	}
+	s.mu.Lock()
+	if s.created < s.cap {
+		s.created++
+		s.mu.Unlock()
+		return s.fork(), nil
+	}
+	s.mu.Unlock()
+	return <-s.pool, nil
+}
+
+func (s *Stage) release(inst *stageInstance) {
+	// Reset unconditionally: it clears termination and zeroes the cumulative
+	// step/heap counters while keeping the global environment. Counters must
+	// not survive release — a run that crossed MaxSteps/MaxHeapBytes would
+	// otherwise return the instance to the pool poisoned, failing every
+	// future request it serves. Handler charging uses per-run deltas, so
+	// zeroing between runs is accounting-safe.
+	inst.ctx.Reset()
+	s.pool <- inst
+}
+
+// fork clones the pristine context (and the handler values rooted in it)
+// into a new pool instance, charging the fork's heap cost to the site.
+func (s *Stage) fork() *stageInstance {
+	ctx, translated := s.pristine.Fork(s.handlerRoots...)
+	handlers := make(map[script.Value]script.Value, len(s.handlerRoots))
+	for i, root := range s.handlerRoots {
+		handlers[root] = translated[i]
+	}
+	if s.forkCharge != nil {
+		s.forkCharge(s.Site, s.pristine.HeapBytes())
+	}
+	return &stageInstance{ctx: ctx, handlers: handlers}
 }
 
 // Loader fetches stage scripts through the host (and therefore through the
@@ -80,10 +208,30 @@ type Loader struct {
 	Host vocab.Host
 	// Limits bounds each stage context.
 	Limits script.Limits
+	// ContextPoolSize bounds every stage's pool of ready contexts; zero
+	// means DefaultContextPoolSize().
+	ContextPoolSize int
+	// ForkCharge, when non-nil, is invoked with the stage's site and the
+	// pristine context's heap size whenever a new pool context is forked, so
+	// the node can charge context replication to the site's resource budget.
+	ForkCharge func(site string, heapBytes int64)
 	// stages caches loaded stages by script URL.
 	stages *cache.Memo[*Stage]
 	// missing caches script URLs known not to exist.
 	missing *cache.Memo[bool]
+
+	// loads coalesces concurrent cold loads of one script URL so a stampede
+	// on a scripted site evaluates the script once instead of once per
+	// request.
+	loadMu sync.Mutex
+	loads  map[string]*loadFlight
+}
+
+// loadFlight is one in-progress stage load shared by concurrent callers.
+type loadFlight struct {
+	done chan struct{}
+	st   *Stage
+	err  error
 }
 
 // NewLoader returns a loader backed by host.
@@ -109,7 +257,47 @@ func (l *Loader) CachedStages() int { return l.stages.Len() }
 
 // Load returns the stage for scriptURL, charging it to site. Missing scripts
 // (404 or fetch failure) yield an Empty stage that is negatively cached.
+// Concurrent cold loads of the same URL coalesce into one fetch+compile.
 func (l *Loader) Load(scriptURL, site string) (*Stage, error) {
+	if st, ok := l.stages.Get(scriptURL); ok {
+		return st, nil
+	}
+	if miss, ok := l.missing.Get(scriptURL); ok && miss {
+		return &Stage{URL: scriptURL, Site: site, Empty: true}, nil
+	}
+	l.loadMu.Lock()
+	if l.loads == nil {
+		l.loads = make(map[string]*loadFlight)
+	}
+	if f, ok := l.loads[scriptURL]; ok {
+		l.loadMu.Unlock()
+		<-f.done
+		return f.st, f.err
+	}
+	f := &loadFlight{done: make(chan struct{})}
+	l.loads[scriptURL] = f
+	l.loadMu.Unlock()
+	// Complete the flight even if loadSlow panics, so the URL never wedges.
+	defer func() {
+		if f.st == nil && f.err == nil {
+			f.err = fmt.Errorf("pipeline: load of %s panicked", scriptURL)
+		}
+		l.loadMu.Lock()
+		delete(l.loads, scriptURL)
+		l.loadMu.Unlock()
+		close(f.done)
+	}()
+	f.st, f.err = l.loadSlow(scriptURL, site)
+	return f.st, f.err
+}
+
+// loadSlow fetches and compiles a stage (the cold path behind Load's caches
+// and coalescing).
+func (l *Loader) loadSlow(scriptURL, site string) (*Stage, error) {
+	// Re-check the memos: a previous flight may have completed between this
+	// caller's miss and its flight winning the slot; without this the stage
+	// would be fetched and compiled a second time and replace the first
+	// stage's already-forked context pool.
 	if st, ok := l.stages.Get(scriptURL); ok {
 		return st, nil
 	}
@@ -159,8 +347,9 @@ func (l *Loader) compile(scriptURL, site, source string) (*Stage, error) {
 	if _, err := ctx.RunSource(source, scriptURL); err != nil {
 		return nil, fmt.Errorf("pipeline: evaluate %s: %w", scriptURL, err)
 	}
-	policies := make([]*policy.Policy, 0, len(reg.Objects)+2)
-	for _, obj := range reg.Objects {
+	registered := reg.Registered()
+	policies := make([]*policy.Policy, 0, len(registered)+2)
+	for _, obj := range registered {
 		p, err := policy.FromScriptObject(obj, scriptURL)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: policy in %s: %w", scriptURL, err)
@@ -187,10 +376,5 @@ func (l *Loader) compile(scriptURL, site, source string) (*Stage, error) {
 	if implicit.HasHandlers() {
 		policies = append(policies, implicit)
 	}
-	return &Stage{
-		URL:  scriptURL,
-		Site: site,
-		ctx:  ctx,
-		tree: policy.NewTree(policies),
-	}, nil
+	return newStage(scriptURL, site, ctx, policy.NewTree(policies), l.ContextPoolSize, l.ForkCharge), nil
 }

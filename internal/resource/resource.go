@@ -290,21 +290,15 @@ func (m *Manager) ControlOnce() {
 
 	for _, kind := range Kinds {
 		congested := m.isCongestedLocked(kind)
-
-		// Termination check for the queue built during the previous round
-		// (after throttling has had one interval to take effect).
-		if queue, ok := m.pendingKill[kind]; ok {
-			if congested && len(queue) > 0 {
-				m.terminateLocked(queue[0])
-			}
-			if !congested {
-				m.unthrottleLocked()
-			}
-			delete(m.pendingKill, kind)
-		}
+		prevQueue, hadPrev := m.pendingKill[kind]
+		delete(m.pendingKill, kind)
 
 		switch {
 		case congested:
+			// Throttle shares must be computed before this round's
+			// termination wipes the top offender's usage: otherwise an
+			// innocent site inherits ~100% of the "share" of congestion the
+			// offender caused and gets throttled in its place.
 			queue := m.activeSitesByUsageLocked(kind)
 			total := 0.0
 			for _, name := range queue {
@@ -336,6 +330,19 @@ func (m *Manager) ControlOnce() {
 			// from past penalization.
 			for _, s := range m.sites {
 				s.usage[kind] *= m.cfg.DecayFactor
+			}
+		}
+
+		// Termination check for the queue built during the previous round
+		// (after throttling has had one interval to take effect). This runs
+		// after the share update above so the kill's usage amnesty cannot
+		// skew this round's throttle proportions.
+		if hadPrev {
+			if congested && len(prevQueue) > 0 {
+				m.terminateLocked(prevQueue[0])
+			}
+			if !congested {
+				m.unthrottleLocked()
 			}
 		}
 	}

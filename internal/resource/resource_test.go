@@ -297,3 +297,34 @@ func TestPropertyIdleSiteNeverThrottled(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTerminationDoesNotShiftBlame(t *testing.T) {
+	// Regression: termination zeroes the offender's usage as amnesty. When
+	// that happened before the round's throttle-share update, an innocent
+	// low-usage site inherited ~100% of the congestion share and was
+	// throttled in the offender's place.
+	m := managerWithCapacity(100)
+	// Round 1: hog congests, innocent stays tiny. Hog gets throttled and
+	// queued for termination.
+	m.Charge("site-hog", CPU, 500)
+	m.Charge("site-innocent", CPU, 2)
+	m.ControlOnce()
+	if !m.Throttled("site-hog") || m.Throttled("site-innocent") {
+		t.Fatal("round 1: only the hog should be throttled")
+	}
+	// Round 2: still congested (the hog's in-flight work lands), so the
+	// hog's pipelines are terminated. The innocent site must not pick up
+	// the hog's congestion share.
+	m.Charge("site-hog", CPU, 500)
+	m.Charge("site-innocent", CPU, 2)
+	m.ControlOnce()
+	if m.Stats().Terminations == 0 {
+		t.Fatal("round 2: persistent congestion should terminate the hog")
+	}
+	if m.Throttled("site-innocent") {
+		t.Error("round 2: the innocent site must not be throttled in the hog's place")
+	}
+	if !m.Throttled("site-hog") {
+		t.Error("round 2: the hog should remain throttled")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -276,17 +277,43 @@ type Poster func(site, postURL string, lines []string) error
 // AccessLog collects per-site log entries and periodically posts them to the
 // URL each site's script configured (Section 3.3: "Periodically, each Na
 // Kika node scans its log, collects all entries for each specific site, and
-// posts those portions of the log to the specified URLs").
+// posts those portions of the log to the specified URLs"). Entries are
+// buffered per site behind per-site locks: every proxied request appends a
+// line, so a single global lock here would serialize the whole request path.
 type AccessLog struct {
+	mu     sync.RWMutex // guards the sites and urls maps, not the buffers
+	sites  map[string]*siteLog
+	urls   map[string]string
+	posted atomic.Int64
+}
+
+// siteLog is one site's independently locked entry buffer.
+type siteLog struct {
 	mu      sync.Mutex
-	entries map[string][]LogEntry
-	urls    map[string]string
-	posted  int64
+	entries []LogEntry
 }
 
 // NewAccessLog returns an empty access log.
 func NewAccessLog() *AccessLog {
-	return &AccessLog{entries: make(map[string][]LogEntry), urls: make(map[string]string)}
+	return &AccessLog{sites: make(map[string]*siteLog), urls: make(map[string]string)}
+}
+
+// site returns (creating on demand) the buffer for site.
+func (l *AccessLog) site(name string) *siteLog {
+	l.mu.RLock()
+	s, ok := l.sites[name]
+	l.mu.RUnlock()
+	if ok {
+		return s
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.sites[name]; ok {
+		return s
+	}
+	s = &siteLog{}
+	l.sites[name] = s
+	return s
 }
 
 // SetPostURL records the URL to which site's log entries should be posted;
@@ -299,63 +326,70 @@ func (l *AccessLog) SetPostURL(site, url string) {
 
 // Append records a log entry for site.
 func (l *AccessLog) Append(site, message string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.entries[site] = append(l.entries[site], LogEntry{Time: time.Now(), Message: message})
+	s := l.site(site)
+	s.mu.Lock()
+	s.entries = append(s.entries, LogEntry{Time: time.Now(), Message: message})
+	s.mu.Unlock()
 }
 
 // Pending returns the number of unposted entries for site.
 func (l *AccessLog) Pending(site string) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.entries[site])
+	s := l.site(site)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
 }
 
 // Posted returns the total number of entries successfully posted.
-func (l *AccessLog) Posted() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.posted
-}
+func (l *AccessLog) Posted() int64 { return l.posted.Load() }
 
 // Flush posts every site's accumulated entries to its configured URL using
 // post. Sites without a configured URL retain their entries. Entries are
 // retained on post failure so the next flush retries them.
 func (l *AccessLog) Flush(post Poster) error {
-	l.mu.Lock()
 	type batch struct {
 		site, url string
+		buf       *siteLog
 		lines     []string
 		count     int
 	}
+	l.mu.RLock()
 	var batches []batch
-	for site, entries := range l.entries {
+	for site, buf := range l.sites {
 		url, ok := l.urls[site]
-		if !ok || len(entries) == 0 {
+		if !ok {
 			continue
 		}
-		lines := make([]string, len(entries))
-		for i, e := range entries {
-			lines[i] = e.Time.UTC().Format(time.RFC3339) + " " + e.Message
-		}
-		batches = append(batches, batch{site: site, url: url, lines: lines, count: len(entries)})
+		batches = append(batches, batch{site: site, url: url, buf: buf})
 	}
-	l.mu.Unlock()
+	l.mu.RUnlock()
 
 	var firstErr error
-	for _, bt := range batches {
+	for i := range batches {
+		bt := &batches[i]
+		bt.buf.mu.Lock()
+		entries := bt.buf.entries
+		bt.buf.mu.Unlock()
+		if len(entries) == 0 {
+			continue
+		}
+		bt.count = len(entries)
+		bt.lines = make([]string, len(entries))
+		for j, e := range entries {
+			bt.lines[j] = e.Time.UTC().Format(time.RFC3339) + " " + e.Message
+		}
 		if err := post(bt.site, bt.url, bt.lines); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		l.mu.Lock()
+		bt.buf.mu.Lock()
 		// Drop exactly the entries we posted; new entries appended since the
 		// snapshot stay queued.
-		l.entries[bt.site] = l.entries[bt.site][bt.count:]
-		l.posted += int64(bt.count)
-		l.mu.Unlock()
+		bt.buf.entries = bt.buf.entries[bt.count:]
+		bt.buf.mu.Unlock()
+		l.posted.Add(int64(bt.count))
 	}
 	return firstErr
 }

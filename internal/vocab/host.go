@@ -10,6 +10,7 @@
 package vocab
 
 import (
+	"sync"
 	"time"
 
 	"nakika/internal/httpmsg"
@@ -104,8 +105,28 @@ func (NopHost) Now() time.Time { return time.Now() }
 
 // Registry collects the policy objects a stage script registers while it is
 // being evaluated (the register() call on script-level Policy objects).
+// Registration is guarded by a mutex because forked pool contexts share the
+// Policy constructor native: a handler calling register() at request time
+// must not race with another pipeline.
 type Registry struct {
+	mu      sync.Mutex
 	Objects []*script.Object
+}
+
+// Add appends a registered policy object.
+func (r *Registry) Add(obj *script.Object) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Objects = append(r.Objects, obj)
+}
+
+// Registered returns the policy objects registered so far, in order.
+func (r *Registry) Registered() []*script.Object {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*script.Object, len(r.Objects))
+	copy(out, r.Objects)
+	return out
 }
 
 // InstallPolicyConstructor defines the Policy constructor in ctx. Policies
@@ -122,7 +143,7 @@ func InstallPolicyConstructor(ctx *script.Context, reg *Registry) {
 				if !ok {
 					return nil, script.ThrowString("Policy.register: receiver is not a policy object")
 				}
-				reg.Objects = append(reg.Objects, o)
+				reg.Add(o)
 				return script.Undefined{}, nil
 			}})
 			return obj, nil

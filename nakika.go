@@ -28,7 +28,11 @@ import (
 // controls.
 type Node = core.Node
 
-// Config configures an edge node.
+// Config configures an edge node. The concurrency of the request path is
+// tunable: Config.StageContextPool bounds how many handler executions may
+// run in parallel per stage (zero means one per CPU), and
+// Config.Cache.Shards sets the proxy cache's lock-shard fan-out (zero means
+// 16, rounded to a power of two and collapsed for small caches).
 type Config = core.Config
 
 // Fetcher retrieves resources from upstream origin servers.
