@@ -1,12 +1,14 @@
 // Command nakika-bench regenerates the paper's evaluation: every table and
 // figure in Section 5 has an experiment that prints the corresponding rows
-// or series.
+// or series. Alongside the human-readable tables, each experiment writes a
+// machine-readable BENCH_<experiment>.json file (see README.md for the
+// format); -json "" disables that.
 //
 // Usage:
 //
 //	nakika-bench -experiment all
 //	nakika-bench -experiment table2 -iterations 10
-//	nakika-bench -experiment figure7 -duration 60s
+//	nakika-bench -experiment figure7 -duration 60s -json results/
 //
 // Experiments: table2, breakdown, capacity, rescontrol, simm-local, figure7,
 // specweb, extensions, all.
@@ -27,55 +29,83 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "virtual duration for the wide-area simulations")
 	loadDuration := flag.Duration("load-duration", 2*time.Second, "wall-clock duration for capacity and resource-control load tests")
 	cdf := flag.Bool("cdf", false, "print full CDF series for figure7")
+	jsonDir := flag.String("json", ".", "directory for machine-readable BENCH_*.json results (empty: disabled)")
 	flag.Parse()
 
-	run := func(name string, fn func() error) {
+	// run executes one experiment; fn prints the human-readable tables and
+	// returns the payload for the BENCH_<name>.json report.
+	run := func(name string, fn func() (interface{}, error)) {
 		if *experiment != "all" && *experiment != name {
 			return
 		}
 		fmt.Printf("=== %s ===\n", name)
-		if err := fn(); err != nil {
+		data, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if *jsonDir != "" && data != nil {
+			path, err := bench.WriteBenchJSON(*jsonDir, name, data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing JSON: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
 		}
 		fmt.Println()
 	}
 
-	run("table2", func() error {
+	run("table2", func() (interface{}, error) {
 		rows, err := bench.RunTable2(*iterations)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatTable2(rows))
-		return nil
+		return rows, nil
 	})
 
-	run("breakdown", func() error {
+	run("breakdown", func() (interface{}, error) {
 		b, err := bench.RunBreakdown(*iterations * 10)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatBreakdown(b))
-		return nil
+		return b, nil
 	})
 
-	run("capacity", func() error {
+	run("capacity", func() (interface{}, error) {
+		type row struct {
+			Name     string
+			MatchOne bool
+			bench.LoadResult
+		}
+		var rows []row
 		for _, clients := range []int{30, 90} {
 			proxy, err := bench.RunCapacity(clients, false, *loadDuration)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			match, err := bench.RunCapacity(clients, true, *loadDuration)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Print(bench.FormatLoad(fmt.Sprintf("plain proxy (%d clients)", clients), proxy))
-			fmt.Print(bench.FormatLoad(fmt.Sprintf("Match-1 pipeline (%d clients)", clients), match))
+			pname := fmt.Sprintf("plain proxy (%d clients)", clients)
+			mname := fmt.Sprintf("Match-1 pipeline (%d clients)", clients)
+			fmt.Print(bench.FormatLoad(pname, proxy))
+			fmt.Print(bench.FormatLoad(mname, match))
+			rows = append(rows, row{Name: pname, LoadResult: proxy}, row{Name: mname, MatchOne: true, LoadResult: match})
 		}
-		return nil
+		return rows, nil
 	})
 
-	run("rescontrol", func() error {
+	run("rescontrol", func() (interface{}, error) {
+		type row struct {
+			Name     string
+			Controls bool
+			Hog      bool
+			bench.LoadResult
+		}
+		var rows []row
 		for _, tc := range []struct {
 			clients  int
 			controls bool
@@ -91,37 +121,51 @@ func main() {
 		} {
 			res, err := bench.RunResourceControls(tc.clients, tc.controls, tc.hog, *loadDuration)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Print(bench.FormatLoad(tc.name, res))
+			rows = append(rows, row{Name: tc.name, Controls: tc.controls, Hog: tc.hog, LoadResult: res})
 		}
-		return nil
+		return rows, nil
 	})
 
-	run("simm-local", func() error {
+	run("simm-local", func() (interface{}, error) {
 		costs, err := bench.MeasureSIMMCosts(*iterations)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("calibrated costs: origin-render=%v edge-render=%v static=%v\n",
 			costs.OriginRender, costs.EdgeRender, costs.StaticServe)
+		type payload struct {
+			Costs   bench.SIMMCosts
+			LAN     []bench.SIMMLocalResult
+			WAN     []bench.SIMMLocalResult
+			Clients int
+		}
+		out := payload{Costs: costs, Clients: 160}
 		for _, withWAN := range []bool{false, true} {
 			label := "LAN only"
 			if withWAN {
 				label = "80 ms / 8 Mbps WAN"
 			}
 			fmt.Printf("-- %s --\n", label)
-			for _, r := range bench.RunSIMMLocal(160, *duration, costs, withWAN) {
+			results := bench.RunSIMMLocal(160, *duration, costs, withWAN)
+			for _, r := range results {
 				fmt.Printf("  %-14s html-90th=%-10s video-ok=%5.1f%%\n", r.Mode, r.HTML90th.Round(time.Millisecond), r.VideoOKPct)
 			}
+			if withWAN {
+				out.WAN = results
+			} else {
+				out.LAN = results
+			}
 		}
-		return nil
+		return out, nil
 	})
 
-	run("figure7", func() error {
+	run("figure7", func() (interface{}, error) {
 		costs, err := bench.MeasureSIMMCosts(*iterations)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("calibrated costs: origin-render=%v edge-render=%v static=%v\n",
 			costs.OriginRender, costs.EdgeRender, costs.StaticServe)
@@ -134,23 +178,32 @@ func main() {
 				fmt.Print(bench.FormatSIMMCDF(r))
 			}
 		}
-		return nil
+		return struct {
+			Costs   bench.SIMMCosts
+			Results []bench.SIMMResult
+		}{costs, results}, nil
 	})
 
-	run("specweb", func() error {
+	run("specweb", func() (interface{}, error) {
 		costs, err := bench.MeasureSpecWebCosts(*iterations)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("calibrated costs: origin-dynamic=%v edge-dynamic=%v static=%v\n",
 			costs.OriginDynamic, costs.EdgeDynamic, costs.StaticServe)
-		fmt.Print(bench.FormatSpecWeb(bench.RunSpecWeb(true, 160, *duration, costs)))
-		fmt.Print(bench.FormatSpecWeb(bench.RunSpecWeb(false, 160, *duration, costs)))
-		return nil
+		edge := bench.RunSpecWeb(true, 160, *duration, costs)
+		origin := bench.RunSpecWeb(false, 160, *duration, costs)
+		fmt.Print(bench.FormatSpecWeb(edge))
+		fmt.Print(bench.FormatSpecWeb(origin))
+		return struct {
+			Costs   bench.SpecWebCosts
+			Results []bench.SpecWebResult
+		}{costs, []bench.SpecWebResult{edge, origin}}, nil
 	})
 
-	run("extensions", func() error {
-		fmt.Print(bench.FormatExtensions(bench.Extensions()))
-		return nil
+	run("extensions", func() (interface{}, error) {
+		exts := bench.Extensions()
+		fmt.Print(bench.FormatExtensions(exts))
+		return exts, nil
 	})
 }

@@ -4,6 +4,14 @@
 // to append .nakika.net to the hostname and pointing that name at this node.
 //
 //	nakikad -listen :8080 -name edge-1 -region us-east -local 10.0.0.0/8
+//
+// Several nakikad processes form a cooperative cluster over the TCP
+// transport: give each a -rpc listen address and the name=address pairs of
+// its peers. Overlay routing, cooperative cache fetches, and hard-state
+// replication then flow between the processes on length-prefixed frames:
+//
+//	nakikad -listen :8080 -name edge-1 -rpc :9091 -peers edge-2=host2:9092
+//	nakikad -listen :8081 -name edge-2 -rpc :9092 -peers edge-1=host1:9091
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 
 	"nakika"
 	"nakika/internal/resource"
+	"nakika/internal/transport"
 )
 
 func main() {
@@ -26,6 +35,8 @@ func main() {
 	serverWall := flag.String("serverwall", "", "override URL of the server-side administrative control script")
 	enableRes := flag.Bool("resource-controls", true, "enable congestion-based resource controls")
 	cpuCapacity := flag.Float64("cpu-capacity", 50_000_000, "CPU capacity (script steps) per control interval")
+	rpcAddr := flag.String("rpc", "", "TCP transport listen address for cluster traffic (empty: single-node)")
+	peers := flag.String("peers", "", "comma-separated name=host:port pairs of cluster peers")
 	flag.Parse()
 
 	cfg := nakika.Config{
@@ -46,12 +57,47 @@ func main() {
 			cfg.LocalNetworks = append(cfg.LocalNetworks, cidr)
 		}
 	}
+
+	// Cluster mode: an overlay ring over the TCP wire transport. This
+	// process serves its own node; peers are remote membership stubs
+	// reached through the address book.
+	var tcp *transport.TCP
+	peerCount := 0
+	if *rpcAddr != "" {
+		tcp = transport.NewTCP()
+		ring := nakika.NewRing()
+		ring.Transport = tcp
+		cfg.Ring = ring
+		cfg.Transport = tcp
+		for _, pair := range strings.Split(*peers, ",") {
+			if pair = strings.TrimSpace(pair); pair == "" {
+				continue
+			}
+			nameAddr := strings.SplitN(pair, "=", 2)
+			if len(nameAddr) != 2 {
+				log.Fatalf("nakikad: bad -peers entry %q (want name=host:port)", pair)
+			}
+			ring.AddRemote(nameAddr[0], "remote")
+			tcp.AddPeer(nameAddr[0], nameAddr[1])
+			peerCount++
+		}
+	}
+
 	node, err := nakika.NewNode(cfg)
 	if err != nil {
 		log.Fatalf("nakikad: %v", err)
 	}
+	if tcp != nil {
+		addr, err := tcp.Listen(*rpcAddr)
+		if err != nil {
+			log.Fatalf("nakikad: rpc listen: %v", err)
+		}
+		log.Printf("nakikad: cluster transport on %s (%d peers)", addr, peerCount)
+	}
 
-	// Background loops: congestion control and access-log flushing.
+	// Background loops: congestion control, access-log flushing, and (in
+	// cluster mode) retries of cooperative-cache publishes that failed
+	// while a peer was unreachable.
 	go func() {
 		for {
 			time.Sleep(250 * time.Millisecond)
@@ -66,6 +112,14 @@ func main() {
 			}
 		}
 	}()
+	if tcp != nil {
+		go func() {
+			for {
+				time.Sleep(5 * time.Second)
+				node.RepublishPending()
+			}
+		}()
+	}
 
 	log.Printf("nakikad: node %s (%s) listening on %s", *name, *region, *listen)
 	log.Fatal(http.ListenAndServe(*listen, node))

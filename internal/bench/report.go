@@ -1,10 +1,42 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 )
+
+// JSONReport is the machine-readable envelope nakika-bench writes next to
+// its human-readable tables: one BENCH_<experiment>.json file per
+// experiment. Data holds the experiment's result structs verbatim;
+// time.Duration fields serialize as integer nanoseconds (DurationUnit
+// records that for consumers).
+type JSONReport struct {
+	Experiment   string      `json:"experiment"`
+	DurationUnit string      `json:"duration_unit"`
+	Data         interface{} `json:"data"`
+}
+
+// WriteBenchJSON writes BENCH_<experiment>.json into dir and returns the
+// path.
+func WriteBenchJSON(dir, experiment string, data interface{}) (string, error) {
+	report := JSONReport{Experiment: experiment, DurationUnit: "ns", Data: data}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+experiment+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
 
 // FormatTable2 renders Table 2 (latency in milliseconds per configuration,
 // cold and warm cache) in the paper's layout.

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	rows := []MicroResult{{Cold: 2 * time.Millisecond, Warm: 500 * time.Microsecond}}
+	path, err := WriteBenchJSON(dir, "table2", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_table2.json" {
+		t.Errorf("path = %s", path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Experiment   string          `json:"experiment"`
+		DurationUnit string          `json:"duration_unit"`
+		Data         []MicroResult   `json:"data"`
+		Extra        json.RawMessage `json:"-"`
+	}
+	if err := json.Unmarshal(b, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Experiment != "table2" || report.DurationUnit != "ns" {
+		t.Errorf("envelope = %+v", report)
+	}
+	if len(report.Data) != 1 || report.Data[0].Cold != 2*time.Millisecond {
+		t.Errorf("data round trip = %+v", report.Data)
+	}
+}

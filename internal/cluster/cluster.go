@@ -1,0 +1,282 @@
+// Package cluster is a deterministic fault-injection harness for whole
+// clusters of Na Kika edge nodes: it boots N nodes that communicate over
+// the simulated transport, runs scripted fault schedules (partitions,
+// crashes, latency and loss changes) at virtual times, and checks
+// distributed invariants — lookup convergence after churn, at-most-one
+// origin fetch per contested key, no lost cooperative-cache publishes after
+// a partition heals.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nakika/internal/core"
+	"nakika/internal/httpmsg"
+	"nakika/internal/overlay"
+	"nakika/internal/transport"
+)
+
+// Config sizes and seeds a simulated cluster.
+type Config struct {
+	// N is the number of nodes (named node-0..node-N-1).
+	N int
+	// Seed drives the simulated network's fault randomness.
+	Seed int64
+	// Latency is the default one-way message latency; zero means 1ms.
+	Latency time.Duration
+	// Regions are assigned round-robin; empty means three default regions.
+	Regions []string
+	// TTL overrides the overlay index TTL.
+	TTL time.Duration
+	// Manual switches the overlay to incremental maintenance
+	// (Stabilize/FixFingers) instead of instant convergence.
+	Manual bool
+	// Mutate, when non-nil, adjusts each node's Config before boot.
+	Mutate func(i int, cfg *core.Config)
+}
+
+// Cluster is a booted set of nodes over one simulated network.
+type Cluster struct {
+	Sim  *transport.Sim
+	Ring *overlay.Ring
+
+	cfg   Config
+	names []string
+	nodes map[string]*core.Node
+}
+
+// New boots the cluster with every node proxying for origin.
+func New(cfg Config, origin core.Fetcher) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	regions := cfg.Regions
+	if len(regions) == 0 {
+		regions = []string{"us-east", "eu-west", "ap-south"}
+	}
+	sim := transport.NewSim(transport.SimConfig{Seed: cfg.Seed, DefaultLatency: cfg.Latency})
+	ring := overlay.NewRing()
+	ring.Transport = sim
+	ring.ManualMaintenance = cfg.Manual
+	if cfg.TTL > 0 {
+		ring.DefaultTTL = cfg.TTL
+	}
+	c := &Cluster{Sim: sim, Ring: ring, cfg: cfg, nodes: make(map[string]*core.Node)}
+	for i := 0; i < cfg.N; i++ {
+		name := fmt.Sprintf("node-%d", i)
+		nodeCfg := core.Config{
+			Name:     name,
+			Region:   regions[i%len(regions)],
+			Upstream: origin,
+			Ring:     ring,
+		}
+		if cfg.Mutate != nil {
+			cfg.Mutate(i, &nodeCfg)
+		}
+		n, err := core.NewNode(nodeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: boot %s: %w", name, err)
+		}
+		c.names = append(c.names, name)
+		c.nodes[name] = n
+	}
+	return c, nil
+}
+
+// Names returns the node names in boot order.
+func (c *Cluster) Names() []string { return append([]string(nil), c.names...) }
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *core.Node { return c.nodes[c.names[i]] }
+
+// NodeByName returns the named node, or nil.
+func (c *Cluster) NodeByName(name string) *core.Node { return c.nodes[name] }
+
+// Handle runs one GET through the named node.
+func (c *Cluster) Handle(node, url string) (*httpmsg.Response, error) {
+	n := c.nodes[node]
+	if n == nil {
+		return nil, fmt.Errorf("cluster: unknown node %s", node)
+	}
+	resp, _, err := n.Handle(httpmsg.MustRequest("GET", url))
+	return resp, err
+}
+
+// Partition splits the network into groups (unlisted nodes form their own
+// side); Heal removes it.
+func (c *Cluster) Partition(groups ...[]string) { c.Sim.Partition(groups...) }
+
+// Heal removes every partition.
+func (c *Cluster) Heal() { c.Sim.Heal() }
+
+// Crash makes a node unreachable and discards its soft state (overlay
+// index slice and proxy cache), as a real process crash would.
+func (c *Cluster) Crash(name string) {
+	c.Sim.Crash(name)
+	if n := c.nodes[name]; n != nil {
+		if ov := n.Overlay(); ov != nil {
+			ov.DropIndex()
+		}
+		n.Cache().Clear()
+	}
+}
+
+// Restart brings a crashed node back (empty-handed: its caches were lost).
+func (c *Cluster) Restart(name string) { c.Sim.Restart(name) }
+
+// Live reports whether the node is currently not crashed.
+func (c *Cluster) Live(name string) bool { return !c.Sim.Crashed(name) }
+
+// StabilizeAll runs overlay maintenance rounds across live nodes.
+func (c *Cluster) StabilizeAll(rounds int) { c.Ring.StabilizeAll(rounds) }
+
+// RepublishAll retries failed cooperative-cache publishes on every live
+// node and returns the number still pending.
+func (c *Cluster) RepublishAll() int {
+	pending := 0
+	for _, name := range c.names {
+		if !c.Live(name) {
+			continue
+		}
+		pending += c.nodes[name].RepublishPending()
+	}
+	return pending
+}
+
+// Owner returns the membership ground-truth owner of the cache key for a
+// GET of url.
+func (c *Cluster) Owner(url string) string {
+	return c.Ring.Successor(httpmsg.MustRequest("GET", url).CacheKey()).Name
+}
+
+// CheckLookupConvergence verifies that every live node resolves each key's
+// owner to the membership ground truth; it returns the disagreements.
+func (c *Cluster) CheckLookupConvergence(urls ...string) error {
+	var bad []string
+	for _, url := range urls {
+		key := httpmsg.MustRequest("GET", url).CacheKey()
+		want := c.Ring.Successor(key).Name
+		for _, name := range c.names {
+			if !c.Live(name) {
+				continue
+			}
+			got, _, err := c.nodes[name].Overlay().LookupName(key)
+			if err != nil {
+				bad = append(bad, fmt.Sprintf("%s: lookup %q: %v", name, url, err))
+				continue
+			}
+			if got != want {
+				bad = append(bad, fmt.Sprintf("%s resolves %q to %s, ground truth %s", name, url, got, want))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("cluster: lookup not converged:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// Holders asks the overlay (from the given node) who holds cached copies
+// of url, sorted.
+func (c *Cluster) Holders(node, url string) []string {
+	key := httpmsg.MustRequest("GET", url).CacheKey()
+	holders, _ := c.nodes[node].Overlay().Locate(key)
+	sort.Strings(holders)
+	return holders
+}
+
+// ---------------------------------------------------------------------------
+// Counting origin
+// ---------------------------------------------------------------------------
+
+// CountingOrigin is an in-memory origin that counts hits per URL and can
+// gate a URL so a fetch blocks mid-flight (for stampede scenarios: the
+// harness injects a fault while the leader's origin fetch is held open).
+type CountingOrigin struct {
+	mu    sync.Mutex
+	pages map[string]*httpmsg.Response
+	hits  map[string]int
+	gates map[string]chan struct{}
+	// waiting counts fetchers currently blocked on a gate, per URL.
+	waiting map[string]int
+}
+
+// NewCountingOrigin returns an empty origin.
+func NewCountingOrigin() *CountingOrigin {
+	return &CountingOrigin{
+		pages:   make(map[string]*httpmsg.Response),
+		hits:    make(map[string]int),
+		gates:   make(map[string]chan struct{}),
+		waiting: make(map[string]int),
+	}
+}
+
+// AddPage serves body at url with the given freshness lifetime.
+func (o *CountingOrigin) AddPage(url, body string, maxAge int) {
+	r := httpmsg.NewHTMLResponse(200, body)
+	if maxAge > 0 {
+		r.SetMaxAge(maxAge)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pages[url] = r
+}
+
+// Gate installs a gate on url: fetches block until Release.
+func (o *CountingOrigin) Gate(url string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.gates[url] = make(chan struct{})
+}
+
+// Release opens url's gate, letting blocked fetches complete.
+func (o *CountingOrigin) Release(url string) {
+	o.mu.Lock()
+	gate := o.gates[url]
+	delete(o.gates, url)
+	o.mu.Unlock()
+	if gate != nil {
+		close(gate)
+	}
+}
+
+// Waiting reports how many fetches are currently blocked on url's gate.
+func (o *CountingOrigin) Waiting(url string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.waiting[url]
+}
+
+// Hits returns the fetch count for url.
+func (o *CountingOrigin) Hits(url string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.hits[url]
+}
+
+// Do implements core.Fetcher.
+func (o *CountingOrigin) Do(req *httpmsg.Request) (*httpmsg.Response, error) {
+	url := req.URL.String()
+	o.mu.Lock()
+	o.hits[url]++
+	gate := o.gates[url]
+	if gate != nil {
+		o.waiting[url]++
+	}
+	page := o.pages[url]
+	o.mu.Unlock()
+	if gate != nil {
+		<-gate
+		o.mu.Lock()
+		o.waiting[url]--
+		o.mu.Unlock()
+	}
+	if page == nil {
+		return httpmsg.NewTextResponse(404, "not found"), nil
+	}
+	return page.Clone(), nil
+}

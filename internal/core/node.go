@@ -5,6 +5,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"net"
 	"net/http"
@@ -20,6 +22,7 @@ import (
 	"nakika/internal/resource"
 	"nakika/internal/script"
 	"nakika/internal/state"
+	"nakika/internal/transport"
 )
 
 // Fetcher retrieves a resource from an upstream server. The default fetcher
@@ -89,11 +92,19 @@ type Config struct {
 	LocalNetworks []string
 	// Ring is the shared overlay; nil disables cooperative caching.
 	Ring *overlay.Ring
-	// Directory locates peer nodes for cooperative cache fetches; nil
-	// disables peer fetches even when Ring is set.
+	// Transport carries peer-to-peer traffic (cooperative cache fetches,
+	// state replication, and — via the Ring — overlay routing). Nil means
+	// the Ring's transport, so in-process nodes sharing a Ring communicate
+	// by direct calls exactly as before; pass a TCP or simulated transport
+	// to run the same protocol across processes or under fault injection.
+	Transport transport.Transport
+	// Directory locates peer nodes in-process; retained for embedding
+	// API compatibility (peer cache fetches now ride the Transport).
 	Directory *Directory
 	// Bus is the shared reliable messaging service for hard state
-	// replication; nil disables replication.
+	// replication. Nil with a Ring and Transport configured means a
+	// node-private bus whose updates are replicated over the transport;
+	// nil without them disables replication.
 	Bus *state.Bus
 	// StateQuota is the per-site persistent storage quota in bytes.
 	StateQuota int64
@@ -154,10 +165,16 @@ type Node struct {
 	store    *state.Store
 	log      *state.AccessLog
 	overlay  *overlay.Node
+	tr       transport.Transport
+	bus      *state.Bus
 	localNet []*net.IPNet
 	replicas map[string]*state.Replica
 	repMu    sync.Mutex
 	flights  flightGroup
+	// pendingPub holds cache keys whose overlay publish failed (index owner
+	// partitioned or crashed); RepublishPending retries them after heal.
+	pubMu      sync.Mutex
+	pendingPub map[string]struct{}
 
 	requests      atomic.Int64
 	cacheHits     atomic.Int64
@@ -184,11 +201,12 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.ScriptLimits.MaxHeapBytes = 64 << 20
 	}
 	n := &Node{
-		cfg:      cfg,
-		cache:    cache.New(cfg.Cache),
-		store:    state.NewStore(cfg.StateQuota),
-		log:      state.NewAccessLog(),
-		replicas: make(map[string]*state.Replica),
+		cfg:        cfg,
+		cache:      cache.New(cfg.Cache),
+		store:      state.NewStore(cfg.StateQuota),
+		log:        state.NewAccessLog(),
+		replicas:   make(map[string]*state.Replica),
+		pendingPub: make(map[string]struct{}),
 	}
 	for _, cidr := range cfg.LocalNetworks {
 		_, ipnet, err := net.ParseCIDR(cidr)
@@ -221,6 +239,31 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Directory != nil {
 		cfg.Directory.Register(n)
 	}
+	n.tr = cfg.Transport
+	if n.tr == nil && cfg.Ring != nil {
+		n.tr = cfg.Ring.Transport
+	}
+	// Hard state replication: a shared Bus keeps the original direct-call
+	// semantics; otherwise, with peers reachable over the transport, each
+	// node runs a private bus whose updates are broadcast as state.update
+	// messages.
+	n.bus = cfg.Bus
+	if n.bus == nil && n.tr != nil && cfg.Ring != nil {
+		n.bus = state.NewBus()
+		n.bus.Remote = n.broadcastState
+	}
+	if n.tr != nil {
+		// One registered name serves every subsystem: overlay routing and
+		// index RPCs, cooperative cache fetches, and state replication.
+		// This replaces the overlay-only handler Ring.Join registered.
+		mux := transport.NewMux()
+		if n.overlay != nil {
+			mux.Route("ov.", n.overlay.ServeRPC)
+		}
+		mux.Route("cache.", n.serveCacheRPC)
+		mux.Route("state.", n.serveStateRPC)
+		n.tr.Register(cfg.Name, mux.Serve)
+	}
 	return n, nil
 }
 
@@ -243,6 +286,10 @@ func (n *Node) AccessLog() *state.AccessLog { return n.log }
 // Loader exposes the stage loader (extensions inject generated stages with
 // it).
 func (n *Node) Loader() *pipeline.Loader { return n.loader }
+
+// Overlay exposes the node's overlay membership (nil without a Ring); the
+// cluster harness uses it to drive maintenance and inspect routing state.
+func (n *Node) Overlay() *overlay.Node { return n.overlay }
 
 // SetResourceControls enables or disables congestion-based resource
 // controls at runtime (the Section 5.1 comparison).
@@ -357,24 +404,22 @@ func (n *Node) fetchMiss(key string, req *httpmsg.Request) (*httpmsg.Response, e
 		return resp, nil
 	}
 	// Cooperative cache: ask the overlay who has a copy and fetch it from
-	// that peer's cache.
-	if n.overlay != nil && n.cfg.Directory != nil {
+	// that peer's cache over the transport.
+	if n.overlay != nil && n.tr != nil {
 		holders, _ := n.overlay.Locate(key)
 		for _, holder := range holders {
 			if holder == n.cfg.Name {
 				continue
 			}
-			peer := n.cfg.Directory.Lookup(holder)
-			if peer == nil {
+			resp := n.peerFetch(holder, key)
+			if resp == nil {
 				continue
 			}
-			if resp := peer.cache.Get(key); resp != nil {
-				n.peerHits.Add(1)
-				resp.Via = holder
-				n.cache.Put(key, resp)
-				n.publish(key)
-				return resp, nil
-			}
+			n.peerHits.Add(1)
+			resp.Via = holder
+			n.cache.Put(key, resp)
+			n.publish(key)
+			return resp, nil
 		}
 	}
 
@@ -399,9 +444,151 @@ func (n *Node) publish(key string) {
 	if n.overlay == nil {
 		return
 	}
-	// Publication failures (empty ring) are harmless: the local cache still
-	// has the copy.
-	_, _ = n.overlay.Publish(key)
+	// Publication failures are not fatal — the local cache still has the
+	// copy — but under partitions they would silently shrink the
+	// cooperative index, so failed publishes are remembered and retried by
+	// RepublishPending after the network heals.
+	if _, err := n.overlay.Publish(key); err != nil {
+		n.pubMu.Lock()
+		n.pendingPub[key] = struct{}{}
+		n.pubMu.Unlock()
+	}
+}
+
+// RepublishPending retries overlay publishes that failed while the index
+// owner was unreachable, dropping keys that have since left the local
+// cache. It returns the number of entries still pending afterwards.
+func (n *Node) RepublishPending() int {
+	if n.overlay == nil {
+		return 0
+	}
+	n.pubMu.Lock()
+	keys := make([]string, 0, len(n.pendingPub))
+	for k := range n.pendingPub {
+		keys = append(keys, k)
+	}
+	n.pubMu.Unlock()
+	for _, key := range keys {
+		if n.cache.Get(key) == nil {
+			n.pubMu.Lock()
+			delete(n.pendingPub, key)
+			n.pubMu.Unlock()
+			continue
+		}
+		if _, err := n.overlay.Publish(key); err == nil {
+			n.pubMu.Lock()
+			delete(n.pendingPub, key)
+			n.pubMu.Unlock()
+		}
+	}
+	n.pubMu.Lock()
+	defer n.pubMu.Unlock()
+	return len(n.pendingPub)
+}
+
+// ---------------------------------------------------------------------------
+// Peer RPC: cooperative cache fetches and state replication
+// ---------------------------------------------------------------------------
+
+// encodeResponse and decodeResponse carry a cached response across the
+// transport (all Response fields are exported, so gob round-trips it).
+func encodeResponse(resp *httpmsg.Response) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeResponse(b []byte) (*httpmsg.Response, error) {
+	var resp httpmsg.Response
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// peerFetch retrieves key from a peer's cache over the transport; nil means
+// the peer is unreachable, errored, or no longer holds the key.
+func (n *Node) peerFetch(holder, key string) *httpmsg.Response {
+	reply, err := n.tr.Call(n.cfg.Name, holder, transport.Message{Type: "cache.get", Key: key})
+	if err != nil || len(reply.Args) == 0 || reply.Args[0] != "hit" {
+		return nil
+	}
+	resp, err := decodeResponse(reply.Body)
+	if err != nil {
+		return nil
+	}
+	return resp
+}
+
+// serveCacheRPC answers peers' cooperative-cache fetches.
+func (n *Node) serveCacheRPC(from string, msg transport.Message) (transport.Message, error) {
+	switch msg.Type {
+	case "cache.get":
+		resp := n.cache.Get(msg.Key)
+		if resp == nil {
+			return transport.Message{Args: []string{"miss"}}, nil
+		}
+		body, err := encodeResponse(resp)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.Message{Args: []string{"hit"}, Body: body}, nil
+	default:
+		return transport.Message{}, fmt.Errorf("core: unknown cache message %q", msg.Type)
+	}
+}
+
+// broadcastState replicates one locally published state update to every
+// other ring member over the transport. Delivery is optimistic
+// (last-writer-wins, per the paper's default strategy): unreachable peers
+// simply miss the update. The fan-out is concurrent across peers — one
+// dead peer costs at most one call timeout, not a timeout per peer — but
+// each update completes before the next is sent, preserving per-peer
+// update order.
+func (n *Node) broadcastState(msg state.Message) {
+	if n.cfg.Ring == nil || n.tr == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, peer := range n.cfg.Ring.Nodes() {
+		if peer == n.cfg.Name {
+			continue
+		}
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			_, _ = n.tr.Call(n.cfg.Name, peer, transport.Message{Type: "state.update", Body: buf.Bytes()})
+		}(peer)
+	}
+	wg.Wait()
+}
+
+// serveStateRPC applies replication updates received from peers.
+func (n *Node) serveStateRPC(from string, msg transport.Message) (transport.Message, error) {
+	switch msg.Type {
+	case "state.update":
+		var m state.Message
+		if err := gob.NewDecoder(bytes.NewReader(msg.Body)).Decode(&m); err != nil {
+			return transport.Message{}, err
+		}
+		if n.bus == nil {
+			return transport.Message{}, fmt.Errorf("core: no bus to apply state update")
+		}
+		// Touch the replica so a node that has never served the site still
+		// applies the update (the shared-bus mode attaches lazily too, but
+		// a remote update is an explicit signal the site is active).
+		n.replica(m.Site)
+		n.bus.Inject(m)
+		return transport.Message{}, nil
+	default:
+		return transport.Message{}, fmt.Errorf("core: unknown state message %q", msg.Type)
+	}
 }
 
 // FlushLogs posts accumulated access-log entries to each site's configured
@@ -435,8 +622,8 @@ func (n *Node) replica(site string) *state.Replica {
 	if r, ok := n.replicas[site]; ok {
 		return r
 	}
-	r := &state.Replica{Site: site, Node: n.cfg.Name, Store: n.store, Bus: n.cfg.Bus}
-	if n.cfg.Bus != nil {
+	r := &state.Replica{Site: site, Node: n.cfg.Name, Store: n.store, Bus: n.bus}
+	if n.bus != nil {
 		r.Attach()
 	}
 	n.replicas[site] = r
@@ -512,7 +699,7 @@ func (n *Node) StateGet(site, key string) (string, bool) { return n.replica(site
 // a bus is configured.
 func (n *Node) StatePut(site, key, value string) error {
 	r := n.replica(site)
-	if n.cfg.Bus == nil {
+	if n.bus == nil {
 		return n.store.Put(site, key, value)
 	}
 	return r.Put(key, value)
@@ -521,7 +708,7 @@ func (n *Node) StatePut(site, key, value string) error {
 // StateDelete removes site-partitioned hard state.
 func (n *Node) StateDelete(site, key string) {
 	r := n.replica(site)
-	if n.cfg.Bus == nil {
+	if n.bus == nil {
 		n.store.Delete(site, key)
 		return
 	}
@@ -533,10 +720,10 @@ func (n *Node) StateKeys(site string) []string { return n.store.Keys(site) }
 
 // Propagate sends an application-level replication message for site.
 func (n *Node) Propagate(site, message string) error {
-	if n.cfg.Bus == nil {
+	if n.bus == nil {
 		return fmt.Errorf("core: no messaging service configured")
 	}
-	n.cfg.Bus.Publish(site, n.cfg.Name, message)
+	n.bus.Publish(site, n.cfg.Name, message)
 	return nil
 }
 

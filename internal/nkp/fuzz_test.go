@@ -1,0 +1,69 @@
+package nkp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the Na Kika Pages splitter on arbitrary input. Two
+// properties must hold: Parse never panics, and when it succeeds the
+// segments reassemble byte-for-byte into the original page (the splitter
+// is lossless).
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("<html>plain markup, no code</html>")
+	f.Add(`<html><?nkp echo("hi"); ?></html>`)
+	f.Add("<?nkp x = 1; ?><p><?nkp echo(x); ?></p>")
+	f.Add("<?nkp unterminated")
+	f.Add("text <?nkp a ?> mid <?nkp b ?> tail")
+	f.Add("nested markers <?nkp \"?>\" ?>")
+	f.Add("<?nkp<?nkp?>?>")
+	// Seed with real scripts from examples/: embedded page-like content and
+	// raw Go source both make useful corpora for the splitter.
+	for _, src := range exampleSeeds(f) {
+		f.Add(src)
+		f.Add("<html><?nkp " + src + " ?></html>")
+	}
+	f.Fuzz(func(t *testing.T, page string) {
+		segs, err := Parse(page)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		for _, s := range segs {
+			if s.Code {
+				sb.WriteString("<?nkp")
+				sb.WriteString(s.Text)
+				sb.WriteString("?>")
+			} else {
+				sb.WriteString(s.Text)
+			}
+		}
+		if sb.String() != page {
+			t.Fatalf("segments do not reassemble input:\n in: %q\nout: %q", page, sb.String())
+		}
+		for _, s := range segs {
+			if !s.Code && s.Text == "" {
+				t.Fatal("empty literal segment emitted")
+			}
+		}
+	})
+}
+
+// exampleSeeds loads the example programs' source (which embed NKScript
+// site scripts) as corpus seeds.
+func exampleSeeds(f *testing.F) []string {
+	f.Helper()
+	paths, _ := filepath.Glob("../../examples/*/main.go")
+	var out []string
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		out = append(out, string(b))
+	}
+	return out
+}

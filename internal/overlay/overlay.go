@@ -3,10 +3,10 @@
 //
 // The paper treats the overlay largely as a black box provided by an
 // existing DHT (Coral in the prototype). This reproduction provides a
-// Chord-style consistent-hashing overlay with successor lists: node and key
-// identifiers are SHA-1 hashes on a 160-bit ring, each node maintains a
-// finger table for O(log n) lookups, and the key-to-node mapping is used for
-// two purposes:
+// Chord-style consistent-hashing overlay with per-node routing state: node
+// and key identifiers are SHA-1 hashes on a 160-bit ring, each node
+// maintains a successor list and a finger table for O(log n) lookups, and
+// the key-to-node mapping is used for two purposes:
 //
 //   - a cooperative cache index mapping resource cache keys to the nodes
 //     that hold cached copies, so one cached copy anywhere in the network is
@@ -14,21 +14,22 @@
 //   - a redirector that stands in for Coral's DNS redirection, returning a
 //     nearby node for a client region.
 //
-// The overlay here is an in-process simulation of the distributed protocol:
-// all nodes live in one Ring and communicate through direct method calls
-// while the routing logic (successors, fingers, hop counting) is faithful to
-// the distributed algorithm. Wide-area costs are injected by the simnet
-// package at the experiment layer.
+// All inter-node protocol traffic — iterative lookups, index
+// publish/locate, successor-list and finger maintenance — flows through a
+// transport.Transport. The default transport is direct in-process calls
+// (the original single-process simulation); the same protocol code runs
+// over the TCP transport for real multi-process clusters and over the
+// fault-injecting simulated transport for partition/churn testing.
 package overlay
 
 import (
 	"crypto/sha1"
 	"encoding/binary"
-	"fmt"
-	"math/bits"
 	"sort"
 	"sync"
 	"time"
+
+	"nakika/internal/transport"
 )
 
 // ID is a point on the 160-bit ring, truncated to 64 bits for arithmetic
@@ -59,6 +60,14 @@ type Entry struct {
 	Expires  time.Time
 }
 
+// ref names a node position on the ring; routing tables hold refs rather
+// than node pointers so the same tables describe in-process and remote
+// peers. A zero ref (empty name) means "unknown".
+type ref struct {
+	name string
+	id   ID
+}
+
 // Node is a member of the overlay.
 type Node struct {
 	Name   string
@@ -69,11 +78,15 @@ type Node struct {
 	ring    *Ring
 	index   map[string][]Entry // keys this node is responsible for
 	alive   bool
+	remote  bool // membership stub for a node served by another process
+	pred    ref
+	succs   []ref
+	fingers []ref // fingers[b] ~ successor(ID + 2^b)
 	lookups int64
 	hops    int64
 }
 
-// Stats reports per-node overlay activity.
+// NodeStats reports per-node overlay activity.
 type NodeStats struct {
 	Lookups   int64
 	TotalHops int64
@@ -87,8 +100,39 @@ func (n *Node) Stats() NodeStats {
 	return NodeStats{Lookups: n.lookups, TotalHops: n.hops, IndexKeys: len(n.index)}
 }
 
-// Ring is the in-process overlay: the set of member nodes plus the routing
-// structures. All methods are safe for concurrent use.
+// Successors returns the names in the node's current successor list.
+func (n *Node) Successors() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.succs))
+	for i, s := range n.succs {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Predecessor returns the node's current predecessor name ("" if unknown).
+func (n *Node) Predecessor() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pred.name
+}
+
+// DropIndex discards the node's cooperative-cache index, simulating the
+// loss of soft state when a node crashes.
+func (n *Node) DropIndex() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.index = make(map[string][]Entry)
+}
+
+// Ring is the overlay membership authority: the set of member nodes plus
+// the ground-truth key-to-node mapping (what a perfectly converged network
+// would compute). Message traffic between nodes goes through Transport; the
+// per-node routing tables are either kept exactly converged on every
+// membership change (the default, matching the seed's instant-convergence
+// model) or repaired incrementally through Stabilize/FixFingers rounds when
+// ManualMaintenance is set. All methods are safe for concurrent use.
 type Ring struct {
 	mu    sync.RWMutex
 	nodes map[string]*Node
@@ -99,11 +143,28 @@ type Ring struct {
 	DefaultTTL time.Duration
 	// Clock returns the current time; nil means time.Now.
 	Clock func() time.Time
+	// Transport carries all inter-node messages. NewRing installs the
+	// direct-call transport; replace it (before the first Join) to run the
+	// overlay over TCP or the fault-injecting simulated network.
+	Transport transport.Transport
+	// SuccListLen is the successor-list length (fault tolerance of routing
+	// under churn); zero means 4.
+	SuccListLen int
+	// ManualMaintenance, when set, stops the ring from rebuilding every
+	// node's routing tables on membership changes: a joining node is seeded
+	// with correct tables, but existing nodes only learn about joins,
+	// leaves, and failures through Stabilize/FixFingers rounds — the mode
+	// the churn tests and the cluster harness exercise.
+	ManualMaintenance bool
 }
 
-// NewRing returns an empty overlay.
+// NewRing returns an empty overlay using the in-process transport.
 func NewRing() *Ring {
-	return &Ring{nodes: make(map[string]*Node), byID: make(map[ID]*Node)}
+	return &Ring{
+		nodes:     make(map[string]*Node),
+		byID:      make(map[ID]*Node),
+		Transport: transport.NewLocal(),
+	}
 }
 
 func (r *Ring) now() time.Time {
@@ -120,36 +181,76 @@ func (r *Ring) ttl() time.Duration {
 	return 60 * time.Second
 }
 
-// Join adds a node with the given name and region to the overlay and returns
-// it. Joining is idempotent: re-joining an existing name returns the
-// existing node. This models the paper's low-administrative-overhead
-// addition of nodes.
+func (r *Ring) succListLen() int {
+	if r.SuccListLen > 0 {
+		return r.SuccListLen
+	}
+	return 4
+}
+
+// Join adds a node with the given name and region to the overlay and
+// returns it. Joining is idempotent: re-joining an existing name returns
+// the existing node. This models the paper's low-administrative-overhead
+// addition of nodes. The node's RPC handler is registered on the ring's
+// transport; a caller that serves several subsystems under one name (see
+// core.Node) re-registers a mux over it afterwards.
 func (r *Ring) Join(name, region string) *Node {
+	n := r.join(name, region, false)
+	r.Transport.Register(name, n.ServeRPC)
+	return n
+}
+
+// AddRemote records membership of a node served by another process (over
+// the TCP transport): it participates in the key-to-node mapping and can be
+// the target of calls, but no handler is registered locally.
+func (r *Ring) AddRemote(name, region string) *Node {
+	return r.join(name, region, true)
+}
+
+func (r *Ring) join(name, region string, remote bool) *Node {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if n, ok := r.nodes[name]; ok {
+		n.mu.Lock()
 		n.alive = true
+		n.mu.Unlock()
 		return n
 	}
-	n := &Node{Name: name, Region: region, ID: HashID(name), ring: r, index: make(map[string][]Entry), alive: true}
+	n := &Node{
+		Name:   name,
+		Region: region,
+		ID:     HashID(name),
+		ring:   r,
+		index:  make(map[string][]Entry),
+		alive:  true,
+		remote: remote,
+	}
 	r.nodes[name] = n
 	r.byID[n.ID] = n
 	r.sorted = append(r.sorted, n.ID)
 	sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+	if r.ManualMaintenance {
+		r.seedRoutingLocked(n)
+	} else {
+		r.rebuildRoutingLocked()
+	}
 	return n
 }
 
-// Leave removes a node from the overlay. Index entries owned by the departed
-// node become the responsibility of its successor on the next publish; the
-// expiration-based consistency model tolerates the transient loss.
+// Leave removes a node from the overlay. Index entries owned by the
+// departed node become the responsibility of its successor on the next
+// publish; the expiration-based consistency model tolerates the transient
+// loss.
 func (r *Ring) Leave(name string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	n, ok := r.nodes[name]
 	if !ok {
+		r.mu.Unlock()
 		return
 	}
+	n.mu.Lock()
 	n.alive = false
+	n.mu.Unlock()
 	delete(r.nodes, name)
 	delete(r.byID, n.ID)
 	for i, id := range r.sorted {
@@ -158,6 +259,11 @@ func (r *Ring) Leave(name string) {
 			break
 		}
 	}
+	if !r.ManualMaintenance {
+		r.rebuildRoutingLocked()
+	}
+	r.mu.Unlock()
+	r.Transport.Unregister(name)
 }
 
 // Size returns the number of live nodes.
@@ -179,8 +285,16 @@ func (r *Ring) Nodes() []string {
 	return out
 }
 
-// successorLocked returns the node responsible for id: the first node whose
-// ID is >= id, wrapping around the ring.
+// NodeByName returns the member (or remote stub) with the given name, or
+// nil.
+func (r *Ring) NodeByName(name string) *Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nodes[name]
+}
+
+// successorLocked returns the node responsible for id per the membership
+// ground truth: the first node whose ID is >= id, wrapping around the ring.
 func (r *Ring) successorLocked(id ID) *Node {
 	if len(r.sorted) == 0 {
 		return nil
@@ -192,143 +306,12 @@ func (r *Ring) successorLocked(id ID) *Node {
 	return r.byID[r.sorted[i]]
 }
 
-// Successor returns the node responsible for key.
+// Successor returns the node responsible for key per the membership ground
+// truth (what routing converges to).
 func (r *Ring) Successor(key string) *Node {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.successorLocked(HashID(key))
-}
-
-// Lookup routes from the starting node to the node responsible for key,
-// counting the routing hops a distributed Chord deployment would take
-// (each hop at least halves the remaining ring distance). The hop count is
-// what the simnet layer converts into wide-area latency.
-func (n *Node) Lookup(key string) (*Node, int) {
-	r := n.ring
-	r.mu.RLock()
-	target := HashID(key)
-	owner := r.successorLocked(target)
-	size := len(r.sorted)
-	r.mu.RUnlock()
-	if owner == nil {
-		return nil, 0
-	}
-	// Chord routes in O(log2 n) hops; compute the hop count deterministically
-	// from the ring distance so repeated lookups are stable.
-	hops := chordHops(n.ID, owner.ID, size)
-	n.mu.Lock()
-	n.lookups++
-	n.hops += int64(hops)
-	n.mu.Unlock()
-	return owner, hops
-}
-
-// chordHops estimates the number of routing hops between two ring positions
-// in a network of size nodes, as ceil(log2(distance fraction * size)), the
-// standard Chord bound.
-func chordHops(from, to ID, size int) int {
-	if size <= 1 || from == to {
-		return 0
-	}
-	dist := uint64(to - from) // ring arithmetic wraps naturally on uint64
-	// fraction of the ring covered, times network size, gives the expected
-	// number of nodes passed; log2 of that is the hop count.
-	frac := float64(dist) / float64(^uint64(0))
-	expected := frac * float64(size)
-	if expected <= 1 {
-		return 1
-	}
-	h := bits.Len64(uint64(expected))
-	maxHops := bits.Len64(uint64(size))
-	if h > maxHops {
-		h = maxHops
-	}
-	return h
-}
-
-// Publish records that node holds a cached copy of key. The record is stored
-// at the node responsible for the key (the DHT put) and expires after the
-// ring's TTL.
-func (n *Node) Publish(key string) (int, error) {
-	owner, hops := n.Lookup(key)
-	if owner == nil {
-		return hops, fmt.Errorf("overlay: empty ring")
-	}
-	owner.mu.Lock()
-	defer owner.mu.Unlock()
-	entries := owner.index[key]
-	now := n.ring.now()
-	// Refresh an existing entry for this node or append a new one, dropping
-	// expired entries as we go.
-	kept := entries[:0]
-	found := false
-	for _, e := range entries {
-		if e.Expires.Before(now) {
-			continue
-		}
-		if e.NodeName == n.Name {
-			e.Expires = now.Add(n.ring.ttl())
-			found = true
-		}
-		kept = append(kept, e)
-	}
-	if !found {
-		kept = append(kept, Entry{NodeName: n.Name, Expires: now.Add(n.ring.ttl())})
-	}
-	owner.index[key] = kept
-	return hops, nil
-}
-
-// Locate returns the names of nodes believed to hold cached copies of key,
-// together with the routing hop count. Expired entries are filtered out.
-func (n *Node) Locate(key string) ([]string, int) {
-	owner, hops := n.Lookup(key)
-	if owner == nil {
-		return nil, hops
-	}
-	owner.mu.Lock()
-	defer owner.mu.Unlock()
-	now := n.ring.now()
-	var out []string
-	kept := owner.index[key][:0]
-	for _, e := range owner.index[key] {
-		if e.Expires.Before(now) {
-			continue
-		}
-		kept = append(kept, e)
-		if e.NodeName != n.Name {
-			out = append(out, e.NodeName)
-		} else {
-			// The local copy counts too; callers usually check their own
-			// cache first, but include it for completeness.
-			out = append(out, e.NodeName)
-		}
-	}
-	owner.index[key] = kept
-	return out, hops
-}
-
-// Unpublish removes this node's entry for key (for example after cache
-// eviction).
-func (n *Node) Unpublish(key string) {
-	owner, _ := n.Lookup(key)
-	if owner == nil {
-		return
-	}
-	owner.mu.Lock()
-	defer owner.mu.Unlock()
-	entries := owner.index[key]
-	kept := entries[:0]
-	for _, e := range entries {
-		if e.NodeName != n.Name {
-			kept = append(kept, e)
-		}
-	}
-	if len(kept) == 0 {
-		delete(owner.index, key)
-	} else {
-		owner.index[key] = kept
-	}
 }
 
 // ---------------------------------------------------------------------------

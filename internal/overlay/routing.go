@@ -1,0 +1,587 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"nakika/internal/transport"
+)
+
+// idBits is the routing identifier width: fingers[b] targets ID + 2^b.
+const idBits = 64
+
+// maxLookupHops bounds an iterative lookup; a converged ring resolves in
+// O(log n) hops, so hitting this means routing state is badly broken.
+const maxLookupHops = 96
+
+// Overlay message types (the "ov." prefix is what transport.Mux routes on).
+const (
+	msgFindSuccessor = "ov.find_successor"
+	msgPublish       = "ov.publish"
+	msgLocate        = "ov.locate"
+	msgUnpublish     = "ov.unpublish"
+	msgStabilize     = "ov.stab"
+	msgNotify        = "ov.notify"
+	msgPing          = "ov.ping"
+)
+
+func fmtID(id ID) string { return strconv.FormatUint(uint64(id), 16) }
+
+func parseID(s string) (ID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	return ID(v), err
+}
+
+// skipList renders a skip set for the wire (sorted for determinism).
+func skipList(skip map[string]bool) []string {
+	if len(skip) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(skip))
+	for s := range skip {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// call sends an overlay RPC through the ring's transport.
+func (r *Ring) call(from, to string, msg transport.Message) (transport.Message, error) {
+	return r.Transport.Call(from, to, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Routing-table construction
+// ---------------------------------------------------------------------------
+
+// tablesFor computes the converged routing tables for position id given the
+// current membership. Caller holds r.mu.
+func (r *Ring) tablesFor(id ID) (pred ref, succs []ref, fingers []ref) {
+	n := len(r.sorted)
+	if n <= 1 {
+		return ref{}, nil, make([]ref, idBits)
+	}
+	pos := 0
+	for i, v := range r.sorted {
+		if v == id {
+			pos = i
+			break
+		}
+	}
+	k := r.succListLen()
+	if k > n-1 {
+		k = n - 1
+	}
+	for j := 1; j <= k; j++ {
+		s := r.byID[r.sorted[(pos+j)%n]]
+		succs = append(succs, ref{name: s.Name, id: s.ID})
+	}
+	p := r.byID[r.sorted[(pos-1+n)%n]]
+	pred = ref{name: p.Name, id: p.ID}
+	fingers = make([]ref, idBits)
+	for b := 0; b < idBits; b++ {
+		target := id + ID(uint64(1)<<uint(b)) // ring arithmetic wraps on uint64
+		f := r.successorLocked(target)
+		fingers[b] = ref{name: f.Name, id: f.ID}
+	}
+	return pred, succs, fingers
+}
+
+// rebuildRoutingLocked recomputes every member's routing tables from the
+// membership ground truth — the instant-convergence maintenance model.
+// Caller holds r.mu.
+func (r *Ring) rebuildRoutingLocked() {
+	for _, id := range r.sorted {
+		node := r.byID[id]
+		pred, succs, fingers := r.tablesFor(id)
+		node.mu.Lock()
+		node.pred, node.succs, node.fingers = pred, succs, fingers
+		node.mu.Unlock()
+	}
+}
+
+// seedRoutingLocked gives a joining node correct initial tables (the "join
+// server" bootstrap) without touching anyone else's state; under
+// ManualMaintenance the rest of the ring learns about the newcomer through
+// stabilization. Caller holds r.mu.
+func (r *Ring) seedRoutingLocked(n *Node) {
+	pred, succs, fingers := r.tablesFor(n.ID)
+	n.mu.Lock()
+	n.pred, n.succs, n.fingers = pred, succs, fingers
+	n.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Iterative lookup
+// ---------------------------------------------------------------------------
+
+// decision is one routing step's outcome: either the final owner of the
+// target, or the next node to ask.
+type decision struct {
+	owner string
+	final bool
+	next  string
+}
+
+// decide runs one Chord routing step against the node's own tables. Names
+// in skip are known-unreachable: they are never proposed as the next hop,
+// and when the nominal owner is skipped, ownership falls to the next live
+// successor (a dead node's keys belong to its first live successor).
+func (n *Node) decide(target ID, skip map[string]bool) decision {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succs) == 0 {
+		// No successor state: alone on the ring (or still bootstrapping) —
+		// claim the key rather than fail.
+		return decision{owner: n.Name, final: true}
+	}
+	if between(target, n.ID, n.succs[0].id) {
+		for _, s := range n.succs {
+			if !skip[s.name] {
+				return decision{owner: s.name, final: true}
+			}
+		}
+		return decision{owner: n.succs[0].name, final: true}
+	}
+	if n.pred.name != "" && between(target, n.pred.id, n.ID) {
+		return decision{owner: n.Name, final: true}
+	}
+	if next := n.closestPrecedingLocked(target, skip); next != "" {
+		return decision{next: next}
+	}
+	for _, s := range n.succs {
+		if !skip[s.name] {
+			return decision{owner: s.name, final: true}
+		}
+	}
+	return decision{owner: n.succs[0].name, final: true}
+}
+
+// closestPrecedingLocked returns the name of the node from this node's
+// tables (fingers, successors, predecessor) whose ID most closely precedes
+// target, excluding names in skip. Caller holds n.mu.
+func (n *Node) closestPrecedingLocked(target ID, skip map[string]bool) string {
+	best := ref{}
+	consider := func(c ref) {
+		if c.name == "" || c.name == n.Name || skip[c.name] {
+			return
+		}
+		// Candidate must lie between us and the target so every hop makes
+		// progress toward the owner.
+		if !between(c.id, n.ID, target) {
+			return
+		}
+		if best.name == "" || between(best.id, n.ID, c.id) {
+			best = c
+		}
+	}
+	for i := len(n.fingers) - 1; i >= 0; i-- {
+		consider(n.fingers[i])
+	}
+	for _, s := range n.succs {
+		consider(s)
+	}
+	consider(n.pred)
+	return best.name
+}
+
+// LookupName routes from this node to the node responsible for key,
+// returning the owner's name and the number of remote routing hops taken.
+// Unreachable hops are routed around using the rest of the node's tables.
+func (n *Node) LookupName(key string) (string, int, error) {
+	return n.lookupID(HashID(key))
+}
+
+func (n *Node) lookupID(target ID) (string, int, error) {
+	r := n.ring
+	if r.Size() == 0 {
+		return "", 0, fmt.Errorf("overlay: empty ring")
+	}
+	n.mu.Lock()
+	n.lookups++
+	n.mu.Unlock()
+	hops := 0
+	defer func() {
+		n.mu.Lock()
+		n.hops += int64(hops)
+		n.mu.Unlock()
+	}()
+
+	skip := make(map[string]bool)
+	dec := n.decide(target, skip)
+	if dec.final {
+		return dec.owner, hops, nil
+	}
+	cur := dec.next
+	var lastErr error
+	for hops < maxLookupHops {
+		reply, err := r.call(n.Name, cur, transport.Message{Type: msgFindSuccessor, Key: fmtID(target), Args: skipList(skip)})
+		hops++
+		if err != nil {
+			// Route around the dead/partitioned hop: restart the decision
+			// from our own tables with the dead hop excluded (the skip set
+			// travels with the query so later hops avoid it too).
+			skip[cur] = true
+			lastErr = err
+			dec := n.decide(target, skip)
+			if dec.final {
+				return dec.owner, hops, nil
+			}
+			if dec.next == "" || skip[dec.next] {
+				return "", hops, fmt.Errorf("overlay: lookup failed, no route to owner: %w", err)
+			}
+			cur = dec.next
+			continue
+		}
+		if len(reply.Args) < 2 {
+			return "", hops, fmt.Errorf("overlay: malformed find_successor reply")
+		}
+		name, kind := reply.Args[0], reply.Args[1]
+		if kind == "final" {
+			return name, hops, nil
+		}
+		if name == cur || skip[name] {
+			// No progress: treat the hop's best guess as the owner.
+			return name, hops, nil
+		}
+		cur = name
+	}
+	if lastErr != nil {
+		return "", hops, fmt.Errorf("overlay: lookup did not converge: %w", lastErr)
+	}
+	return "", hops, fmt.Errorf("overlay: lookup did not converge after %d hops", hops)
+}
+
+// Lookup routes from the starting node to the node responsible for key,
+// returning the member and the routing hop count (remote messages taken).
+// It returns nil on an empty ring or when routing fails.
+func (n *Node) Lookup(key string) (*Node, int) {
+	name, hops, err := n.LookupName(key)
+	if err != nil || name == "" {
+		return nil, hops
+	}
+	r := n.ring
+	r.mu.RLock()
+	owner := r.nodes[name]
+	r.mu.RUnlock()
+	return owner, hops
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative-cache index operations (owner-side state, reached by RPC)
+// ---------------------------------------------------------------------------
+
+// Publish records that this node holds a cached copy of key. The record is
+// stored at the node responsible for the key (the DHT put) and expires
+// after the ring's TTL. The returned hop count covers the routing lookup.
+func (n *Node) Publish(key string) (int, error) {
+	owner, hops, err := n.LookupName(key)
+	if err != nil {
+		return hops, err
+	}
+	if owner == n.Name {
+		n.applyPublish(n.Name, key)
+		return hops, nil
+	}
+	if _, err := n.ring.call(n.Name, owner, transport.Message{Type: msgPublish, Key: key}); err != nil {
+		return hops, fmt.Errorf("overlay: publish to %s: %w", owner, err)
+	}
+	return hops, nil
+}
+
+// Locate returns the names of nodes believed to hold cached copies of key,
+// together with the routing hop count. Expired entries are filtered out.
+func (n *Node) Locate(key string) ([]string, int) {
+	holders, hops, _ := n.LocateErr(key)
+	return holders, hops
+}
+
+// LocateErr is Locate with the routing/transport error exposed, so callers
+// under fault injection can distinguish "no holders" from "index owner
+// unreachable".
+func (n *Node) LocateErr(key string) ([]string, int, error) {
+	owner, hops, err := n.LookupName(key)
+	if err != nil {
+		return nil, hops, err
+	}
+	if owner == n.Name {
+		return n.applyLocate(key), hops, nil
+	}
+	reply, err := n.ring.call(n.Name, owner, transport.Message{Type: msgLocate, Key: key})
+	if err != nil {
+		return nil, hops, fmt.Errorf("overlay: locate at %s: %w", owner, err)
+	}
+	return reply.Args, hops, nil
+}
+
+// Unpublish removes this node's entry for key (for example after cache
+// eviction).
+func (n *Node) Unpublish(key string) {
+	owner, _, err := n.LookupName(key)
+	if err != nil {
+		return
+	}
+	if owner == n.Name {
+		n.applyUnpublish(n.Name, key)
+		return
+	}
+	_, _ = n.ring.call(n.Name, owner, transport.Message{Type: msgUnpublish, Key: key})
+}
+
+// applyPublish refreshes or appends holder's entry for key in this node's
+// slice of the cooperative index, dropping expired entries as it goes.
+func (n *Node) applyPublish(holder, key string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.ring.now()
+	entries := n.index[key]
+	kept := entries[:0]
+	found := false
+	for _, e := range entries {
+		if e.Expires.Before(now) {
+			continue
+		}
+		if e.NodeName == holder {
+			e.Expires = now.Add(n.ring.ttl())
+			found = true
+		}
+		kept = append(kept, e)
+	}
+	if !found {
+		kept = append(kept, Entry{NodeName: holder, Expires: now.Add(n.ring.ttl())})
+	}
+	n.index[key] = kept
+}
+
+// applyLocate returns the live holders of key from this node's index slice.
+func (n *Node) applyLocate(key string) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.ring.now()
+	var out []string
+	kept := n.index[key][:0]
+	for _, e := range n.index[key] {
+		if e.Expires.Before(now) {
+			continue
+		}
+		kept = append(kept, e)
+		out = append(out, e.NodeName)
+	}
+	n.index[key] = kept
+	return out
+}
+
+// applyUnpublish removes holder's entry for key from this node's index.
+func (n *Node) applyUnpublish(holder, key string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	entries := n.index[key]
+	kept := entries[:0]
+	for _, e := range entries {
+		if e.NodeName != holder {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 {
+		delete(n.index, key)
+	} else {
+		n.index[key] = kept
+	}
+}
+
+// ---------------------------------------------------------------------------
+// RPC handler
+// ---------------------------------------------------------------------------
+
+// ServeRPC handles one incoming overlay message; it is registered on the
+// ring's transport at Join (possibly behind a mux).
+func (n *Node) ServeRPC(from string, msg transport.Message) (transport.Message, error) {
+	switch msg.Type {
+	case msgFindSuccessor:
+		target, err := parseID(msg.Key)
+		if err != nil {
+			return transport.Message{}, fmt.Errorf("overlay: bad target id %q", msg.Key)
+		}
+		skip := make(map[string]bool, len(msg.Args))
+		for _, s := range msg.Args {
+			skip[s] = true
+		}
+		dec := n.decide(target, skip)
+		if dec.final {
+			return transport.Message{Args: []string{dec.owner, "final"}}, nil
+		}
+		return transport.Message{Args: []string{dec.next, "forward"}}, nil
+	case msgPublish:
+		n.applyPublish(from, msg.Key)
+		return transport.Message{}, nil
+	case msgLocate:
+		return transport.Message{Args: n.applyLocate(msg.Key)}, nil
+	case msgUnpublish:
+		n.applyUnpublish(from, msg.Key)
+		return transport.Message{}, nil
+	case msgStabilize:
+		n.mu.Lock()
+		args := []string{n.pred.name}
+		for _, s := range n.succs {
+			args = append(args, s.name)
+		}
+		n.mu.Unlock()
+		return transport.Message{Args: args}, nil
+	case msgNotify:
+		cand := ref{name: msg.Key, id: HashID(msg.Key)}
+		n.mu.Lock()
+		if cand.name != n.Name && (n.pred.name == "" || between(cand.id, n.pred.id, n.ID)) {
+			n.pred = cand
+		}
+		n.mu.Unlock()
+		return transport.Message{}, nil
+	case msgPing:
+		return transport.Message{}, nil
+	default:
+		return transport.Message{}, fmt.Errorf("overlay: unknown message type %q", msg.Type)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance (Stabilize / FixFingers)
+// ---------------------------------------------------------------------------
+
+// Stabilize runs one round of successor-list repair through the transport:
+// dead successors are dropped, a closer live successor learned from the
+// current one is adopted, the successor list is refreshed from the live
+// successor's list, and the successor is notified of this node (updating
+// its predecessor pointer). A dead predecessor is cleared so notify can
+// replace it.
+func (n *Node) Stabilize() {
+	r := n.ring
+	n.mu.Lock()
+	pred := n.pred
+	succs := append([]ref(nil), n.succs...)
+	n.mu.Unlock()
+
+	if pred.name != "" {
+		if _, err := r.call(n.Name, pred.name, transport.Message{Type: msgPing}); err != nil {
+			n.mu.Lock()
+			if n.pred == pred {
+				n.pred = ref{}
+			}
+			n.mu.Unlock()
+		}
+	}
+
+	var live ref
+	var reply transport.Message
+	for len(succs) > 0 {
+		s := succs[0]
+		rep, err := r.call(n.Name, s.name, transport.Message{Type: msgStabilize})
+		if err != nil {
+			succs = succs[1:] // successor-list repair: skip the dead head
+			continue
+		}
+		live, reply = s, rep
+		break
+	}
+	if live.name == "" {
+		// Every known successor is gone. Fall back to the first live finger
+		// (fingers cover the whole ring, so the lowest live one is a
+		// successor over-estimate that the adoption loop below walks back),
+		// or to the predecessor so a two-node ring can re-form.
+		n.mu.Lock()
+		fingers := append([]ref(nil), n.fingers...)
+		n.mu.Unlock()
+		for _, f := range fingers {
+			if f.name == "" || f.name == n.Name {
+				continue
+			}
+			if rep, err := r.call(n.Name, f.name, transport.Message{Type: msgStabilize}); err == nil {
+				live, reply = f, rep
+				break
+			}
+		}
+		if live.name == "" {
+			if pred.name != "" && pred.name != n.Name {
+				n.mu.Lock()
+				n.succs = []ref{pred}
+				n.mu.Unlock()
+			}
+			return
+		}
+	}
+
+	// Classic Chord stabilization, run to a fixpoint: while our successor's
+	// predecessor sits between us and it, that node is a closer successor —
+	// adopt it if reachable.
+	for i := 0; i < maxLookupHops; i++ {
+		sp := reply.Args[0]
+		if sp == "" || sp == n.Name {
+			break
+		}
+		spRef := ref{name: sp, id: HashID(sp)}
+		if !between(spRef.id, n.ID, live.id) || spRef.id == live.id {
+			break
+		}
+		rep, err := r.call(n.Name, sp, transport.Message{Type: msgStabilize})
+		if err != nil {
+			break
+		}
+		live, reply = spRef, rep
+	}
+
+	// Refresh the successor list: the live successor followed by its list.
+	newSuccs := []ref{live}
+	for _, name := range reply.Args[1:] {
+		if name == "" || name == n.Name || name == live.name {
+			continue
+		}
+		newSuccs = append(newSuccs, ref{name: name, id: HashID(name)})
+		if len(newSuccs) >= r.succListLen() {
+			break
+		}
+	}
+	n.mu.Lock()
+	n.succs = newSuccs
+	n.mu.Unlock()
+	_, _ = r.call(n.Name, live.name, transport.Message{Type: msgNotify, Key: n.Name})
+}
+
+// FixFingers refreshes every finger by routing for its target; entries
+// whose lookups fail are left for the next round.
+func (n *Node) FixFingers() {
+	for b := 0; b < idBits; b++ {
+		target := n.ID + ID(uint64(1)<<uint(b))
+		owner, _, err := n.lookupID(target)
+		if err != nil || owner == "" {
+			continue
+		}
+		n.mu.Lock()
+		if n.fingers == nil {
+			n.fingers = make([]ref, idBits)
+		}
+		n.fingers[b] = ref{name: owner, id: HashID(owner)}
+		n.mu.Unlock()
+	}
+}
+
+// StabilizeAll runs the given number of maintenance rounds across every
+// live local member in deterministic (sorted-name) order: successor repair
+// first, then finger repair. With the direct-call transport one round fully
+// converges a quiescent ring; under faults more rounds may be needed.
+func (r *Ring) StabilizeAll(rounds int) {
+	for i := 0; i < rounds; i++ {
+		for _, name := range r.Nodes() {
+			n := r.NodeByName(name)
+			if n == nil || n.remote {
+				continue
+			}
+			n.Stabilize()
+		}
+		for _, name := range r.Nodes() {
+			n := r.NodeByName(name)
+			if n == nil || n.remote {
+				continue
+			}
+			n.FixFingers()
+		}
+	}
+}

@@ -135,6 +135,12 @@ type Handler func(msg Message)
 // default; SetAsync switches to buffered asynchronous delivery, in which
 // case Flush waits for the queue to drain.
 type Bus struct {
+	// Remote, when non-nil, is invoked (outside bus locks) for every
+	// locally published message, letting a node-private bus forward its
+	// updates over a transport. Remotely received messages are applied with
+	// Inject, which delivers locally without re-forwarding. Set before use.
+	Remote func(msg Message)
+
 	mu          sync.Mutex
 	subscribers map[string]map[string]Handler // site -> node name -> handler
 	seq         int64
@@ -142,6 +148,7 @@ type Bus struct {
 	async       bool
 	queue       chan Message
 	wg          sync.WaitGroup
+	senders     sync.WaitGroup // in-flight Publish/Inject enqueues
 	closed      bool
 }
 
@@ -200,6 +207,9 @@ func (b *Bus) Publish(site, origin, payload string) int64 {
 	async := b.async
 	queue := b.queue
 	closed := b.closed
+	if !closed {
+		b.senders.Add(1) // under b.mu, so Close cannot have started waiting
+	}
 	b.mu.Unlock()
 	if closed {
 		return msg.Seq
@@ -209,7 +219,33 @@ func (b *Bus) Publish(site, origin, payload string) int64 {
 	} else {
 		b.deliver(msg)
 	}
+	b.senders.Done()
+	if b.Remote != nil {
+		b.Remote(msg)
+	}
 	return msg.Seq
+}
+
+// Inject delivers a message received from another node's bus to local
+// subscribers only, without invoking Remote (no re-forwarding loops).
+func (b *Bus) Inject(msg Message) {
+	b.mu.Lock()
+	async := b.async
+	queue := b.queue
+	closed := b.closed
+	if !closed {
+		b.senders.Add(1)
+	}
+	b.mu.Unlock()
+	if closed {
+		return
+	}
+	if async {
+		queue <- msg
+	} else {
+		b.deliver(msg)
+	}
+	b.senders.Done()
 }
 
 // deliver invokes every subscriber for the message's site except the
@@ -245,6 +281,7 @@ func (b *Bus) Delivered() int64 {
 }
 
 // Close shuts down asynchronous delivery and waits for the queue to drain.
+// In-flight Publish/Inject enqueues finish before the queue is closed.
 func (b *Bus) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -254,6 +291,7 @@ func (b *Bus) Close() {
 	b.closed = true
 	async := b.async
 	b.mu.Unlock()
+	b.senders.Wait()
 	if async {
 		close(b.queue)
 		b.wg.Wait()

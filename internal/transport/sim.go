@@ -1,0 +1,264 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"nakika/internal/simnet"
+)
+
+// SimConfig parameterizes the simulated network.
+type SimConfig struct {
+	// Seed drives every probabilistic decision (drops, jitter); the same
+	// seed and call sequence reproduce the same fault pattern exactly.
+	Seed int64
+	// DefaultLatency is the one-way delivery delay for edges without an
+	// override; zero means 1ms.
+	DefaultLatency time.Duration
+}
+
+// SimStats counts message outcomes.
+type SimStats struct {
+	Delivered int64 // messages handed to a handler
+	Dropped   int64 // messages lost to an injected drop rate
+	Blocked   int64 // messages refused by a partition or crash
+}
+
+type simEdge struct {
+	latency  time.Duration
+	hasLat   bool
+	dropRate float64
+}
+
+// Sim is the deterministic in-memory transport: delivery is synchronous in
+// the caller's goroutine (so protocol code runs unchanged), while a virtual
+// clock on a simnet event loop orders deliveries and accumulates per-edge
+// latency, and a fault model injects drops, partitions, and node
+// crash/restart. Drop decisions derive from SimConfig.Seed and the
+// message's per-edge sequence number, so a scripted scenario replays
+// identically run after run as long as each dropped edge's traffic is
+// issued in a fixed order (concurrent goroutines racing onto the same
+// lossy edge reintroduce scheduler nondeterminism in which message is
+// dropped — partitions and crashes, being state- rather than
+// sample-based, stay deterministic even under concurrency).
+type Sim struct {
+	mu   sync.Mutex
+	cfg  SimConfig
+	loop *simnet.Loop
+
+	handlers  map[string]Handler
+	crashed   map[string]bool
+	partition map[string]int // node -> group; absent means group 0
+	edges     map[string]simEdge
+	edgeSeq   map[string]uint64
+	stats     SimStats
+}
+
+// NewSim returns a fault-free simulated network.
+func NewSim(cfg SimConfig) *Sim {
+	if cfg.DefaultLatency <= 0 {
+		cfg.DefaultLatency = time.Millisecond
+	}
+	return &Sim{
+		cfg:       cfg,
+		loop:      simnet.NewLoop(),
+		handlers:  make(map[string]Handler),
+		crashed:   make(map[string]bool),
+		partition: make(map[string]int),
+		edges:     make(map[string]simEdge),
+		edgeSeq:   make(map[string]uint64),
+	}
+}
+
+// Loop exposes the virtual-time event loop so harnesses can schedule fault
+// actions at virtual times ("at 50ms partition ...").
+func (s *Sim) Loop() *simnet.Loop { return s.loop }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.loop.Now() }
+
+// Stats returns a snapshot of message outcome counters.
+func (s *Sim) Stats() SimStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Register implements Transport.
+func (s *Sim) Register(name string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[name] = h
+}
+
+// Unregister implements Transport.
+func (s *Sim) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.handlers, name)
+}
+
+// SetLatency overrides the one-way latency of the directed edge from→to.
+func (s *Sim) SetLatency(from, to string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.edges[from+"\x00"+to]
+	e.latency, e.hasLat = d, true
+	s.edges[from+"\x00"+to] = e
+}
+
+// SetDropRate sets the loss probability (0..1) of the directed edge
+// from→to. Drops are deterministic in the per-edge message sequence.
+func (s *Sim) SetDropRate(from, to string, rate float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.edges[from+"\x00"+to]
+	e.dropRate = rate
+	s.edges[from+"\x00"+to] = e
+}
+
+// Partition splits the network into the given groups: nodes in different
+// groups cannot exchange messages. Nodes not named in any group form an
+// implicit group 0, so Partition([]string{"node-3"}) isolates node-3 from
+// everyone else. Calling Partition replaces any previous partition.
+func (s *Sim) Partition(groups ...[]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partition = make(map[string]int)
+	for i, group := range groups {
+		for _, name := range group {
+			s.partition[name] = i + 1
+		}
+	}
+}
+
+// Heal removes every partition.
+func (s *Sim) Heal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partition = make(map[string]int)
+}
+
+// Crash makes a node unreachable and unable to send until Restart.
+func (s *Sim) Crash(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed[name] = true
+}
+
+// Restart brings a crashed node back.
+func (s *Sim) Restart(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.crashed, name)
+}
+
+// Crashed reports whether the node is currently crashed.
+func (s *Sim) Crashed(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed[name]
+}
+
+// dropDecision derives a deterministic uniform sample for the n-th message
+// on an edge from the seed, so fault patterns replay exactly.
+func (s *Sim) dropDecision(from, to string, seq uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", s.cfg.Seed, from, to, seq)
+	// splitmix64 finalizer: FNV alone has poor avalanche on sequential
+	// inputs, which would make low drop rates never fire.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53)
+	return u < rate
+}
+
+// traverse applies the fault model and clock to one directed hop; it
+// returns an error when the message cannot be delivered. Called with s.mu
+// NOT held. Send-time faults (crashed or partitioned sender) are checked
+// before the latency window, delivery-time faults after it, so a scripted
+// fault that fires while the message is in flight still loses it.
+func (s *Sim) traverse(from, to string) error {
+	s.mu.Lock()
+	if s.crashed[from] {
+		s.stats.Blocked++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s crashed", ErrUnreachable, from)
+	}
+	if s.partition[from] != s.partition[to] {
+		s.stats.Blocked++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s and %s partitioned", ErrUnreachable, from, to)
+	}
+	edge := s.edges[from+"\x00"+to]
+	lat := s.cfg.DefaultLatency
+	if edge.hasLat {
+		lat = edge.latency
+	}
+	s.edgeSeq[from+"\x00"+to]++
+	seq := s.edgeSeq[from+"\x00"+to]
+	dropped := s.dropDecision(from, to, seq, edge.dropRate)
+	if dropped {
+		s.stats.Dropped++
+	}
+	s.mu.Unlock()
+
+	// Advance virtual time past the delivery instant; the loop also fires
+	// any fault-schedule events that fall inside the window, which is what
+	// lets a scripted partition land "mid-stampede" between two messages.
+	deliverAt := s.loop.Now() + lat
+	s.loop.AdvanceTo(deliverAt)
+	if dropped {
+		return fmt.Errorf("%w: message from %s to %s dropped", ErrUnreachable, from, to)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed[to] {
+		s.stats.Blocked++
+		return fmt.Errorf("%w: %s crashed", ErrUnreachable, to)
+	}
+	if s.partition[from] != s.partition[to] {
+		s.stats.Blocked++
+		return fmt.Errorf("%w: %s and %s partitioned mid-flight", ErrUnreachable, from, to)
+	}
+	return nil
+}
+
+// Call implements Transport: the request traverses the from→to edge, the
+// handler runs synchronously, and the reply traverses to→from, with the
+// fault model consulted independently for each direction (a partition that
+// lands mid-call loses the reply).
+func (s *Sim) Call(from, to string, msg Message) (Message, error) {
+	s.mu.Lock()
+	h, ok := s.handlers[to]
+	s.mu.Unlock()
+	if !ok {
+		return Message{}, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if err := s.traverse(from, to); err != nil {
+		return Message{}, err
+	}
+	reply, err := h(from, msg)
+	if err != nil {
+		if !IsRemote(err) {
+			err = remoteError{msg: err.Error()}
+		}
+		return reply, err
+	}
+	if err := s.traverse(to, from); err != nil {
+		return Message{}, err
+	}
+	s.mu.Lock()
+	s.stats.Delivered++
+	s.mu.Unlock()
+	return reply, nil
+}

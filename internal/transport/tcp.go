@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is the wire transport: each process runs one TCP instance serving its
+// local nodes' handlers on a listener, and an address book maps remote node
+// names to host:port addresses. Frames are length-prefixed (see wire.go);
+// one request/reply exchange runs per connection acquisition, and idle
+// connections are pooled per peer.
+type TCP struct {
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/reply exchange; zero means 30s.
+	CallTimeout time.Duration
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	peers    map[string]string // node name -> address
+	idle     map[string][]net.Conn
+	accepted map[net.Conn]struct{}
+	ln       net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTCP returns a TCP transport with an empty address book.
+func NewTCP() *TCP {
+	return &TCP{
+		handlers: make(map[string]Handler),
+		peers:    make(map[string]string),
+		idle:     make(map[string][]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+}
+
+// Register implements Transport for nodes served by this process.
+func (t *TCP) Register(name string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[name] = h
+}
+
+// Unregister implements Transport.
+func (t *TCP) Unregister(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.handlers, name)
+}
+
+// AddPeer maps a remote node name to its transport address.
+func (t *TCP) AddPeer(name, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[name] = addr
+}
+
+// Listen starts serving registered handlers on addr and returns the bound
+// address (useful with ":0").
+func (t *TCP) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			t.mu.Lock()
+			if t.closed {
+				t.mu.Unlock()
+				conn.Close()
+				return
+			}
+			t.accepted[conn] = struct{}{}
+			t.mu.Unlock()
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				t.serveConn(conn)
+				t.mu.Lock()
+				delete(t.accepted, conn)
+				t.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and closes pooled connections.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	t.closed = true
+	ln := t.ln
+	idle := t.idle
+	t.idle = make(map[string][]net.Conn)
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, conns := range idle {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.wg.Wait()
+}
+
+// serveConn handles request frames on one accepted connection until EOF.
+func (t *TCP) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		from, to, msg, err := decodeRequest(payload)
+		var reply Message
+		if err == nil {
+			t.mu.RLock()
+			h, ok := t.handlers[to]
+			t.mu.RUnlock()
+			if !ok {
+				err = fmt.Errorf("%w: %s", ErrUnknownNode, to)
+			} else {
+				reply, err = h(from, msg)
+			}
+		}
+		if werr := writeFrame(conn, encodeReply(reply, err)); werr != nil {
+			return
+		}
+	}
+}
+
+// Call implements Transport: local names are served directly; remote names
+// are dialed through the address book.
+func (t *TCP) Call(from, to string, msg Message) (Message, error) {
+	t.mu.RLock()
+	h, local := t.handlers[to]
+	addr, remote := t.peers[to]
+	t.mu.RUnlock()
+	if local {
+		reply, err := h(from, msg)
+		if err != nil && !IsRemote(err) {
+			err = remoteError{msg: err.Error()}
+		}
+		return reply, err
+	}
+	if !remote {
+		return Message{}, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	// Pooled connections may have died since they were parked (peer
+	// restart, idle timeout); I/O failures on pooled conns are retried —
+	// the whole pool may be stale, so retry until acquire dials fresh —
+	// and only a failure on a freshly dialed connection reports the peer
+	// unreachable.
+	for {
+		conn, pooled, err := t.acquire(to, addr)
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+		}
+		payload, err := t.exchange(conn, encodeRequest(from, to, msg))
+		if err != nil {
+			conn.Close()
+			if pooled {
+				continue
+			}
+			return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+		}
+		t.release(to, conn)
+		return decodeReply(payload)
+	}
+}
+
+// exchange writes one request frame and reads the reply frame under the
+// call deadline.
+func (t *TCP) exchange(conn net.Conn, request []byte) ([]byte, error) {
+	callTimeout := t.CallTimeout
+	if callTimeout == 0 {
+		callTimeout = 30 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(callTimeout))
+	if err := writeFrame(conn, request); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return payload, nil
+}
+
+// acquire returns a pooled idle connection to the peer (pooled=true) or
+// dials a new one.
+func (t *TCP) acquire(name, addr string) (conn net.Conn, pooled bool, err error) {
+	t.mu.Lock()
+	if conns := t.idle[name]; len(conns) > 0 {
+		conn := conns[len(conns)-1]
+		t.idle[name] = conns[:len(conns)-1]
+		t.mu.Unlock()
+		return conn, true, nil
+	}
+	t.mu.Unlock()
+	dialTimeout := t.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = 5 * time.Second
+	}
+	conn, err = net.DialTimeout("tcp", addr, dialTimeout)
+	return conn, false, err
+}
+
+// release returns a healthy connection to the idle pool (bounded per peer).
+func (t *TCP) release(name string, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || len(t.idle[name]) >= 4 {
+		conn.Close()
+		return
+	}
+	t.idle[name] = append(t.idle[name], conn)
+}
