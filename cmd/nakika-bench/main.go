@@ -11,7 +11,7 @@
 //	nakika-bench -experiment figure7 -duration 60s -json results/
 //
 // Experiments: table2, breakdown, capacity, rescontrol, simm-local, figure7,
-// specweb, extensions, all.
+// specweb, extensions, persist, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, all)")
+	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, all)")
 	iterations := flag.Int("iterations", 10, "iterations per micro-benchmark measurement")
 	duration := flag.Duration("duration", 30*time.Second, "virtual duration for the wide-area simulations")
 	loadDuration := flag.Duration("load-duration", 2*time.Second, "wall-clock duration for capacity and resource-control load tests")
@@ -205,5 +205,33 @@ func main() {
 		exts := bench.Extensions()
 		fmt.Print(bench.FormatExtensions(exts))
 		return exts, nil
+	})
+
+	run("persist", func() (interface{}, error) {
+		var out bench.PersistResults
+		writes := *iterations * 100
+		for _, tc := range []struct {
+			writers     int
+			groupCommit bool
+		}{
+			{1, false}, {1, true},
+			{16, false}, {16, true},
+		} {
+			r, err := bench.RunPersistWrites(tc.writers, writes/tc.writers, tc.groupCommit)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Print(bench.FormatPersistWrite(r))
+			out.Writes = append(out.Writes, r)
+		}
+		for _, records := range []int{1_000, 10_000, 50_000} {
+			r, err := bench.RunPersistReplay(records)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Print(bench.FormatPersistReplay(r))
+			out.Replay = append(out.Replay, r)
+		}
+		return out, nil
 	})
 }

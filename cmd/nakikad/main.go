@@ -12,17 +12,27 @@
 //
 //	nakikad -listen :8080 -name edge-1 -rpc :9091 -peers edge-2=host2:9092
 //	nakikad -listen :8081 -name edge-2 -rpc :9092 -peers edge-1=host1:9091
+//
+// With -data-dir the node persists its hard state through a write-ahead
+// log and keeps a disk cache tier, so a restart recovers both instead of
+// starting cold. SIGINT/SIGTERM trigger a graceful shutdown that drains
+// HTTP, closes the cluster transport, and flushes the store.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"nakika"
 	"nakika/internal/resource"
+	"nakika/internal/store"
 	"nakika/internal/transport"
 )
 
@@ -37,6 +47,8 @@ func main() {
 	cpuCapacity := flag.Float64("cpu-capacity", 50_000_000, "CPU capacity (script steps) per control interval")
 	rpcAddr := flag.String("rpc", "", "TCP transport listen address for cluster traffic (empty: single-node)")
 	peers := flag.String("peers", "", "comma-separated name=host:port pairs of cluster peers")
+	dataDir := flag.String("data-dir", "", "directory for the persistent store (WAL + segments + disk cache tier); empty keeps all state in memory")
+	noGroupCommit := flag.Bool("no-group-commit", false, "sync the write-ahead log once per record instead of batching fsyncs")
 	flag.Parse()
 
 	cfg := nakika.Config{
@@ -56,6 +68,14 @@ func main() {
 		if cidr = strings.TrimSpace(cidr); cidr != "" {
 			cfg.LocalNetworks = append(cfg.LocalNetworks, cidr)
 		}
+	}
+	if *dataDir != "" {
+		fs, err := store.NewDirFS(*dataDir)
+		if err != nil {
+			log.Fatalf("nakikad: %v", err)
+		}
+		cfg.DataFS = fs
+		cfg.Persist.NoGroupCommit = *noGroupCommit
 	}
 
 	// Cluster mode: an overlay ring over the TCP wire transport. This
@@ -86,6 +106,11 @@ func main() {
 	node, err := nakika.NewNode(cfg)
 	if err != nil {
 		log.Fatalf("nakikad: %v", err)
+	}
+	if *dataDir != "" {
+		st := node.StoreStats()
+		log.Printf("nakikad: persistent store in %s (replayed %d records, disk cache %d entries)",
+			*dataDir, st.Replayed, node.Cache().Stats().Disk.Entries)
 	}
 	if tcp != nil {
 		addr, err := tcp.Listen(*rpcAddr)
@@ -121,6 +146,32 @@ func main() {
 		}()
 	}
 
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting traffic, close
+	// the cluster transport listener, flush the store durably, and only
+	// then exit. A node killed without -data-dir simply loses its state,
+	// as before; with it, the next boot replays the log.
+	srv := &http.Server{Addr: *listen, Handler: node}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("nakikad: %v: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("nakikad: http shutdown: %v", err)
+		}
+	}()
+
 	log.Printf("nakikad: node %s (%s) listening on %s", *name, *region, *listen)
-	log.Fatal(http.ListenAndServe(*listen, node))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("nakikad: %v", err)
+	}
+	if tcp != nil {
+		tcp.Close()
+	}
+	if err := node.Shutdown(); err != nil {
+		log.Fatalf("nakikad: store shutdown: %v", err)
+	}
+	log.Printf("nakikad: store flushed, bye")
 }

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"nakika/internal/store"
+)
+
+// PersistWriteResult is one write-burst measurement against the
+// log-structured store on a real directory.
+type PersistWriteResult struct {
+	// Mode is "group-commit" or "per-record-fsync".
+	Mode string
+	// Writers is the number of concurrent writing goroutines.
+	Writers int
+	// Writes is the total number of acknowledged durable puts.
+	Writes int
+	// Elapsed is the wall-clock time for the burst.
+	Elapsed time.Duration
+	// WritesPerSec is the resulting durable write throughput.
+	WritesPerSec float64
+	// Syncs is how many fsyncs the engine issued; group commit amortizes
+	// many writes into one.
+	Syncs int64
+}
+
+// PersistReplayResult is one cold-start measurement: how long OpenLog
+// takes to rebuild the in-memory index from a log of the given size.
+type PersistReplayResult struct {
+	// Records is the number of records in the log.
+	Records int
+	// LogBytes is the total size of the on-disk files replayed.
+	LogBytes int64
+	// OpenTime is how long recovery took.
+	OpenTime time.Duration
+	// RecordsPerSec is the replay rate.
+	RecordsPerSec float64
+}
+
+// PersistResults is the payload of BENCH_persist.json.
+type PersistResults struct {
+	Writes []PersistWriteResult
+	Replay []PersistReplayResult
+}
+
+// RunPersistWrites measures durable write-burst throughput: writers
+// goroutines each issue writesPerWriter puts against a fresh log in a
+// temp directory, with or without fsync batching.
+func RunPersistWrites(writers, writesPerWriter int, groupCommit bool) (PersistWriteResult, error) {
+	dir, err := os.MkdirTemp("", "nakika-persist-*")
+	if err != nil {
+		return PersistWriteResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := store.NewDirFS(dir)
+	if err != nil {
+		return PersistWriteResult{}, err
+	}
+	l, err := store.OpenLog(fs, store.LogConfig{NoGroupCommit: !groupCommit, CompactBytes: -1})
+	if err != nil {
+		return PersistWriteResult{}, err
+	}
+	defer l.Close()
+
+	value := strings.Repeat("v", 256)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writesPerWriter; i++ {
+				if err := l.Put("bench.example.org", fmt.Sprintf("w%d-k%06d", w, i), value); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return PersistWriteResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	mode := "group-commit"
+	if !groupCommit {
+		mode = "per-record-fsync"
+	}
+	total := writers * writesPerWriter
+	return PersistWriteResult{
+		Mode:         mode,
+		Writers:      writers,
+		Writes:       total,
+		Elapsed:      elapsed,
+		WritesPerSec: float64(total) / elapsed.Seconds(),
+		Syncs:        l.Stats().Syncs,
+	}, nil
+}
+
+// RunPersistReplay measures cold-start recovery: it writes records puts
+// into a fresh log, closes it, and times how long a new OpenLog takes to
+// replay them.
+func RunPersistReplay(records int) (PersistReplayResult, error) {
+	dir, err := os.MkdirTemp("", "nakika-replay-*")
+	if err != nil {
+		return PersistReplayResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := store.NewDirFS(dir)
+	if err != nil {
+		return PersistReplayResult{}, err
+	}
+	l, err := store.OpenLog(fs, store.LogConfig{CompactBytes: -1})
+	if err != nil {
+		return PersistReplayResult{}, err
+	}
+	value := strings.Repeat("v", 256)
+	for i := 0; i < records; i++ {
+		if err := l.Put("bench.example.org", fmt.Sprintf("k%08d", i), value); err != nil {
+			l.Close()
+			return PersistReplayResult{}, err
+		}
+	}
+	logBytes := l.Stats().WALBytes
+	if err := l.Close(); err != nil {
+		return PersistReplayResult{}, err
+	}
+
+	start := time.Now()
+	nl, err := store.OpenLog(fs, store.LogConfig{CompactBytes: -1})
+	if err != nil {
+		return PersistReplayResult{}, err
+	}
+	open := time.Since(start)
+	replayed := nl.Stats().Replayed
+	nl.Close()
+	if replayed != records {
+		return PersistReplayResult{}, fmt.Errorf("bench: replayed %d of %d records", replayed, records)
+	}
+	return PersistReplayResult{
+		Records:       records,
+		LogBytes:      logBytes,
+		OpenTime:      open,
+		RecordsPerSec: float64(records) / open.Seconds(),
+	}, nil
+}
+
+// FormatPersistWrite renders one write-burst row.
+func FormatPersistWrite(r PersistWriteResult) string {
+	return fmt.Sprintf("%-18s writers=%-3d writes=%-7d tput=%10.0f put/s  syncs=%d\n",
+		r.Mode, r.Writers, r.Writes, r.WritesPerSec, r.Syncs)
+}
+
+// FormatPersistReplay renders one cold-start row.
+func FormatPersistReplay(r PersistReplayResult) string {
+	return fmt.Sprintf("replay %-8d records (%8d bytes) in %-12s %12.0f rec/s\n",
+		r.Records, r.LogBytes, r.OpenTime.Round(time.Microsecond), r.RecordsPerSec)
+}

@@ -34,6 +34,12 @@ type Stats struct {
 	Expired   int64
 	Entries   int
 	Bytes     int64
+	// Demotions counts fresh entries handed to the disk tier on eviction;
+	// DiskHits counts misses served by promoting a disk entry. Disk is the
+	// tier's own counter snapshot (zero without an attached tier).
+	Demotions int64
+	DiskHits  int64
+	Disk      DiskStats
 }
 
 // Config controls cache behaviour.
@@ -53,6 +59,11 @@ type Config struct {
 	// keeps a useful slice of the entry and byte budgets (small caches
 	// collapse to one shard and keep exact global LRU order).
 	Shards int
+	// L2, when non-nil, attaches a disk cache tier: entries evicted from
+	// the memory LRU while still fresh demote to disk, and memory misses
+	// consult the disk index before reporting a miss, so a restarted node
+	// rewarms from disk instead of refetching from the origin.
+	L2 *Disk
 	// Clock returns the current time; nil means time.Now. Tests and the
 	// simulator inject virtual clocks here.
 	Clock func() time.Time
@@ -129,12 +140,15 @@ type Cache struct {
 	cfg    Config
 	shards []*shard
 	mask   uint64
+	l2     atomic.Pointer[Disk]
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	stores    atomic.Int64
 	evictions atomic.Int64
 	expired   atomic.Int64
+	demotions atomic.Int64
+	diskHits  atomic.Int64
 }
 
 // New returns a cache with the given configuration.
@@ -150,8 +164,18 @@ func New(cfg Config) *Cache {
 			maxBytes:   c.MaxBytes / int64(n),
 		}
 	}
+	if c.L2 != nil {
+		cache.l2.Store(c.L2)
+	}
 	return cache
 }
+
+// L2 returns the attached disk tier, or nil.
+func (c *Cache) L2() *Disk { return c.l2.Load() }
+
+// SetL2 attaches (or with nil detaches) the disk tier at runtime; the
+// node swaps tiers across simulated crash/restart cycles.
+func (c *Cache) SetL2(d *Disk) { c.l2.Store(d) }
 
 // ShardCount returns the effective number of lock shards (diagnostics,
 // tests).
@@ -182,15 +206,13 @@ func (c *Cache) Get(key string) *httpmsg.Response {
 	e, ok := sh.entries[key]
 	if !ok {
 		sh.mu.Unlock()
-		c.misses.Add(1)
-		return nil
+		return c.getL2(key)
 	}
 	if now.After(e.expires) {
 		sh.removeLocked(e)
 		sh.mu.Unlock()
 		c.expired.Add(1)
-		c.misses.Add(1)
-		return nil
+		return c.getL2(key)
 	}
 	if e.negative {
 		sh.mu.Unlock()
@@ -204,6 +226,28 @@ func (c *Cache) Get(key string) *httpmsg.Response {
 	resp := cached.Clone()
 	resp.FromCache = true
 	return resp
+}
+
+// getL2 consults the disk tier on a memory miss, promoting a hit back
+// into the memory LRU. The disk copy stays in place until it expires or
+// the disk budget evicts it, so the tier is inclusive: a later crash
+// still rewarms from it.
+func (c *Cache) getL2(key string) *httpmsg.Response {
+	d := c.l2.Load()
+	if d == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	resp, expires, ok := d.Get(key)
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.putEntry(key, resp, expires, false)
+	c.diskHits.Add(1)
+	out := resp.Clone()
+	out.FromCache = true
+	return out
 }
 
 // GetNegative reports whether key has a live negative entry (known-missing
@@ -270,14 +314,69 @@ func (c *Cache) putEntry(key string, resp *httpmsg.Response, expires time.Time, 
 	evicted := sh.evictLocked()
 	sh.mu.Unlock()
 	c.stores.Add(1)
-	if evicted > 0 {
-		c.evictions.Add(evicted)
+	if n := len(evicted); n > 0 {
+		c.evictions.Add(int64(n))
+		c.demote(evicted)
 	}
 	return true
 }
 
-// Invalidate removes key from the cache.
+// demote hands evicted-but-fresh entries to the disk tier, outside any
+// shard lock. Negative entries and responses a shared cache may not store
+// (Cache-Control: no-store / private never entered the cache, but the
+// tier re-checks) stay memory-only.
+func (c *Cache) demote(evicted []*entry) {
+	d := c.l2.Load()
+	if d == nil {
+		return
+	}
+	now := c.cfg.Clock()
+	for _, e := range evicted {
+		if e.negative || e.resp == nil || !e.expires.After(now) {
+			continue
+		}
+		d.Put(e.key, e.resp, e.expires)
+		c.demotions.Add(1)
+	}
+}
+
+// FlushToDisk demotes every fresh, positive memory entry to the disk
+// tier without evicting it — the graceful-shutdown path, so the next
+// boot rewarms the whole working set, not just what eviction happened to
+// demote. A no-op without an attached tier.
+func (c *Cache) FlushToDisk() {
+	d := c.l2.Load()
+	if d == nil {
+		return
+	}
+	now := c.cfg.Clock()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		fresh := make([]*entry, 0, len(sh.entries))
+		for _, e := range sh.entries {
+			if !e.negative && e.resp != nil && e.expires.After(now) {
+				fresh = append(fresh, e)
+			}
+		}
+		sh.mu.Unlock()
+		// Entries are immutable once stored, so writing them after the
+		// lock is released is safe.
+		for _, e := range fresh {
+			d.Put(e.key, e.resp, e.expires)
+			c.demotions.Add(1)
+		}
+	}
+}
+
+// Invalidate removes key from the cache, including the disk tier. The
+// disk entry goes first so a concurrent Get racing this call cannot
+// promote it back into the memory tier after the memory entry is gone (a
+// Get that already read the disk entry can still repopulate — callers
+// needing exactness must serialize invalidation with traffic).
 func (c *Cache) Invalidate(key string) {
+	if d := c.l2.Load(); d != nil {
+		d.Invalidate(key)
+	}
 	sh := c.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -286,7 +385,9 @@ func (c *Cache) Invalidate(key string) {
 	}
 }
 
-// Clear removes every entry.
+// Clear removes every memory entry without demoting anything. The disk
+// tier is untouched — it models a disk, which survives the events (crash,
+// test reset) that clear memory.
 func (c *Cache) Clear() {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -335,6 +436,11 @@ func (c *Cache) Stats() Stats {
 		Stores:    c.stores.Load(),
 		Evictions: c.evictions.Load(),
 		Expired:   c.expired.Load(),
+		Demotions: c.demotions.Load(),
+		DiskHits:  c.diskHits.Load(),
+	}
+	if d := c.l2.Load(); d != nil {
+		s.Disk = d.Stats()
 	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -352,16 +458,18 @@ func (sh *shard) removeLocked(e *entry) {
 }
 
 // evictLocked evicts LRU entries until the shard is within budget and
-// returns how many entries were evicted.
-func (sh *shard) evictLocked() int64 {
-	var evicted int64
+// returns them (oldest last) so the caller can demote fresh ones to the
+// disk tier outside the lock.
+func (sh *shard) evictLocked() []*entry {
+	var evicted []*entry
 	for len(sh.entries) > sh.maxEntries || sh.bytes > sh.maxBytes {
 		back := sh.lru.Back()
 		if back == nil {
 			break
 		}
-		sh.removeLocked(back.Value.(*entry))
-		evicted++
+		e := back.Value.(*entry)
+		sh.removeLocked(e)
+		evicted = append(evicted, e)
 	}
 	return evicted
 }

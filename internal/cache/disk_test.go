@@ -1,0 +1,211 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/store"
+)
+
+// newDiskCache builds a tiny 1-shard memory cache over a disk tier so
+// evictions (and therefore demotions) are easy to force.
+func newDiskCache(t *testing.T, fs store.FS, maxEntries int, clock func() time.Time) (*Cache, *Disk) {
+	t.Helper()
+	d, err := OpenDisk(fs, 1<<20, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{MaxEntries: maxEntries, DefaultTTL: time.Hour, Clock: clock, L2: d})
+	if c.ShardCount() != 1 {
+		t.Fatalf("want 1 shard for exact LRU, got %d", c.ShardCount())
+	}
+	return c, d
+}
+
+func page(body string) *httpmsg.Response {
+	r := httpmsg.NewHTMLResponse(200, body)
+	r.SetMaxAge(600)
+	return r
+}
+
+func TestDemoteOnEvictionAndPromoteOnHit(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c, d := newDiskCache(t, store.NewMemFS(), 2, clock)
+
+	c.Put("a", page("body-a"))
+	c.Put("b", page("body-b"))
+	c.Put("c", page("body-c")) // evicts a → disk
+
+	if d.Len() != 1 {
+		t.Fatalf("disk entries = %d, want 1", d.Len())
+	}
+	resp := c.Get("a")
+	if resp == nil || string(resp.Body) != "body-a" {
+		t.Fatalf("disk promote failed: %v", resp)
+	}
+	if !resp.FromCache {
+		t.Error("promoted response not marked FromCache")
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 || st.Demotions < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The promotion put "a" back in memory (evicting "b" to disk); a
+	// second Get must be a pure memory hit.
+	before := c.Stats().DiskHits
+	if c.Get("a") == nil {
+		t.Fatal("promoted entry not in memory")
+	}
+	if c.Stats().DiskHits != before {
+		t.Error("second Get went to disk again")
+	}
+}
+
+func TestDiskRewarmAfterReopen(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	fs := store.NewMemFS()
+	c, _ := newDiskCache(t, fs, 2, clock)
+
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Put(k, page("body-"+k))
+	}
+	// a and b were evicted to disk; touch them so c and d demote too.
+	c.Get("a")
+	c.Get("b")
+
+	// "Restart": a brand-new cache over a rescanned disk tier.
+	c2, d2 := newDiskCache(t, fs, 2, clock)
+	if d2.Len() < 4 {
+		t.Fatalf("rescan found %d entries, want 4", d2.Len())
+	}
+	for _, k := range []string{"a", "b", "c", "d"} {
+		resp := c2.Get(k)
+		if resp == nil || string(resp.Body) != "body-"+k {
+			t.Fatalf("rewarm miss for %s", k)
+		}
+	}
+	if st := c2.Stats(); st.DiskHits != 4 {
+		t.Errorf("disk hits = %d, want 4", st.DiskHits)
+	}
+}
+
+func TestDiskExpiryAndCorruptionRejected(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	fs := store.NewMemFS()
+	c, d := newDiskCache(t, fs, 1, clock)
+
+	c.Put("a", page("body-a"))
+	c.Put("b", page("body-b")) // a → disk
+	if d.Len() != 1 {
+		t.Fatalf("disk entries = %d", d.Len())
+	}
+	// Past expiry the disk entry is a miss and its file is deleted.
+	now = now.Add(time.Hour)
+	if c.Get("a") != nil {
+		t.Fatal("expired disk entry served")
+	}
+	if d.Len() != 0 {
+		t.Fatal("expired disk entry not dropped")
+	}
+
+	// A corrupted file is rejected at scan time.
+	now = now.Add(-time.Hour)
+	c.Put("c", page("body-c")) // b → disk
+	names, _ := fs.List("")
+	if len(names) != 1 {
+		t.Fatalf("files = %v", names)
+	}
+	data, _ := store.ReadAll(fs, names[0])
+	data[len(data)-1] ^= 0xff
+	w, _ := fs.Create(names[0])
+	w.Write(data)
+	w.Close()
+	d2, err := OpenDisk(fs, 1<<20, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 0 {
+		t.Fatal("corrupt entry survived the scan")
+	}
+	if names, _ := fs.List(""); len(names) != 0 {
+		t.Error("corrupt file not deleted")
+	}
+}
+
+func TestDiskBudgetEvicts(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	d, err := OpenDisk(store.NewMemFS(), 2048, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := now.Add(time.Hour)
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		d.Put(k, page(strings.Repeat(k, 512)), exp)
+	}
+	st := d.Stats()
+	if st.Bytes > 2048 {
+		t.Errorf("disk bytes = %d over budget", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("no disk evictions under pressure")
+	}
+}
+
+func TestFlushToDiskOnShutdown(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	fs := store.NewMemFS()
+	c, d := newDiskCache(t, fs, 4, clock)
+	c.Put("a", page("body-a"))
+	c.Put("b", page("body-b"))
+	c.PutNegative("neg")
+	if d.Len() != 0 {
+		t.Fatal("nothing should be on disk before flush")
+	}
+	c.FlushToDisk()
+	if d.Len() != 2 {
+		t.Fatalf("disk entries after flush = %d, want 2 (no negatives)", d.Len())
+	}
+	// A fresh cache over the same FS serves both from disk.
+	c2, _ := newDiskCache(t, fs, 4, clock)
+	for _, k := range []string{"a", "b"} {
+		if resp := c2.Get(k); resp == nil || string(resp.Body) != "body-"+k {
+			t.Fatalf("flushed entry %s not rewarmed", k)
+		}
+	}
+}
+
+// TestNoStoreNeverCached is the Cache-Control regression test: responses
+// marked no-store or private must not enter the memory cache, and can
+// never demote to the disk tier.
+func TestNoStoreNeverCached(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c, d := newDiskCache(t, store.NewMemFS(), 2, clock)
+
+	for _, cc := range []string{"no-store", "private", "no-store, max-age=600", "private, max-age=600"} {
+		r := httpmsg.NewHTMLResponse(200, "secret")
+		r.Header.Set("Cache-Control", cc)
+		if c.Put("k-"+cc, r) {
+			t.Errorf("response with Cache-Control %q was stored", cc)
+		}
+	}
+	if c.Len() != 0 || d.Len() != 0 {
+		t.Fatalf("uncacheable responses landed: mem=%d disk=%d", c.Len(), d.Len())
+	}
+
+	// Defense in depth: even if such a response were handed to the tier
+	// directly, Disk.Put re-checks Cacheable.
+	r := httpmsg.NewHTMLResponse(200, "secret")
+	r.Header.Set("Cache-Control", "no-store")
+	d.Put("direct", r, now.Add(time.Hour))
+	if d.Len() != 0 {
+		t.Fatal("disk tier accepted a no-store response")
+	}
+}

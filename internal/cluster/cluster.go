@@ -17,6 +17,7 @@ import (
 	"nakika/internal/core"
 	"nakika/internal/httpmsg"
 	"nakika/internal/overlay"
+	"nakika/internal/store"
 	"nakika/internal/transport"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	// Manual switches the overlay to incremental maintenance
 	// (Stabilize/FixFingers) instead of instant convergence.
 	Manual bool
+	// Persist gives every node a persistent data directory — an in-memory
+	// store.FS keyed by node name, so the harness stays hermetic and
+	// deterministic — that survives crash/restart: a crashed node comes
+	// back with its hard state replayed from the log and its disk cache
+	// tier intact, instead of empty-handed.
+	Persist bool
 	// Mutate, when non-nil, adjusts each node's Config before boot.
 	Mutate func(i int, cfg *core.Config)
 }
@@ -47,6 +54,12 @@ type Cluster struct {
 	cfg   Config
 	names []string
 	nodes map[string]*core.Node
+	// fss holds each node's data filesystem (Persist mode); keyed by node
+	// name, preserved across crash/restart like a real disk.
+	fss map[string]*store.MemFS
+
+	errMu sync.Mutex
+	errs  []string
 }
 
 // New boots the cluster with every node proxying for origin.
@@ -65,7 +78,7 @@ func New(cfg Config, origin core.Fetcher) (*Cluster, error) {
 	if cfg.TTL > 0 {
 		ring.DefaultTTL = cfg.TTL
 	}
-	c := &Cluster{Sim: sim, Ring: ring, cfg: cfg, nodes: make(map[string]*core.Node)}
+	c := &Cluster{Sim: sim, Ring: ring, cfg: cfg, nodes: make(map[string]*core.Node), fss: make(map[string]*store.MemFS)}
 	for i := 0; i < cfg.N; i++ {
 		name := fmt.Sprintf("node-%d", i)
 		nodeCfg := core.Config{
@@ -73,6 +86,11 @@ func New(cfg Config, origin core.Fetcher) (*Cluster, error) {
 			Region:   regions[i%len(regions)],
 			Upstream: origin,
 			Ring:     ring,
+		}
+		if cfg.Persist {
+			fs := store.NewMemFS()
+			c.fss[name] = fs
+			nodeCfg.DataFS = fs
 		}
 		if cfg.Mutate != nil {
 			cfg.Mutate(i, &nodeCfg)
@@ -113,20 +131,45 @@ func (c *Cluster) Partition(groups ...[]string) { c.Sim.Partition(groups...) }
 // Heal removes every partition.
 func (c *Cluster) Heal() { c.Sim.Heal() }
 
-// Crash makes a node unreachable and discards its soft state (overlay
-// index slice and proxy cache), as a real process crash would.
+// Crash makes a node unreachable and kills its process state: soft state
+// (overlay index slice, memory cache) is discarded and the storage engine
+// is abandoned without flushing. In Persist mode the node's data
+// filesystem — like a real disk — keeps every byte already written.
 func (c *Cluster) Crash(name string) {
 	c.Sim.Crash(name)
 	if n := c.nodes[name]; n != nil {
-		if ov := n.Overlay(); ov != nil {
-			ov.DropIndex()
-		}
-		n.Cache().Clear()
+		n.Crash()
 	}
 }
 
-// Restart brings a crashed node back (empty-handed: its caches were lost).
-func (c *Cluster) Restart(name string) { c.Sim.Restart(name) }
+// Restart brings a crashed node back. In Persist mode it recovers from
+// its preserved data directory (hard state replayed from the log, disk
+// cache rescanned); otherwise it returns empty-handed, as before.
+func (c *Cluster) Restart(name string) {
+	c.Sim.Restart(name)
+	if n := c.nodes[name]; n != nil {
+		if err := n.Recover(); err != nil {
+			c.errMu.Lock()
+			c.errs = append(c.errs, fmt.Sprintf("restart %s: %v", name, err))
+			c.errMu.Unlock()
+		}
+	}
+}
+
+// Err reports failures from fault actions (a restart whose recovery
+// failed); tests check it after driving a schedule.
+func (c *Cluster) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cluster: %s", strings.Join(c.errs, "; "))
+}
+
+// DataFS returns the named node's preserved data filesystem (nil outside
+// Persist mode).
+func (c *Cluster) DataFS(name string) *store.MemFS { return c.fss[name] }
 
 // Live reports whether the node is currently not crashed.
 func (c *Cluster) Live(name string) bool { return !c.Sim.Crashed(name) }

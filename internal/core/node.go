@@ -22,8 +22,21 @@ import (
 	"nakika/internal/resource"
 	"nakika/internal/script"
 	"nakika/internal/state"
+	"nakika/internal/store"
 	"nakika/internal/transport"
 )
+
+// PersistConfig tunes the node's storage engine when a data filesystem is
+// configured.
+type PersistConfig struct {
+	// NoGroupCommit disables fsync batching on the hard-state log.
+	NoGroupCommit bool
+	// CompactBytes is the log size that triggers the snapshot/truncate
+	// cycle; zero means the engine default (4 MiB).
+	CompactBytes int64
+	// DiskCacheBytes bounds the cache's disk tier; zero means 1 GiB.
+	DiskCacheBytes int64
+}
 
 // Fetcher retrieves a resource from an upstream server. The default fetcher
 // uses net/http; tests and simulations inject in-process origins.
@@ -108,6 +121,16 @@ type Config struct {
 	Bus *state.Bus
 	// StateQuota is the per-site persistent storage quota in bytes.
 	StateQuota int64
+	// DataFS, when non-nil, roots the node's persistent storage engine:
+	// hard state is backed by a write-ahead log with snapshot compaction
+	// (acknowledged writes survive a crash), and fresh cache entries
+	// evicted from memory demote to a disk tier the node rewarms from
+	// after restart. Nil keeps everything in memory, the seed behaviour.
+	// cmd/nakikad builds a DirFS from -data-dir; the cluster harness
+	// injects per-node in-memory filesystems.
+	DataFS store.FS
+	// Persist tunes the storage engine; zero values mean defaults.
+	Persist PersistConfig
 	// ClientHostLookup resolves client IPs to hostnames for client
 	// predicates.
 	ClientHostLookup func(ip string) string
@@ -175,6 +198,11 @@ type Node struct {
 	// partitioned or crashed); RepublishPending retries them after heal.
 	pubMu      sync.Mutex
 	pendingPub map[string]struct{}
+	// persistMu guards kvLog, the handle to the persistent hard-state
+	// engine across crash/recover cycles (nil without DataFS).
+	persistMu sync.Mutex
+	kvLog     *store.Log
+	ownBus    bool
 
 	requests      atomic.Int64
 	cacheHits     atomic.Int64
@@ -202,12 +230,23 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:        cfg,
-		cache:      cache.New(cfg.Cache),
-		store:      state.NewStore(cfg.StateQuota),
 		log:        state.NewAccessLog(),
 		replicas:   make(map[string]*state.Replica),
 		pendingPub: make(map[string]struct{}),
 	}
+	cacheCfg := cfg.Cache
+	if cfg.DataFS != nil {
+		kv, disk, err := n.openStorage()
+		if err != nil {
+			return nil, err
+		}
+		n.kvLog = kv
+		n.store = state.NewStoreBacked(kv)
+		cacheCfg.L2 = disk
+	} else {
+		n.store = state.NewStore(cfg.StateQuota)
+	}
+	n.cache = cache.New(cacheCfg)
 	for _, cidr := range cfg.LocalNetworks {
 		_, ipnet, err := net.ParseCIDR(cidr)
 		if err != nil {
@@ -251,6 +290,7 @@ func NewNode(cfg Config) (*Node, error) {
 	if n.bus == nil && n.tr != nil && cfg.Ring != nil {
 		n.bus = state.NewBus()
 		n.bus.Remote = n.broadcastState
+		n.ownBus = true
 	}
 	if n.tr != nil {
 		// One registered name serves every subsystem: overlay routing and
@@ -265,6 +305,110 @@ func NewNode(cfg Config) (*Node, error) {
 		n.tr.Register(cfg.Name, mux.Serve)
 	}
 	return n, nil
+}
+
+// openStorage opens (or reopens after a crash) the persistent engines
+// rooted in cfg.DataFS: the hard-state log under state/ and the disk
+// cache tier under cache/.
+func (n *Node) openStorage() (*store.Log, *cache.Disk, error) {
+	quota := n.cfg.StateQuota
+	if quota <= 0 {
+		quota = 16 << 20
+	}
+	kv, err := store.OpenLog(store.Sub(n.cfg.DataFS, "state"), store.LogConfig{
+		Quota:         quota,
+		NoGroupCommit: n.cfg.Persist.NoGroupCommit,
+		CompactBytes:  n.cfg.Persist.CompactBytes,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: open state log: %w", err)
+	}
+	clock := n.cfg.Cache.Clock
+	disk, err := cache.OpenDisk(store.Sub(n.cfg.DataFS, "cache"), n.cfg.Persist.DiskCacheBytes, clock)
+	if err != nil {
+		kv.Close()
+		return nil, nil, fmt.Errorf("core: open disk cache: %w", err)
+	}
+	return kv, disk, nil
+}
+
+// StoreStats returns the persistent engine's counters (zero without a
+// data filesystem).
+func (n *Node) StoreStats() store.LogStats {
+	n.persistMu.Lock()
+	kv := n.kvLog
+	n.persistMu.Unlock()
+	if kv == nil {
+		return store.LogStats{}
+	}
+	return kv.Stats()
+}
+
+// Shutdown flushes and closes the node's persistent store and stops its
+// private replication bus — the graceful path a SIGTERM takes. The node
+// must not serve requests afterwards.
+func (n *Node) Shutdown() error {
+	if n.ownBus && n.bus != nil {
+		n.bus.Close()
+	}
+	n.cache.FlushToDisk()
+	n.persistMu.Lock()
+	kv := n.kvLog
+	n.persistMu.Unlock()
+	if kv == nil {
+		return nil
+	}
+	return kv.Close()
+}
+
+// Crash simulates an abrupt process death for the fault-injection
+// harness: all soft state is discarded (overlay index slice, memory
+// cache) and the storage engine is abandoned mid-flight without flushing
+// — unacknowledged writes are lost, exactly as a real crash would lose
+// them, while the data filesystem keeps every byte already written.
+func (n *Node) Crash() {
+	if n.overlay != nil {
+		n.overlay.DropIndex()
+	}
+	n.cache.Clear()
+	n.cache.SetL2(nil)
+	n.persistMu.Lock()
+	kv := n.kvLog
+	n.persistMu.Unlock()
+	if kv != nil {
+		kv.Abandon()
+		return
+	}
+	// Without persistence the process death takes the hard state with it:
+	// swap in an empty in-memory engine so a restarted node really does
+	// come back empty-handed.
+	quota := n.cfg.StateQuota
+	if quota <= 0 {
+		quota = 16 << 20
+	}
+	n.store.SetBackend(store.NewMem(quota))
+}
+
+// Recover reopens the persistent engines from the node's data filesystem
+// after a Crash: hard state is rebuilt by replaying the log (recovering
+// exactly the acknowledged writes), and the disk cache tier is rescanned
+// so the node rewarms without touching the origin. Without a data
+// filesystem it is a no-op — the node restarts empty-handed, the seed
+// behaviour.
+func (n *Node) Recover() error {
+	if n.cfg.DataFS == nil {
+		return nil
+	}
+	kv, disk, err := n.openStorage()
+	if err != nil {
+		return err
+	}
+	n.persistMu.Lock()
+	n.kvLog = kv
+	n.persistMu.Unlock()
+	n.store.SetBackend(kv)
+	n.cache.SetL2(disk)
+	return nil
 }
 
 // Name returns the node's name.

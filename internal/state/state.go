@@ -17,100 +17,84 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nakika/internal/store"
 )
 
 // ErrQuotaExceeded is returned when a site's persistent storage quota would
 // be exceeded by a put.
-var ErrQuotaExceeded = fmt.Errorf("state: site storage quota exceeded")
+var ErrQuotaExceeded = store.ErrQuotaExceeded
 
 // Store is a per-node key-value store partitioned by site, with per-site
 // byte quotas enforcing the paper's resource constraints on persistent
-// storage.
+// storage. Storage itself is delegated to a store.KV engine: in-memory by
+// default (nothing survives the process, the seed behaviour), or the
+// log-structured persistent engine when the node is given a data
+// directory — in which case every acknowledged put is on disk before Put
+// returns, and a crashed node recovers its hard state exactly by replay.
 type Store struct {
-	mu    sync.Mutex
-	data  map[string]map[string]string // site -> key -> value
-	bytes map[string]int64             // site -> bytes used
-	quota int64                        // per-site quota; zero means 16 MiB
+	mu sync.RWMutex
+	kv store.KV
 }
 
-// NewStore returns a store with the given per-site quota in bytes (zero
-// means 16 MiB).
+// NewStore returns an in-memory store with the given per-site quota in
+// bytes (zero means 16 MiB).
 func NewStore(perSiteQuota int64) *Store {
 	if perSiteQuota <= 0 {
 		perSiteQuota = 16 << 20
 	}
-	return &Store{
-		data:  make(map[string]map[string]string),
-		bytes: make(map[string]int64),
-		quota: perSiteQuota,
-	}
+	return &Store{kv: store.NewMem(perSiteQuota)}
+}
+
+// NewStoreBacked returns a store over an already-opened KV engine (which
+// enforces its own quota).
+func NewStoreBacked(kv store.KV) *Store {
+	return &Store{kv: kv}
+}
+
+// Backend returns the current KV engine.
+func (s *Store) Backend() store.KV {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.kv
+}
+
+// SetBackend swaps the KV engine in place. Replicas hold the Store, not
+// the engine, so a node recovering from a simulated crash can reopen its
+// log and swap it in without rewiring subscribers.
+func (s *Store) SetBackend(kv store.KV) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kv = kv
 }
 
 // Get returns the value for key in site's partition.
 func (s *Store) Get(site, key string) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	part, ok := s.data[site]
-	if !ok {
-		return "", false
-	}
-	v, ok := part[key]
-	return v, ok
+	return s.Backend().Get(site, key)
 }
 
 // Put stores value under key in site's partition, enforcing the quota.
+// With a persistent backend, Put returns only once the write is durable.
 func (s *Store) Put(site, key, value string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	part, ok := s.data[site]
-	if !ok {
-		part = make(map[string]string)
-		s.data[site] = part
-	}
-	delta := int64(len(key) + len(value))
-	if old, exists := part[key]; exists {
-		delta -= int64(len(key) + len(old))
-	}
-	if s.bytes[site]+delta > s.quota {
-		return ErrQuotaExceeded
-	}
-	part[key] = value
-	s.bytes[site] += delta
-	return nil
+	return s.Backend().Put(site, key, value)
 }
 
-// Delete removes key from site's partition.
+// Delete removes key from site's partition. Durability errors are not
+// surfaced here (the vocabulary API is void); a persistent engine whose
+// WAL fails abandons itself fail-stop, so a delete can never be silently
+// half-applied across a restart while the engine keeps serving.
 func (s *Store) Delete(site, key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	part, ok := s.data[site]
-	if !ok {
-		return
-	}
-	if old, exists := part[key]; exists {
-		s.bytes[site] -= int64(len(key) + len(old))
-		delete(part, key)
-	}
+	s.Backend().Delete(site, key)
 }
 
 // Keys returns the keys in site's partition, sorted.
 func (s *Store) Keys(site string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	part := s.data[site]
-	out := make([]string, 0, len(part))
-	for k := range part {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return s.Backend().Keys(site)
 }
 
 // Bytes returns the storage consumed by site.
 func (s *Store) Bytes(site string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bytes[site]
+	return s.Backend().Bytes(site)
 }
 
 // ---------------------------------------------------------------------------

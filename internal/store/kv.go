@@ -1,0 +1,244 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrQuotaExceeded is returned when a site's byte quota would be exceeded
+// by a put.
+var ErrQuotaExceeded = errors.New("store: site storage quota exceeded")
+
+// KV is the narrow storage interface hard state runs on: a site-partitioned
+// key-value map with per-site byte quotas. Mem keeps it purely in memory
+// (the seed behaviour, used by every existing test); Log adds a write-ahead
+// log and snapshot segments so the map survives a crash.
+type KV interface {
+	Get(site, key string) (string, bool)
+	Put(site, key, value string) error
+	Delete(site, key string) error
+	Keys(site string) []string
+	Bytes(site string) int64
+	// Range visits every pair; iteration stops when fn returns false.
+	Range(fn func(site, key, value string) bool)
+	// Sync makes every acknowledged write durable (no-op in memory).
+	Sync() error
+	// Close flushes and releases the engine.
+	Close() error
+}
+
+// table is the in-memory index shared by both engines, with quota-checked
+// mutation. Callers hold their own lock.
+type table struct {
+	data  map[string]map[string]string
+	bytes map[string]int64
+}
+
+func newTable() *table {
+	return &table{data: make(map[string]map[string]string), bytes: make(map[string]int64)}
+}
+
+func (t *table) get(site, key string) (string, bool) {
+	part, ok := t.data[site]
+	if !ok {
+		return "", false
+	}
+	v, ok := part[key]
+	return v, ok
+}
+
+// put applies a write. With enforce it checks the quota first and reports
+// ErrQuotaExceeded; replay applies without enforcement (the write was
+// already accepted before the crash).
+func (t *table) put(site, key, value string, quota int64) error {
+	part, ok := t.data[site]
+	if !ok {
+		part = make(map[string]string)
+		t.data[site] = part
+	}
+	delta := int64(len(key) + len(value))
+	if old, exists := part[key]; exists {
+		delta -= int64(len(key) + len(old))
+	}
+	if quota > 0 && t.bytes[site]+delta > quota {
+		return ErrQuotaExceeded
+	}
+	part[key] = value
+	t.bytes[site] += delta
+	return nil
+}
+
+func (t *table) del(site, key string) {
+	part, ok := t.data[site]
+	if !ok {
+		return
+	}
+	if old, exists := part[key]; exists {
+		t.bytes[site] -= int64(len(key) + len(old))
+		delete(part, key)
+	}
+}
+
+func (t *table) keys(site string) []string {
+	part := t.data[site]
+	out := make([]string, 0, len(part))
+	for k := range part {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t *table) rangeAll(fn func(site, key, value string) bool) {
+	sites := make([]string, 0, len(t.data))
+	for s := range t.data {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		for _, key := range t.keys(site) {
+			if !fn(site, key, t.data[site][key]) {
+				return
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mem: the in-memory KV
+// ---------------------------------------------------------------------------
+
+// Mem is the in-memory KV engine. It is what NewStore always used: nothing
+// survives the process, and Sync/Close are no-ops.
+type Mem struct {
+	mu    sync.Mutex
+	t     *table
+	quota int64
+}
+
+// NewMem returns an empty in-memory KV with the given per-site quota in
+// bytes (zero or negative means unlimited).
+func NewMem(quota int64) *Mem {
+	return &Mem{t: newTable(), quota: quota}
+}
+
+// Get implements KV.
+func (m *Mem) Get(site, key string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t.get(site, key)
+}
+
+// Put implements KV.
+func (m *Mem) Put(site, key, value string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t.put(site, key, value, m.quota)
+}
+
+// Delete implements KV.
+func (m *Mem) Delete(site, key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t.del(site, key)
+	return nil
+}
+
+// Keys implements KV.
+func (m *Mem) Keys(site string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t.keys(site)
+}
+
+// Bytes implements KV.
+func (m *Mem) Bytes(site string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t.bytes[site]
+}
+
+// Range implements KV.
+func (m *Mem) Range(fn func(site, key, value string) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t.rangeAll(fn)
+}
+
+// Sync implements KV.
+func (m *Mem) Sync() error { return nil }
+
+// Close implements KV.
+func (m *Mem) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------------
+
+// Record ops. A log record is one mutation: op byte, then uvarint-length-
+// prefixed site, key, and (for puts) value.
+const (
+	opPut    = 'P'
+	opDelete = 'D'
+)
+
+func encodePut(site, key, value string) []byte {
+	b := make([]byte, 0, 1+3*binary.MaxVarintLen32+len(site)+len(key)+len(value))
+	b = append(b, opPut)
+	b = appendString(b, site)
+	b = appendString(b, key)
+	b = appendString(b, value)
+	return b
+}
+
+func encodeDelete(site, key string) []byte {
+	b := make([]byte, 0, 1+2*binary.MaxVarintLen32+len(site)+len(key))
+	b = append(b, opDelete)
+	b = appendString(b, site)
+	b = appendString(b, key)
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, fmt.Errorf("store: truncated string in record")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// decodeRecord parses one record payload. Malformed payloads (possible
+// only through corruption that still passes the CRC, or fuzzed input)
+// return an error; they never panic.
+func decodeRecord(payload []byte) (op byte, site, key, value string, err error) {
+	if len(payload) < 1 {
+		return 0, "", "", "", fmt.Errorf("store: empty record")
+	}
+	op, rest := payload[0], payload[1:]
+	if op != opPut && op != opDelete {
+		return 0, "", "", "", fmt.Errorf("store: unknown record op %q", op)
+	}
+	if site, rest, err = takeString(rest); err != nil {
+		return 0, "", "", "", err
+	}
+	if key, rest, err = takeString(rest); err != nil {
+		return 0, "", "", "", err
+	}
+	if op == opPut {
+		if value, rest, err = takeString(rest); err != nil {
+			return 0, "", "", "", err
+		}
+	}
+	if len(rest) != 0 {
+		return 0, "", "", "", fmt.Errorf("store: %d trailing bytes in record", len(rest))
+	}
+	return op, site, key, value, nil
+}

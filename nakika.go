@@ -21,6 +21,7 @@ import (
 	"nakika/internal/httpmsg"
 	"nakika/internal/overlay"
 	"nakika/internal/state"
+	"nakika/internal/store"
 )
 
 // Node is a Na Kika edge node: an HTTP proxy that executes the scripting
@@ -80,6 +81,17 @@ func NewRedirector(ring *Ring) *Redirector { return overlay.NewRedirector(ring) 
 
 // NewBus returns a synchronous replication message bus.
 func NewBus() *Bus { return state.NewBus() }
+
+// FS is the filesystem abstraction the persistent store runs on; set
+// Config.DataFS to enable persistence (hard-state WAL + disk cache tier).
+type FS = store.FS
+
+// NewDirFS roots an FS at a real directory (cmd/nakikad's -data-dir).
+func NewDirFS(dir string) (*store.DirFS, error) { return store.NewDirFS(dir) }
+
+// NewMemFS returns a hermetic in-memory FS, as the cluster harness uses
+// for deterministic crash/restart testing.
+func NewMemFS() *store.MemFS { return store.NewMemFS() }
 
 // NewRequest builds a pipeline request for the given method and URL.
 func NewRequest(method, url string) (*Request, error) { return httpmsg.NewRequest(method, url) }
