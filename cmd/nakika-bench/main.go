@@ -9,9 +9,16 @@
 //	nakika-bench -experiment all
 //	nakika-bench -experiment table2 -iterations 10
 //	nakika-bench -experiment figure7 -duration 60s -json results/
+//	nakika-bench -experiment replication -json out/ -baseline bench/baseline
 //
 // Experiments: table2, breakdown, capacity, rescontrol, simm-local, figure7,
-// specweb, extensions, persist, all.
+// specweb, extensions, persist, replication, all.
+//
+// With -baseline, the freshly written BENCH_*.json files are compared
+// against the committed baselines after the run: any tracked metric more
+// than -regress-threshold above its baseline fails the process (exit 1) —
+// the CI bench-regression gate. Only virtual-clock/message-count metrics
+// are tracked, so the gate is deterministic across machines.
 package main
 
 import (
@@ -24,12 +31,14 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, all)")
+	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, replication, all)")
 	iterations := flag.Int("iterations", 10, "iterations per micro-benchmark measurement")
 	duration := flag.Duration("duration", 30*time.Second, "virtual duration for the wide-area simulations")
 	loadDuration := flag.Duration("load-duration", 2*time.Second, "wall-clock duration for capacity and resource-control load tests")
 	cdf := flag.Bool("cdf", false, "print full CDF series for figure7")
 	jsonDir := flag.String("json", ".", "directory for machine-readable BENCH_*.json results (empty: disabled)")
+	baseline := flag.String("baseline", "", "baseline directory to gate the fresh BENCH_*.json results against (empty: no gate)")
+	threshold := flag.Float64("regress-threshold", 0.20, "fractional regression that fails the -baseline gate")
 	flag.Parse()
 
 	// run executes one experiment; fn prints the human-readable tables and
@@ -234,4 +243,28 @@ func main() {
 		}
 		return out, nil
 	})
+
+	run("replication", func() (interface{}, error) {
+		rows, err := bench.RunReplicationCost([]int{1, 2, 3, 5}, *iterations*20)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatReplication(rows))
+		return rows, nil
+	})
+
+	// The bench-regression gate: compare whatever this run produced
+	// against the committed baselines and fail on a tracked-metric
+	// regression.
+	if *baseline != "" && *jsonDir != "" {
+		regs, notes, err := bench.CompareBenchDirs(*baseline, *jsonDir, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench gate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatRegressions(regs, notes, *threshold))
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+	}
 }

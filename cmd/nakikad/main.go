@@ -49,14 +49,16 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated name=host:port pairs of cluster peers")
 	dataDir := flag.String("data-dir", "", "directory for the persistent store (WAL + segments + disk cache tier); empty keeps all state in memory")
 	noGroupCommit := flag.Bool("no-group-commit", false, "sync the write-ahead log once per record instead of batching fsyncs")
+	replication := flag.Int("replication", 3, "copies kept of each hard-state key in cluster mode (ring owner + successors, written synchronously); 1 keeps owner-only placement, negative restores the legacy broadcast model")
 	flag.Parse()
 
 	cfg := nakika.Config{
-		Name:            *name,
-		Region:          *region,
-		ClientWallURL:   *clientWall,
-		ServerWallURL:   *serverWall,
-		EnableResources: *enableRes,
+		Name:              *name,
+		Region:            *region,
+		ClientWallURL:     *clientWall,
+		ServerWallURL:     *serverWall,
+		ReplicationFactor: *replication,
+		EnableResources:   *enableRes,
 		Resources: resource.Config{
 			Capacity: map[resource.Kind]float64{
 				resource.CPU:    *cpuCapacity,
@@ -142,6 +144,15 @@ func main() {
 			for {
 				time.Sleep(5 * time.Second)
 				node.RepublishPending()
+				// Overlay maintenance plus its replication consequences:
+				// stabilization notices dead/joined peers, and when it flags
+				// churn the repair pass promotes replicas and re-replicates
+				// to restore the replication factor.
+				if ov := node.Overlay(); ov != nil {
+					ov.Stabilize()
+					ov.FixFingers()
+				}
+				node.RepairIfNeeded()
 			}
 		}()
 	}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplicationCostDeterministic pins the property the CI gate depends
+// on: the replication experiment's tracked metrics are identical run to
+// run (they are virtual-clock and message-count derived, never wall
+// clock).
+func TestReplicationCostDeterministic(t *testing.T) {
+	run := func() []ReplicationResult {
+		rows, err := RunReplicationCost([]int{1, 3}, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	if len(a) != 2 || len(a) != len(b) {
+		t.Fatalf("rows = %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d diverged between runs:\n%+v\nvs\n%+v", i, a[i], b[i])
+		}
+	}
+	// Replication must cost messages: each extra copy is a push per write.
+	if a[1].WriteMsgsPerOp <= a[0].WriteMsgsPerOp {
+		t.Errorf("factor 3 writes (%v msgs/op) should cost more than factor 1 (%v)", a[1].WriteMsgsPerOp, a[0].WriteMsgsPerOp)
+	}
+	if a[1].FailoverReads == 0 || a[1].FailoverMsgsPerOp <= a[1].ReadMsgsPerOp {
+		t.Errorf("failover reads should pay a detour: %+v", a[1])
+	}
+}
+
+// TestBenchRegressionGate drives the comparator end to end through real
+// BENCH_*.json files: identical results pass, a >threshold regression on
+// one tracked metric fails, and a baseline with no fresh counterpart is
+// skipped with a note.
+func TestBenchRegressionGate(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+	base := []ReplicationResult{{
+		Factor: 3, Nodes: 8, Writes: 100,
+		WriteMsgsPerOp: 3.5, WriteVirtualPerOp: 7 * time.Millisecond,
+		ReadMsgsPerOp: 1.5, ReadVirtualPerOp: 3 * time.Millisecond,
+		FailoverReads: 10, FailoverMsgsPerOp: 3.0, FailoverVirtualPerOp: 7 * time.Millisecond,
+	}}
+	if _, err := WriteBenchJSON(baseDir, "replication", base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical fresh results: gate passes.
+	if _, err := WriteBenchJSON(freshDir, "replication", base); err != nil {
+		t.Fatal(err)
+	}
+	regs, notes, err := CompareBenchDirs(baseDir, freshDir, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical results flagged: %v", regs)
+	}
+
+	// A 10% slip stays under the 20% gate; 50% fails it.
+	slipped := base
+	slipped[0].WriteMsgsPerOp = 3.85
+	if _, err := WriteBenchJSON(freshDir, "replication", slipped); err != nil {
+		t.Fatal(err)
+	}
+	if regs, _, err = CompareBenchDirs(baseDir, freshDir, 0.20); err != nil || len(regs) != 0 {
+		t.Fatalf("10%% slip should pass a 20%% gate (regs=%v err=%v)", regs, err)
+	}
+	slipped[0].WriteMsgsPerOp = 5.5
+	if _, err := WriteBenchJSON(freshDir, "replication", slipped); err != nil {
+		t.Fatal(err)
+	}
+	regs, _, err = CompareBenchDirs(baseDir, freshDir, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0].Metric, "write_msgs_per_op") {
+		t.Fatalf("50%% regression not flagged exactly once: %v", regs)
+	}
+	if msg := FormatRegressions(regs, nil, 0.20); !strings.Contains(msg, "regressed") {
+		t.Fatalf("gate output %q", msg)
+	}
+
+	// Baseline present, experiment not re-run: skipped with a note, not a
+	// failure.
+	if err := os.Remove(filepath.Join(freshDir, "BENCH_replication.json")); err != nil {
+		t.Fatal(err)
+	}
+	regs, notes, err = CompareBenchDirs(baseDir, freshDir, 0.20)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("missing fresh file must skip, not fail (regs=%v err=%v)", regs, err)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "not run") {
+		t.Fatalf("notes = %v", notes)
+	}
+}

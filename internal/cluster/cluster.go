@@ -42,6 +42,12 @@ type Config struct {
 	// back with its hard state replayed from the log and its disk cache
 	// tier intact, instead of empty-handed.
 	Persist bool
+	// Replication overrides every node's core.Config.ReplicationFactor:
+	// zero keeps the node default (successor replication with factor 3),
+	// a positive value sets the factor, and a negative value disables
+	// successor replication (the legacy bus-broadcast state model some
+	// scenarios pin).
+	Replication int
 	// Mutate, when non-nil, adjusts each node's Config before boot.
 	Mutate func(i int, cfg *core.Config)
 }
@@ -60,16 +66,16 @@ type Cluster struct {
 
 	errMu sync.Mutex
 	errs  []string
+	// resync names nodes that must pull their owned key range on the next
+	// StabilizeAll: restarted nodes catching up on writes they missed, and
+	// fresh joiners streaming the range they took over.
+	resync map[string]bool
 }
 
 // New boots the cluster with every node proxying for origin.
 func New(cfg Config, origin core.Fetcher) (*Cluster, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node")
-	}
-	regions := cfg.Regions
-	if len(regions) == 0 {
-		regions = []string{"us-east", "eu-west", "ap-south"}
 	}
 	sim := transport.NewSim(transport.SimConfig{Seed: cfg.Seed, DefaultLatency: cfg.Latency})
 	ring := overlay.NewRing()
@@ -78,31 +84,60 @@ func New(cfg Config, origin core.Fetcher) (*Cluster, error) {
 	if cfg.TTL > 0 {
 		ring.DefaultTTL = cfg.TTL
 	}
-	c := &Cluster{Sim: sim, Ring: ring, cfg: cfg, nodes: make(map[string]*core.Node), fss: make(map[string]*store.MemFS)}
+	c := &Cluster{Sim: sim, Ring: ring, cfg: cfg, nodes: make(map[string]*core.Node), fss: make(map[string]*store.MemFS), resync: make(map[string]bool)}
 	for i := 0; i < cfg.N; i++ {
-		name := fmt.Sprintf("node-%d", i)
-		nodeCfg := core.Config{
-			Name:     name,
-			Region:   regions[i%len(regions)],
-			Upstream: origin,
-			Ring:     ring,
+		if _, err := c.boot(i, origin); err != nil {
+			return nil, err
 		}
-		if cfg.Persist {
-			fs := store.NewMemFS()
-			c.fss[name] = fs
-			nodeCfg.DataFS = fs
-		}
-		if cfg.Mutate != nil {
-			cfg.Mutate(i, &nodeCfg)
-		}
-		n, err := core.NewNode(nodeCfg)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: boot %s: %w", name, err)
-		}
-		c.names = append(c.names, name)
-		c.nodes[name] = n
 	}
 	return c, nil
+}
+
+// boot builds and registers node i.
+func (c *Cluster) boot(i int, origin core.Fetcher) (*core.Node, error) {
+	regions := c.cfg.Regions
+	if len(regions) == 0 {
+		regions = []string{"us-east", "eu-west", "ap-south"}
+	}
+	name := fmt.Sprintf("node-%d", i)
+	nodeCfg := core.Config{
+		Name:              name,
+		Region:            regions[i%len(regions)],
+		Upstream:          origin,
+		Ring:              c.Ring,
+		ReplicationFactor: c.cfg.Replication,
+	}
+	if c.cfg.Persist {
+		fs := store.NewMemFS()
+		c.fss[name] = fs
+		nodeCfg.DataFS = fs
+	}
+	if c.cfg.Mutate != nil {
+		c.cfg.Mutate(i, &nodeCfg)
+	}
+	n, err := core.NewNode(nodeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: boot %s: %w", name, err)
+	}
+	c.names = append(c.names, name)
+	c.nodes[name] = n
+	return n, nil
+}
+
+// AddNode boots one additional node (continuing the node-<i> sequence)
+// onto the running cluster's ring and returns its name. The joiner is
+// marked for handoff: the next StabilizeAll streams the key range it now
+// owns from its successor. The origin must be the same fetcher the
+// cluster was built with (it is per-node configuration).
+func (c *Cluster) AddNode(origin core.Fetcher) (string, error) {
+	n, err := c.boot(len(c.names), origin)
+	if err != nil {
+		return "", err
+	}
+	c.errMu.Lock()
+	c.resync[n.Name()] = true
+	c.errMu.Unlock()
+	return n.Name(), nil
 }
 
 // Names returns the node names in boot order.
@@ -144,7 +179,12 @@ func (c *Cluster) Crash(name string) {
 
 // Restart brings a crashed node back. In Persist mode it recovers from
 // its preserved data directory (hard state replayed from the log, disk
-// cache rescanned); otherwise it returns empty-handed, as before.
+// cache rescanned); otherwise it returns empty-handed, as before. Either
+// way the node is marked for resync: the next StabilizeAll streams the
+// key range it owns back from its successors, catching it up on the
+// writes it missed while dead. (Restart may run from inside the simulated
+// network's event loop, where sending messages is forbidden, so the
+// handoff itself is deferred to StabilizeAll.)
 func (c *Cluster) Restart(name string) {
 	c.Sim.Restart(name)
 	if n := c.nodes[name]; n != nil {
@@ -153,6 +193,9 @@ func (c *Cluster) Restart(name string) {
 			c.errs = append(c.errs, fmt.Sprintf("restart %s: %v", name, err))
 			c.errMu.Unlock()
 		}
+		c.errMu.Lock()
+		c.resync[name] = true
+		c.errMu.Unlock()
 	}
 }
 
@@ -174,8 +217,95 @@ func (c *Cluster) DataFS(name string) *store.MemFS { return c.fss[name] }
 // Live reports whether the node is currently not crashed.
 func (c *Cluster) Live(name string) bool { return !c.Sim.Crashed(name) }
 
-// StabilizeAll runs overlay maintenance rounds across live nodes.
-func (c *Cluster) StabilizeAll(rounds int) { c.Ring.StabilizeAll(rounds) }
+// StabilizeAll runs overlay maintenance rounds across live nodes, and
+// after each round drives the replication consequences of whatever churn
+// the round uncovered: restarted/joining nodes marked for resync pull the
+// key range they own from their successors (chunked handoff streams), and
+// nodes whose stabilization flagged churn (dead predecessor, changed
+// successor head) run a repair pass that promotes replicas and
+// re-replicates to restore the replication factor. Everything runs in
+// deterministic (boot/sorted) order.
+func (c *Cluster) StabilizeAll(rounds int) {
+	for i := 0; i < rounds; i++ {
+		// One maintenance round over live nodes only — a crashed process
+		// runs no maintenance, and letting it would wipe the routing
+		// tables it needs intact to rejoin on restart.
+		for _, name := range c.Ring.Nodes() {
+			if n := c.Ring.NodeByName(name); n != nil && c.Live(name) {
+				n.Stabilize()
+			}
+		}
+		for _, name := range c.Ring.Nodes() {
+			if n := c.Ring.NodeByName(name); n != nil && c.Live(name) {
+				n.FixFingers()
+			}
+		}
+		c.resyncPending()
+		for _, name := range c.Ring.Nodes() {
+			if n := c.nodes[name]; n != nil && c.Live(name) {
+				n.RepairIfNeeded()
+			}
+		}
+	}
+}
+
+// resyncPending runs the deferred handoff pulls; nodes whose pull fails
+// (for example no live successor yet) stay marked and retry next round.
+func (c *Cluster) resyncPending() {
+	c.errMu.Lock()
+	var names []string
+	for name := range c.resync {
+		names = append(names, name)
+	}
+	c.errMu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if !c.Live(name) {
+			continue
+		}
+		if _, err := c.nodes[name].PullOwnedRange(0); err != nil {
+			continue
+		}
+		// A node that was away repairs unconditionally once caught up: the
+		// world changed while it was dead, and — unlike its neighbours —
+		// its own tables may look unchanged, so no churn flag would fire.
+		c.nodes[name].RepairReplication()
+		c.errMu.Lock()
+		delete(c.resync, name)
+		c.errMu.Unlock()
+	}
+}
+
+// RepairAll runs an unconditional replication repair pass on every live
+// node in deterministic order, returning the number of records peers
+// accepted. Tests use it to force re-replication without waiting for a
+// churn flag.
+func (c *Cluster) RepairAll() int {
+	pushed := 0
+	for _, name := range c.Ring.Nodes() {
+		if n := c.nodes[name]; n != nil && c.Live(name) {
+			pushed += n.RepairReplication()
+		}
+	}
+	return pushed
+}
+
+// StateHolders returns the names of live nodes whose local store holds a
+// live (non-tombstone) copy of the replicated record, sorted — the
+// harness's replica-count probe.
+func (c *Cluster) StateHolders(site, key string) []string {
+	var out []string
+	for _, name := range c.names {
+		if !c.Live(name) {
+			continue
+		}
+		if _, _, deleted, ok := c.nodes[name].LocalStateRecord(site, key); ok && !deleted {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // RepublishAll retries failed cooperative-cache publishes on every live
 // node and returns the number still pending.

@@ -1,0 +1,496 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nakika/internal/state"
+)
+
+// seedOffset lets the nightly soak workflow sweep the deterministic
+// scenarios across fresh seeds (NAKIKA_SEED_OFFSET=n shifts every seeded
+// test by n); untouched, every run uses the fixed seeds committed here.
+func seedOffset() int64 {
+	if s := os.Getenv("NAKIKA_SEED_OFFSET"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+const repSite = "app.example.org"
+
+func burstKey(i int) string { return fmt.Sprintf("burst-%04d", i) }
+func burstVal(i int) string { return fmt.Sprintf("value-%04d-%s", i, strings.Repeat("r", 64)) }
+
+// bootReplicated builds a manual-maintenance cluster with successor
+// replication and converges its routing tables.
+func bootReplicated(t *testing.T, n int, seed int64, k int) *Cluster {
+	t.Helper()
+	c, err := New(Config{N: n, Seed: seed, Latency: time.Millisecond, TTL: time.Hour, Manual: true, Replication: k}, NewCountingOrigin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StabilizeAll(4)
+	return c
+}
+
+// runReplicationFailoverScenario is the replication acceptance scenario:
+// an 8-node manual-maintenance ring with factor-3 successor replication,
+// a hard-state write burst issued at one entry node, and the owner of the
+// burst's first forwarded key crashed at a virtual time that lands inside
+// the burst. Every write acknowledged before, during, or after the crash
+// must remain readable (reads failing over to replicas while the owner is
+// dead), stabilization-triggered repair must restore three live copies of
+// every key, and the restarted owner must stream its range back. Returns
+// a fingerprint of every deterministic observable.
+func runReplicationFailoverScenario(t *testing.T, seed int64) string {
+	t.Helper()
+	// The seed shapes the scenario (entry node, burst size) in addition to
+	// seeding the simulated network, so the nightly seed sweep exercises
+	// genuinely different write/ownership patterns.
+	nKeys := 80 + int(((seed%13)+13)%13)
+	c := bootReplicated(t, 8, seed, 0) // factor 0 = node default of 3
+
+	entry := fmt.Sprintf("node-%d", ((seed%8)+8)%8)
+	node := c.NodeByName(entry)
+	victim := ""
+	for i := 0; i < nKeys; i++ {
+		if o := c.Ring.Successor(state.ReplicaKey(repSite, burstKey(i))).Name; o != entry {
+			victim = o
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no key owned away from the entry node")
+	}
+	if err := c.Schedule(fmt.Sprintf("at %s crash %s", c.Sim.Now()+120*time.Millisecond, victim)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The burst: sequential writes through the entry node. Replication
+	// traffic advances the virtual clock, so the scripted crash lands
+	// mid-burst; the write in flight at that instant may fail
+	// (unacknowledged), and later writes to the dead owner's keys must
+	// fail over to its first live successor.
+	acked := make(map[string]string)
+	crashIdx := -1
+	for i := 0; i < nKeys; i++ {
+		if err := node.StatePut(repSite, burstKey(i), burstVal(i)); err == nil {
+			acked[burstKey(i)] = burstVal(i)
+		}
+		if crashIdx < 0 && !c.Live(victim) {
+			crashIdx = i
+		}
+	}
+	if crashIdx <= 0 || crashIdx >= nKeys-1 {
+		t.Fatalf("crash did not land mid-burst (landed at write %d of %d)", crashIdx, nKeys)
+	}
+	ackedKeys := make([]string, 0, len(acked))
+	for k := range acked {
+		ackedKeys = append(ackedKeys, k)
+	}
+	sort.Strings(ackedKeys)
+
+	// Zero loss: with the owner still dead, every acknowledged write is
+	// readable from a second node — reads route to the acting owner and
+	// fail over to replicas for the victim's keys.
+	reader := ""
+	for _, n := range c.Names() {
+		if n != entry && n != victim {
+			reader = n
+			break
+		}
+	}
+	for _, key := range ackedKeys {
+		got, ok := c.NodeByName(reader).StateGet(repSite, key)
+		if !ok || got != acked[key] {
+			t.Fatalf("acknowledged write %s lost with owner dead (ok=%v)", key, ok)
+		}
+	}
+	// Key enumeration agrees with reads: the cluster-wide listing covers
+	// every acknowledged key even with the owner dead.
+	listed := make(map[string]bool)
+	for _, k := range c.NodeByName(reader).StateKeys(repSite) {
+		listed[k] = true
+	}
+	for _, key := range ackedKeys {
+		if !listed[key] {
+			t.Fatalf("acknowledged key %s missing from cluster-wide StateKeys", key)
+		}
+	}
+
+	// Stabilization prunes the dead owner and triggers repair: every
+	// acknowledged key must be back to 3 live copies.
+	c.StabilizeAll(6)
+	for _, key := range ackedKeys {
+		holders := c.StateHolders(repSite, key)
+		if len(holders) < 3 {
+			t.Fatalf("key %s has %d live copies after repair, want >= 3 (%v)", key, len(holders), holders)
+		}
+		for _, h := range holders {
+			if h == victim {
+				t.Fatalf("dead node %s counted as holder of %s", victim, key)
+			}
+		}
+	}
+
+	// The victim restarts empty (no persistence) and streams the range it
+	// owns back from its successors; afterwards it serves every
+	// acknowledged write again, including the ones written while it was
+	// dead.
+	c.Restart(victim)
+	c.StabilizeAll(6)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ackedKeys {
+		got, ok := c.NodeByName(victim).StateGet(repSite, key)
+		if !ok || got != acked[key] {
+			t.Fatalf("key %s unreadable from restarted owner (ok=%v)", key, ok)
+		}
+	}
+
+	// Fingerprint every deterministic observable for the repeat-run check.
+	var fp strings.Builder
+	fmt.Fprintf(&fp, "victim=%s crashIdx=%d acked=%d", victim, crashIdx, len(acked))
+	for _, key := range ackedKeys {
+		fmt.Fprintf(&fp, " %s:%v", key, c.StateHolders(repSite, key))
+	}
+	for _, n := range c.Names() {
+		st := c.NodeByName(n).Stats().Replication
+		fmt.Fprintf(&fp, " %s:fwd=%d,push=%d,fo=%d,app=%d,keys=%d",
+			n, st.ForwardedOps, st.ReplicaPushes, st.FailoverReads, st.RecordsApplied,
+			len(c.NodeByName(n).StateKeys(repSite)))
+	}
+	return fp.String()
+}
+
+// TestReplicationFailoverDeterministic is the replication acceptance
+// test: the kill-owner-mid-burst scenario holds its invariants and
+// produces an identical fingerprint on repeat runs, across 5 seeds.
+func TestReplicationFailoverDeterministic(t *testing.T) {
+	for _, seed := range []int64{21, 22, 23, 24, 25} {
+		seed := seed + seedOffset()
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			first := runReplicationFailoverScenario(t, seed)
+			if again := runReplicationFailoverScenario(t, seed); again != first {
+				t.Fatalf("seed %d diverged:\n%s\nvs\n%s", seed, first, again)
+			}
+		})
+	}
+}
+
+// TestOwnerDiesBetweenWALAppendAndReplicaAck pins the narrowest failover
+// edge: the acting owner appends the write to its WAL, pushes it to its
+// first replica, and crashes before the replica's acknowledgement gets
+// back. The client must see an error (the write was never acknowledged),
+// yet the replica holds the record — an at-least-once surface the
+// restarted owner reconciles to the same version on recovery.
+func TestOwnerDiesBetweenWALAppendAndReplicaAck(t *testing.T) {
+	seed := 31 + seedOffset()
+	c, err := New(Config{N: 5, Seed: seed, Latency: time.Millisecond, TTL: time.Hour, Manual: true, Persist: true}, NewCountingOrigin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StabilizeAll(4)
+
+	// A key owned by a node other than node-0, written at its owner so the
+	// local WAL append happens with no message traffic before the pushes.
+	key, victim := "", ""
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("edge-%02d", i)
+		if o := c.Ring.Successor(state.ReplicaKey(repSite, k)).Name; o != "node-0" {
+			key, victim = k, o
+			break
+		}
+	}
+	owner := c.NodeByName(victim)
+
+	// The crash is scheduled inside the first replica push's delivery
+	// window: the push arrives (the replica applies the record), but the
+	// acknowledgement traversal back finds the owner dead.
+	if err := c.Schedule(fmt.Sprintf("at %s crash %s", c.Sim.Now()+500*time.Microsecond, victim)); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.StatePut(repSite, key, "edge-value"); err == nil {
+		t.Fatal("write with owner dying before replica ack must not be acknowledged")
+	}
+	if c.Live(victim) {
+		t.Fatal("crash never landed")
+	}
+
+	// The unacknowledged write surfaced on the replica (at-least-once):
+	// failover reads serve it.
+	if got, ok := c.NodeByName("node-0").StateGet(repSite, key); !ok || got != "edge-value" {
+		t.Fatalf("replica did not retain the in-flight write (ok=%v, got %q)", ok, got)
+	}
+
+	// The owner's WAL also retained it; after restart and repair every
+	// live holder agrees on version and value.
+	c.Restart(victim)
+	c.StabilizeAll(6)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	holders := c.StateHolders(repSite, key)
+	if len(holders) < 3 {
+		t.Fatalf("holders after recovery = %v, want >= 3", holders)
+	}
+	var wantVer uint64
+	for i, h := range holders {
+		ver, val, _, ok := c.NodeByName(h).LocalStateRecord(repSite, key)
+		if !ok || val != "edge-value" {
+			t.Fatalf("holder %s diverged (ok=%v val=%q)", h, ok, val)
+		}
+		if i == 0 {
+			wantVer = ver
+		} else if ver != wantVer {
+			t.Fatalf("holder %s at version %d, want %d", h, ver, wantVer)
+		}
+	}
+}
+
+// TestReplicaPromotedDuringHandoffStream: a joining node streams the key
+// range it now owns from its successor in chunks; the source crashes
+// mid-stream, promoting the next replica to acting owner, and the joiner
+// finishes the stream against that replica from the same cursor with
+// nothing lost.
+func TestReplicaPromotedDuringHandoffStream(t *testing.T) {
+	seed := 33 + seedOffset()
+	c := bootReplicated(t, 6, seed, 3)
+
+	// Write enough keys that the joiner's future range holds at least a
+	// few (the set is fixed by the hash, so this is deterministic).
+	entry := c.NodeByName("node-0")
+	vals := make(map[string]string)
+	for i := 0; i < 120; i++ {
+		k, v := burstKey(i), burstVal(i)
+		if err := entry.StatePut(repSite, k, v); err != nil {
+			t.Fatalf("write %s: %v", k, err)
+		}
+		vals[k] = v
+	}
+
+	joiner, err := c.AddNode(NewCountingOrigin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn := c.NodeByName(joiner)
+	// Keys the joiner now owns per the membership ground truth.
+	var owned []string
+	for k := range vals {
+		if c.Ring.Successor(state.ReplicaKey(repSite, k)).Name == joiner {
+			owned = append(owned, k)
+		}
+	}
+	sort.Strings(owned)
+	if len(owned) < 3 {
+		t.Skipf("hash placement gave the joiner only %d keys; scenario needs a few to chunk", len(owned))
+	}
+	source := jn.Overlay().Successors()[0]
+
+	// Crash the handoff source inside the stream: with 2ms per chunk
+	// round-trip and small chunks, +3ms lands after the first chunk.
+	if err := c.Schedule(fmt.Sprintf("at %s crash %s", c.Sim.Now()+3*time.Millisecond, source)); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := jn.PullOwnedRange(2)
+	if err != nil {
+		t.Fatalf("handoff pull: %v (applied %d)", err, applied)
+	}
+	if c.Live(source) {
+		t.Fatal("handoff source never crashed; stream was not interrupted")
+	}
+	for _, k := range owned {
+		_, val, deleted, ok := jn.LocalStateRecord(repSite, k)
+		if !ok || deleted || val != vals[k] {
+			t.Fatalf("joiner missing owned key %s after interrupted handoff (ok=%v)", k, ok)
+		}
+	}
+
+	// The cluster converges around both events (join + crash): every
+	// acknowledged write stays readable.
+	c.StabilizeAll(6)
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got, ok := entry.StateGet(repSite, k); !ok || got != vals[k] {
+			t.Fatalf("key %s unreadable after join + source crash (ok=%v)", k, ok)
+		}
+	}
+}
+
+// TestJoinHandoffViaStabilize: the automatic path — AddNode marks the
+// joiner for resync and the next StabilizeAll streams its owned range
+// without any explicit pull.
+func TestJoinHandoffViaStabilize(t *testing.T) {
+	seed := 34 + seedOffset()
+	c := bootReplicated(t, 6, seed, 3)
+	entry := c.NodeByName("node-0")
+	vals := make(map[string]string)
+	for i := 0; i < 80; i++ {
+		k, v := burstKey(i), burstVal(i)
+		if err := entry.StatePut(repSite, k, v); err != nil {
+			t.Fatal(err)
+		}
+		vals[k] = v
+	}
+	joiner, err := c.AddNode(NewCountingOrigin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StabilizeAll(6)
+	for k, v := range vals {
+		if c.Ring.Successor(state.ReplicaKey(repSite, k)).Name != joiner {
+			continue
+		}
+		_, val, deleted, ok := c.NodeByName(joiner).LocalStateRecord(repSite, k)
+		if !ok || deleted || val != v {
+			t.Fatalf("joiner did not receive owned key %s through stabilization handoff", k)
+		}
+	}
+}
+
+// TestReplicationDegradesWhenKExceedsLiveNodes: a replication factor
+// larger than the ring keeps as many copies as there are live nodes, and
+// keeps accepting writes all the way down to a ring of one.
+func TestReplicationDegradesWhenKExceedsLiveNodes(t *testing.T) {
+	seed := 35 + seedOffset()
+	c := bootReplicated(t, 3, seed, 5)
+	entry := c.NodeByName("node-0")
+
+	if err := entry.StatePut(repSite, "deg-a", "v1"); err != nil {
+		t.Fatalf("write with K=5 on 3 nodes: %v", err)
+	}
+	if holders := c.StateHolders(repSite, "deg-a"); len(holders) != 3 {
+		t.Fatalf("holders = %v, want all 3 live nodes", holders)
+	}
+
+	// Two nodes left: writes still acknowledged with one replica.
+	c.Crash("node-1")
+	c.StabilizeAll(4)
+	if err := entry.StatePut(repSite, "deg-b", "v2"); err != nil {
+		t.Fatalf("write with 2 live nodes: %v", err)
+	}
+	if holders := c.StateHolders(repSite, "deg-b"); len(holders) != 2 {
+		t.Fatalf("holders = %v, want both live nodes", holders)
+	}
+
+	// A ring of one: stabilization empties the successor list and writes
+	// degrade to local-only durability instead of erroring forever.
+	c.Crash("node-2")
+	c.StabilizeAll(4)
+	if err := entry.StatePut(repSite, "deg-c", "v3"); err != nil {
+		t.Fatalf("write on a ring of one: %v", err)
+	}
+	if got, ok := entry.StateGet(repSite, "deg-c"); !ok || got != "v3" {
+		t.Fatalf("lone node cannot read its own write (ok=%v)", ok)
+	}
+	if got, ok := entry.StateGet(repSite, "deg-a"); !ok || got != "v1" {
+		t.Fatalf("lone node lost the fully replicated key (ok=%v, got %q)", ok, got)
+	}
+}
+
+// TestRecoveredOwnerRebasesAboveReplicas pins the version-tie rebase: an
+// owner that lost its version history (crash without persistence)
+// re-issues a write at a version its replicas already hold — with its own
+// origin name, an exact tie. The replicas reject it as stale and the
+// owner must rebase above the reported version and retry, so the client's
+// write still wins last-writer-wins everywhere.
+func TestRecoveredOwnerRebasesAboveReplicas(t *testing.T) {
+	seed := 37 + seedOffset()
+	c := bootReplicated(t, 5, seed, 3)
+
+	// A key written at its own owner, so the first write is (ver 1, owner).
+	key, owner := "", ""
+	for i := 0; i < 64 && key == ""; i++ {
+		k := fmt.Sprintf("rebase-%02d", i)
+		key, owner = k, c.Ring.Successor(state.ReplicaKey(repSite, k)).Name
+	}
+	on := c.NodeByName(owner)
+	if err := on.StatePut(repSite, key, "first"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash wipes the owner's store (no persistence); restart it and
+	// write again immediately — before any resync — so the owner assigns
+	// (ver 1, owner) again, exactly what the replicas already hold.
+	c.Crash(owner)
+	c.Sim.Restart(owner)
+	if err := on.StatePut(repSite, key, "second"); err != nil {
+		t.Fatalf("write from history-less owner must rebase, not fail: %v", err)
+	}
+	for _, name := range c.Names() {
+		if got, ok := c.NodeByName(name).StateGet(repSite, key); !ok || got != "second" {
+			t.Fatalf("%s reads (%q, %v), want the rebased write", name, got, ok)
+		}
+	}
+	if ver, _, _, ok := on.LocalStateRecord(repSite, key); !ok || ver < 2 {
+		t.Fatalf("owner's record at ver %d (ok=%v), want rebased above 1", ver, ok)
+	}
+}
+
+// TestDeleteFallsBackToLocalTombstone: a delete issued while no acting
+// owner is reachable is recorded as a local tombstone and propagated by
+// repair after heal, instead of being silently dropped (the vocabulary
+// API has no error channel).
+func TestDeleteFallsBackToLocalTombstone(t *testing.T) {
+	seed := 38 + seedOffset()
+	c := bootReplicated(t, 5, seed, 3)
+	entry := c.NodeByName("node-0")
+	if err := entry.StatePut(repSite, "orphan-del", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Isolate the deleting node: every forward fails, the tombstone lands
+	// locally only.
+	c.Partition([]string{"node-0"})
+	entry.StateDelete(repSite, "orphan-del")
+	if _, ok := entry.StateGet(repSite, "orphan-del"); ok {
+		t.Fatal("isolated node still reads the key it deleted")
+	}
+	c.Heal()
+	c.StabilizeAll(6)
+	for _, name := range c.Names() {
+		if _, ok := c.NodeByName(name).StateGet(repSite, "orphan-del"); ok {
+			t.Fatalf("delete was lost: %s still reads the key after heal + repair", name)
+		}
+	}
+}
+
+// TestReplicatedDeleteWins: a delete routed through the owner leaves a
+// versioned tombstone that beats the put on every replica, so the key
+// reads as absent from every node.
+func TestReplicatedDeleteWins(t *testing.T) {
+	seed := 36 + seedOffset()
+	c := bootReplicated(t, 5, seed, 3)
+	entry := c.NodeByName("node-0")
+	if err := entry.StatePut(repSite, "del-k", "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	entry.StateDelete(repSite, "del-k")
+	for _, n := range c.Names() {
+		if _, ok := c.NodeByName(n).StateGet(repSite, "del-k"); ok {
+			t.Fatalf("deleted key still readable from %s", n)
+		}
+	}
+	if holders := c.StateHolders(repSite, "del-k"); len(holders) != 0 {
+		t.Fatalf("tombstoned key still counted live on %v", holders)
+	}
+	for _, n := range c.Names() {
+		for _, k := range c.NodeByName(n).StateKeys(repSite) {
+			if k == "del-k" {
+				t.Fatalf("tombstoned key listed by %s", n)
+			}
+		}
+	}
+}

@@ -119,6 +119,15 @@ type Config struct {
 	// node-private bus whose updates are replicated over the transport;
 	// nil without them disables replication.
 	Bus *state.Bus
+	// ReplicationFactor is the number of copies kept of every hard-state
+	// key when a Ring and Transport are configured: the ring owner of the
+	// key plus ReplicationFactor-1 of its successors, written
+	// synchronously, with reads failing over to the first live successor
+	// when the owner is dead (see internal/core/replication.go). Zero
+	// means the default of 3; 1 keeps owner-only placement (no replicas);
+	// negative disables successor replication entirely, restoring the
+	// legacy optimistic broadcast of state updates over the Bus.
+	ReplicationFactor int
 	// StateQuota is the per-site persistent storage quota in bytes.
 	StateQuota int64
 	// DataFS, when non-nil, roots the node's persistent storage engine:
@@ -151,6 +160,24 @@ type Stats struct {
 	Errors           int64
 	Cache            cache.Stats
 	Resources        resource.Stats
+	Replication      ReplicationStats
+}
+
+// ReplicationStats counts successor-list replication activity (all zero
+// when replication is disabled).
+type ReplicationStats struct {
+	// ForwardedOps counts mutations this node routed to another acting
+	// owner instead of executing locally.
+	ForwardedOps int64
+	// ReplicaPushes counts records peers accepted from this node's
+	// synchronous replication and repair pushes.
+	ReplicaPushes int64
+	// FailoverReads counts reads served by a successor after the routed
+	// owner was found dead.
+	FailoverReads int64
+	// RecordsApplied counts records this node applied from peers (pushes
+	// and handoff streams) that superseded its local copy.
+	RecordsApplied int64
 }
 
 // Directory maps node names to live nodes so cooperative cache fetches can
@@ -203,6 +230,18 @@ type Node struct {
 	persistMu sync.Mutex
 	kvLog     *store.Log
 	ownBus    bool
+	// Successor-list replication state: the resolved factor (0 when
+	// disabled), one lock serializing versioned read-modify-write applies,
+	// and the flag overlay stabilization sets when churn calls for repair.
+	repFactor     int
+	repApplyMu    sync.Mutex
+	repairPending atomic.Bool
+	// pendingDel records deletes issued while no acting owner was
+	// reachable (the vocabulary API has no error channel); repair
+	// re-executes them through the owner path, which assigns a version
+	// current enough to win. Keyed by replica key.
+	delMu      sync.Mutex
+	pendingDel map[string]delIntent
 
 	requests      atomic.Int64
 	cacheHits     atomic.Int64
@@ -212,6 +251,10 @@ type Node struct {
 	generated     atomic.Int64
 	rejected      atomic.Int64
 	errors        atomic.Int64
+	repForwarded  atomic.Int64
+	repPushes     atomic.Int64
+	repFailovers  atomic.Int64
+	repApplied    atomic.Int64
 }
 
 // NewNode builds a node from cfg.
@@ -233,6 +276,7 @@ func NewNode(cfg Config) (*Node, error) {
 		log:        state.NewAccessLog(),
 		replicas:   make(map[string]*state.Replica),
 		pendingPub: make(map[string]struct{}),
+		pendingDel: make(map[string]delIntent),
 	}
 	cacheCfg := cfg.Cache
 	if cfg.DataFS != nil {
@@ -292,9 +336,22 @@ func NewNode(cfg Config) (*Node, error) {
 		n.bus.Remote = n.broadcastState
 		n.ownBus = true
 	}
+	// Successor-list replication of hard state: on by default (factor 3)
+	// whenever the node has an overlay position and a transport to push
+	// replicas over; a negative factor keeps the legacy bus broadcast.
+	if cfg.Ring != nil && n.tr != nil && cfg.ReplicationFactor >= 0 {
+		n.repFactor = cfg.ReplicationFactor
+		if n.repFactor == 0 {
+			n.repFactor = 3
+		}
+	}
+	if n.repEnabled() {
+		n.overlay.SetChurnHook(func() { n.repairPending.Store(true) })
+	}
 	if n.tr != nil {
 		// One registered name serves every subsystem: overlay routing and
-		// index RPCs, cooperative cache fetches, and state replication.
+		// index RPCs, cooperative cache fetches, state replication, and
+		// successor-replication pushes/handoff.
 		// This replaces the overlay-only handler Ring.Join registered.
 		mux := transport.NewMux()
 		if n.overlay != nil {
@@ -302,6 +359,7 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		mux.Route("cache.", n.serveCacheRPC)
 		mux.Route("state.", n.serveStateRPC)
+		mux.Route("rep.", n.serveRepRPC)
 		n.tr.Register(cfg.Name, mux.Serve)
 	}
 	return n, nil
@@ -459,6 +517,12 @@ func (n *Node) Stats() Stats {
 		Errors:           n.errors.Load(),
 		Cache:            n.cache.Stats(),
 		Resources:        n.res.Stats(),
+		Replication: ReplicationStats{
+			ForwardedOps:   n.repForwarded.Load(),
+			ReplicaPushes:  n.repPushes.Load(),
+			FailoverReads:  n.repFailovers.Load(),
+			RecordsApplied: n.repApplied.Load(),
+		},
 	}
 }
 
@@ -836,12 +900,26 @@ func (n *Node) Usage(site, resourceName string) float64 {
 // Log appends a message to the site's access log.
 func (n *Node) Log(site, message string) { n.log.Append(site, message) }
 
-// StateGet reads site-partitioned hard state.
-func (n *Node) StateGet(site, key string) (string, bool) { return n.replica(site).Get(key) }
+// StateGet reads site-partitioned hard state. With successor replication
+// enabled the read is routed to the key's acting owner and fails over to
+// the first live successor when the owner is dead; otherwise it reads the
+// local replica.
+func (n *Node) StateGet(site, key string) (string, bool) {
+	if n.repEnabled() {
+		return n.repGet(site, key)
+	}
+	return n.replica(site).Get(key)
+}
 
-// StatePut writes site-partitioned hard state and propagates the update when
+// StatePut writes site-partitioned hard state. With successor replication
+// enabled the write is routed to the key's acting owner, made durable
+// there, and synchronously pushed to the owner's successors before it is
+// acknowledged; otherwise it writes locally and propagates the update when
 // a bus is configured.
 func (n *Node) StatePut(site, key, value string) error {
+	if n.repEnabled() {
+		return n.repPut(site, key, value)
+	}
 	r := n.replica(site)
 	if n.bus == nil {
 		return n.store.Put(site, key, value)
@@ -849,8 +927,27 @@ func (n *Node) StatePut(site, key, value string) error {
 	return r.Put(key, value)
 }
 
-// StateDelete removes site-partitioned hard state.
+// StateDelete removes site-partitioned hard state (a versioned tombstone
+// under successor replication, so the removal wins on every replica).
+// The vocabulary API is void, so when no acting owner is reachable the
+// delete is not silently dropped: a local tombstone keeps the node
+// reading its own delete, the intent is queued, and the next repair pass
+// re-executes it through the owner path (which assigns a version current
+// enough to win), making the delete eventual rather than lost.
 func (n *Node) StateDelete(site, key string) {
+	if n.repEnabled() {
+		if err := n.repDelete(site, key); err != nil {
+			n.repApplyMu.Lock()
+			ver, _, _, _, _ := n.store.GetVersioned(site, key)
+			_, _ = n.store.PutVersioned(state.Rec{Site: site, Key: key, Ver: ver + 1, Origin: n.cfg.Name, Delete: true})
+			n.repApplyMu.Unlock()
+			n.delMu.Lock()
+			n.pendingDel[state.ReplicaKey(site, key)] = delIntent{site: site, key: key}
+			n.delMu.Unlock()
+			n.repairPending.Store(true)
+		}
+		return
+	}
 	r := n.replica(site)
 	if n.bus == nil {
 		n.store.Delete(site, key)
@@ -859,8 +956,16 @@ func (n *Node) StateDelete(site, key string) {
 	r.Delete(key)
 }
 
-// StateKeys lists a site's hard state keys.
-func (n *Node) StateKeys(site string) []string { return n.store.Keys(site) }
+// StateKeys lists a site's hard state keys. Under successor replication
+// the keys of a site span the whole ring, so the listing scatters to
+// every reachable member and merges (tombstones filtered) — keeping it
+// consistent with StateGet, which also routes cluster-wide.
+func (n *Node) StateKeys(site string) []string {
+	if n.repEnabled() {
+		return n.repKeys(site)
+	}
+	return n.store.Keys(site)
+}
 
 // Propagate sends an application-level replication message for site.
 func (n *Node) Propagate(site, message string) error {

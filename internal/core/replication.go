@@ -1,0 +1,612 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"nakika/internal/overlay"
+	"nakika/internal/state"
+	"nakika/internal/transport"
+)
+
+// Successor-list replication of hard state. Every (site, key) pair hashes
+// to a position on the overlay ring via state.ReplicaKey; the node owning
+// that position accepts the pair's writes and synchronously pushes each
+// accepted record to its ReplicationFactor-1 successors, so the pair stays
+// readable through the deaths of up to ReplicationFactor-1 consecutive
+// nodes. Writes and reads issued at any node are forwarded to the owner;
+// when the owner is unreachable they fail over, in successor order, to the
+// first live replica, which acts as owner (accepting writes, serving
+// reads) until routing converges. Records are versioned (see
+// state.Rec) so replication pushes, churn handoff streams, and repair
+// passes are all idempotent last-writer-wins applies.
+//
+// Acknowledgement rule: an acting owner acknowledges a write once it is
+// durable locally AND at least one replica accepted it — unless the node's
+// successor list is empty (a ring of one, or K=1), in which case local
+// durability is all that exists and the write degrades gracefully to
+// local-only. A node whose replica pushes all fail (it crashed mid-write,
+// or it is partitioned from every successor) returns an error instead of
+// acknowledging: the write may exist locally but was never promised to
+// survive this node.
+
+// Replication message types (the "rep." prefix is what transport.Mux
+// routes on).
+const (
+	msgRepPut   = "rep.put"   // forward a client put to the (acting) owner
+	msgRepDel   = "rep.del"   // forward a client delete to the (acting) owner
+	msgRepGet   = "rep.get"   // read a record from the (acting) owner or a replica
+	msgRepStore = "rep.store" // owner → replica push of one versioned record
+	msgRepRange = "rep.range" // handoff: stream a key range, chunked
+	msgRepKeys  = "rep.keys"  // list a site's live keys held locally (for scatter enumeration)
+)
+
+// repForward is the body of rep.put / rep.del / rep.get.
+type repForward struct {
+	Site, Key, Value string
+}
+
+// repRangeReq asks for the versioned records whose replica-key hash lies
+// in the ring interval (From, To], in (hash, key) order, starting strictly
+// after the After cursor, at most Limit records.
+type repRangeReq struct {
+	From, To uint64
+	After    string // replica-key cursor ("" = start)
+	Limit    int
+}
+
+// repRangeResp is one handoff chunk; More reports records remaining past
+// the last one returned.
+type repRangeResp struct {
+	Recs []state.Rec
+	More bool
+}
+
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// repEnabled reports whether successor-list replication is active: it
+// needs the overlay for placement, the transport for pushes, and a
+// non-negative ReplicationFactor.
+func (n *Node) repEnabled() bool {
+	return n.overlay != nil && n.tr != nil && n.repFactor >= 1
+}
+
+// replicaTargets returns the successors this node pushes replicas to: the
+// first ReplicationFactor-1 distinct successor names. The list reflects
+// the node's current routing tables — stale entries cost a failed push,
+// missing entries cost a replica until repair.
+func (n *Node) replicaTargets() []string {
+	if n.repFactor <= 1 {
+		return nil
+	}
+	var out []string
+	for _, s := range n.overlay.Successors() {
+		if s == "" || s == n.cfg.Name {
+			continue
+		}
+		out = append(out, s)
+		if len(out) >= n.repFactor-1 {
+			break
+		}
+	}
+	return out
+}
+
+// resolveActingOwner finds the node currently responsible for rk: the
+// routed owner, or — when that node does not answer a ping — the first
+// live successor, probing through at most the replica set. probe lets
+// repair passes cache liveness across many keys; nil probes every
+// candidate fresh.
+func (n *Node) resolveActingOwner(rk string, probe func(string) bool) (string, error) {
+	if probe == nil {
+		probe = n.overlay.Ping
+	}
+	avoid := make(map[string]bool)
+	for attempt := 0; attempt < n.repFactor+1; attempt++ {
+		owner, _, err := n.overlay.LookupNameAvoid(rk, avoid)
+		if err != nil {
+			return "", err
+		}
+		if owner == n.cfg.Name || probe(owner) {
+			return owner, nil
+		}
+		avoid[owner] = true
+	}
+	return "", fmt.Errorf("core: no live owner for %q", rk)
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+// repPut routes one client put: executed locally when this node is the
+// acting owner, forwarded otherwise, failing over to successors while the
+// routed owner is unreachable.
+func (n *Node) repPut(site, key, value string) error {
+	return n.repForwardOp(site, key, msgRepPut, value, func() error {
+		return n.ownerPut(site, key, false, value)
+	})
+}
+
+// repDelete routes one client delete (a versioned tombstone write).
+func (n *Node) repDelete(site, key string) error {
+	return n.repForwardOp(site, key, msgRepDel, "", func() error {
+		return n.ownerPut(site, key, true, "")
+	})
+}
+
+// repForwardOp is the shared owner-routing loop for mutations.
+func (n *Node) repForwardOp(site, key, msgType, value string, local func() error) error {
+	rk := state.ReplicaKey(site, key)
+	body, err := gobEncode(repForward{Site: site, Key: key, Value: value})
+	if err != nil {
+		return err
+	}
+	avoid := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; attempt < n.repFactor+1; attempt++ {
+		owner, _, err := n.overlay.LookupNameAvoid(rk, avoid)
+		if err != nil {
+			return err
+		}
+		if owner == n.cfg.Name {
+			return local()
+		}
+		_, err = n.tr.Call(n.cfg.Name, owner, transport.Message{Type: msgType, Body: body})
+		if err == nil {
+			n.repForwarded.Add(1)
+			return nil
+		}
+		if transport.IsRemote(err) {
+			// The owner answered and refused (quota, replication failure):
+			// that is the operation's result, not a routing problem.
+			return err
+		}
+		avoid[owner] = true
+		lastErr = err
+	}
+	return fmt.Errorf("core: %s %s/%s: no reachable owner: %w", msgType, site, key, lastErr)
+}
+
+// ownerPut is the acting-owner mutation path: assign the next version,
+// make the record durable locally, then push it to the replica targets.
+// When every replica turns out to hold a newer version (this node lost its
+// version history in a crash and is writing from an old base), the write
+// is re-issued above the newest version reported, so the client's intent
+// still wins last-writer-wins.
+func (n *Node) ownerPut(site, key string, deleted bool, value string) error {
+	baseVer := uint64(0)
+	for attempt := 0; attempt < 3; attempt++ {
+		n.repApplyMu.Lock()
+		if curVer, _, _, _, ok := n.store.GetVersioned(site, key); ok && curVer > baseVer {
+			baseVer = curVer
+		}
+		rec := state.Rec{Site: site, Key: key, Ver: baseVer + 1, Origin: n.cfg.Name, Delete: deleted, Value: value}
+		_, err := n.store.PutVersioned(rec)
+		n.repApplyMu.Unlock()
+		if err != nil {
+			return err
+		}
+		acks, attempts, staleVer := n.replicate(rec)
+		switch {
+		case attempts == 0 || acks > 0:
+			return nil
+		case staleVer >= rec.Ver:
+			// Replicas are at or ahead of our version (we lost history in a
+			// crash, or lost an origin tie at the same version): rebase
+			// above them and retry so the client's write still wins.
+			baseVer = staleVer
+		default:
+			return fmt.Errorf("core: write %s/%s durable locally but none of %d replicas acknowledged", site, key, attempts)
+		}
+	}
+	return fmt.Errorf("core: write %s/%s: replicas kept superseding the write", site, key)
+}
+
+// replicate pushes rec to this node's replica targets. It returns how many
+// replicas applied it, how many pushes were attempted, and the newest
+// version a replica reported when rejecting the record as stale.
+func (n *Node) replicate(rec state.Rec) (acks, attempts int, staleVer uint64) {
+	targets := n.replicaTargets()
+	if len(targets) == 0 {
+		return 0, 0, 0
+	}
+	body, err := gobEncode(rec)
+	if err != nil {
+		return 0, len(targets), 0
+	}
+	for _, t := range targets {
+		attempts++
+		reply, err := n.tr.Call(n.cfg.Name, t, transport.Message{Type: msgRepStore, Body: body})
+		if err != nil {
+			continue
+		}
+		if len(reply.Args) >= 2 && reply.Args[0] == "stale" {
+			var v uint64
+			if _, err := fmt.Sscanf(reply.Args[1], "%d", &v); err == nil && v > staleVer {
+				staleVer = v
+			}
+			continue
+		}
+		acks++
+		n.repPushes.Add(1)
+	}
+	return acks, attempts, staleVer
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+// repGet routes one client read to the acting owner, failing over in
+// successor order while the routed owner is unreachable. A reachable
+// owner's miss is authoritative; only transport failures fall through to
+// the next replica.
+func (n *Node) repGet(site, key string) (string, bool) {
+	rk := state.ReplicaKey(site, key)
+	body, err := gobEncode(repForward{Site: site, Key: key})
+	if err != nil {
+		return "", false
+	}
+	avoid := make(map[string]bool)
+	for attempt := 0; attempt < n.repFactor+1; attempt++ {
+		owner, _, err := n.overlay.LookupNameAvoid(rk, avoid)
+		if err != nil {
+			return "", false
+		}
+		if owner == n.cfg.Name {
+			return n.localVersionedGet(site, key)
+		}
+		reply, err := n.tr.Call(n.cfg.Name, owner, transport.Message{Type: msgRepGet, Body: body})
+		if err == nil {
+			if len(avoid) > 0 {
+				n.repFailovers.Add(1)
+			}
+			if len(reply.Args) > 0 && reply.Args[0] == "hit" {
+				var rec state.Rec
+				if gobDecode(reply.Body, &rec) == nil {
+					return rec.Value, true
+				}
+			}
+			return "", false
+		}
+		if transport.IsRemote(err) {
+			return "", false
+		}
+		avoid[owner] = true
+	}
+	return "", false
+}
+
+// repKeys enumerates a site's live keys cluster-wide: the local holdings
+// plus a scatter to every ring member's rep.keys (unreachable members are
+// skipped — their keys are replicated on reachable successors). This
+// keeps the host API contract that State.keys() agrees with State.get():
+// keys span the ring, so enumeration must too. The scatter is O(members)
+// per call; site key sets and rings are small at this system's scale.
+func (n *Node) repKeys(site string) []string {
+	set := make(map[string]struct{})
+	for _, k := range n.store.KeysVersioned(site) {
+		set[k] = struct{}{}
+	}
+	for _, peer := range n.cfg.Ring.Nodes() {
+		if peer == n.cfg.Name {
+			continue
+		}
+		reply, err := n.tr.Call(n.cfg.Name, peer, transport.Message{Type: msgRepKeys, Key: site})
+		if err != nil {
+			continue
+		}
+		for _, k := range reply.Args {
+			set[k] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// localVersionedGet reads (site, key) from the local store under
+// replication semantics: tombstones and non-versioned values are misses.
+func (n *Node) localVersionedGet(site, key string) (string, bool) {
+	_, _, deleted, value, ok := n.store.GetVersioned(site, key)
+	if !ok || deleted {
+		return "", false
+	}
+	return value, true
+}
+
+// LocalStateRecord exposes the node's local copy of a replicated record
+// (version, value, liveness) without any routing — the harness uses it to
+// count replicas and check convergence.
+func (n *Node) LocalStateRecord(site, key string) (ver uint64, value string, deleted, ok bool) {
+	ver, _, deleted, value, ok = n.store.GetVersioned(site, key)
+	return ver, value, deleted, ok
+}
+
+// ---------------------------------------------------------------------------
+// Churn: repair (re-replication, promotion) and handoff streams
+// ---------------------------------------------------------------------------
+
+// RepairReplication walks every replicated record this node holds and
+// restores the replication invariant around it: records this node is the
+// acting owner of (including replicas just promoted by an owner's death)
+// are pushed to the node's replica targets; records owned elsewhere are
+// pushed to their acting owner, so a newly responsible node receives keys
+// that rebalanced onto it. All pushes are idempotent last-writer-wins
+// applies, so repairing too eagerly is merely wasted traffic. It returns
+// the number of records accepted by a peer.
+func (n *Node) RepairReplication() int {
+	if !n.repEnabled() {
+		return 0
+	}
+	n.retryPendingDeletes()
+	recs := n.store.VersionedRecords(nil)
+	if len(recs) == 0 {
+		return 0
+	}
+	liveness := make(map[string]bool)
+	probe := func(name string) bool {
+		if alive, ok := liveness[name]; ok {
+			return alive
+		}
+		alive := n.overlay.Ping(name)
+		liveness[name] = alive
+		return alive
+	}
+	pushed := 0
+	for _, rec := range recs {
+		rk := state.ReplicaKey(rec.Site, rec.Key)
+		owner, err := n.resolveActingOwner(rk, probe)
+		if err != nil {
+			continue
+		}
+		body, err := gobEncode(rec)
+		if err != nil {
+			continue
+		}
+		targets := []string{owner}
+		if owner == n.cfg.Name {
+			targets = targets[:0]
+			for _, t := range n.replicaTargets() {
+				if probe(t) {
+					targets = append(targets, t)
+				}
+			}
+		}
+		for _, t := range targets {
+			if _, err := n.tr.Call(n.cfg.Name, t, transport.Message{Type: msgRepStore, Body: body}); err == nil {
+				pushed++
+				n.repPushes.Add(1)
+			}
+		}
+	}
+	return pushed
+}
+
+// RepairIfNeeded runs RepairReplication when overlay stabilization flagged
+// churn (dead predecessor or changed successor head) since the last call.
+// It returns the number of records pushed (zero when no repair ran).
+func (n *Node) RepairIfNeeded() int {
+	if !n.repairPending.Swap(false) {
+		return 0
+	}
+	return n.RepairReplication()
+}
+
+// delIntent is one queued delete awaiting a reachable acting owner.
+type delIntent struct {
+	site, key string
+}
+
+// retryPendingDeletes re-executes deletes that found no reachable owner,
+// through the normal owner path (a fallback tombstone alone could lose a
+// version tie against the put it is meant to remove). Successful deletes
+// leave the queue; failures stay for the next repair.
+func (n *Node) retryPendingDeletes() {
+	n.delMu.Lock()
+	rks := make([]string, 0, len(n.pendingDel))
+	for rk := range n.pendingDel {
+		rks = append(rks, rk)
+	}
+	n.delMu.Unlock()
+	sort.Strings(rks)
+	for _, rk := range rks {
+		n.delMu.Lock()
+		it, ok := n.pendingDel[rk]
+		n.delMu.Unlock()
+		if !ok {
+			continue
+		}
+		if err := n.repDelete(it.site, it.key); err == nil {
+			n.delMu.Lock()
+			delete(n.pendingDel, rk)
+			n.delMu.Unlock()
+		}
+	}
+}
+
+// repKeyLess orders replica keys by (ring hash, key) — the deterministic
+// total order handoff streams are paginated in, identical on every node.
+func repKeyLess(a, b string) bool {
+	ha, hb := overlay.HashID(a), overlay.HashID(b)
+	if ha != hb {
+		return ha < hb
+	}
+	return a < b
+}
+
+// PullOwnedRange streams the records of this node's owned key range
+// (predecessor, self] from its successors, applying each record
+// last-writer-wins. It is the joining/recovering side of churn handoff:
+// a node that just joined (or restarted after a crash) calls it to catch
+// up on the range it now owns. The stream is chunked (chunk records per
+// RPC, default 64); if the source dies mid-stream, the pull continues
+// from the same cursor against the next successor — the replicas hold the
+// same records, and anything missed is restored by repair. It returns how
+// many records were applied.
+func (n *Node) PullOwnedRange(chunk int) (int, error) {
+	if !n.repEnabled() {
+		return 0, nil
+	}
+	from, to, ok := n.overlay.OwnedRange()
+	if !ok {
+		return 0, fmt.Errorf("core: %s: owned range unknown (no predecessor yet)", n.cfg.Name)
+	}
+	if chunk <= 0 {
+		chunk = 64
+	}
+	applied := 0
+	after := ""
+	sources := n.overlay.Successors()
+	si := 0
+	for {
+		if si >= len(sources) {
+			if applied == 0 && len(sources) == 0 {
+				return 0, nil // alone on the ring: nothing to pull
+			}
+			return applied, fmt.Errorf("core: %s: handoff sources exhausted after %d records", n.cfg.Name, applied)
+		}
+		src := sources[si]
+		if src == n.cfg.Name {
+			si++
+			continue
+		}
+		body, err := gobEncode(repRangeReq{From: uint64(from), To: uint64(to), After: after, Limit: chunk})
+		if err != nil {
+			return applied, err
+		}
+		reply, err := n.tr.Call(n.cfg.Name, src, transport.Message{Type: msgRepRange, Body: body})
+		if err != nil {
+			si++ // source died mid-stream: resume at the cursor from the next replica
+			continue
+		}
+		var resp repRangeResp
+		if err := gobDecode(reply.Body, &resp); err != nil {
+			return applied, err
+		}
+		for _, rec := range resp.Recs {
+			n.repApplyMu.Lock()
+			ok, err := n.store.PutVersioned(rec)
+			n.repApplyMu.Unlock()
+			if err == nil && ok {
+				applied++
+				n.repApplied.Add(1)
+			}
+			after = state.ReplicaKey(rec.Site, rec.Key)
+		}
+		if !resp.More {
+			return applied, nil
+		}
+		if len(resp.Recs) == 0 {
+			return applied, fmt.Errorf("core: %s: empty handoff chunk claiming more", n.cfg.Name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// RPC handler
+// ---------------------------------------------------------------------------
+
+// serveRepRPC answers peers' replication messages.
+func (n *Node) serveRepRPC(from string, msg transport.Message) (transport.Message, error) {
+	switch msg.Type {
+	case msgRepPut, msgRepDel:
+		var req repForward
+		if err := gobDecode(msg.Body, &req); err != nil {
+			return transport.Message{}, err
+		}
+		// The sender routed here believing this node is the acting owner;
+		// accept the role (its tables may be fresher than ours under churn).
+		if msg.Type == msgRepDel {
+			return transport.Message{}, n.ownerPut(req.Site, req.Key, true, "")
+		}
+		return transport.Message{}, n.ownerPut(req.Site, req.Key, false, req.Value)
+	case msgRepGet:
+		var req repForward
+		if err := gobDecode(msg.Body, &req); err != nil {
+			return transport.Message{}, err
+		}
+		ver, origin, deleted, value, ok := n.store.GetVersioned(req.Site, req.Key)
+		if !ok || deleted {
+			return transport.Message{Args: []string{"miss"}}, nil
+		}
+		body, err := gobEncode(state.Rec{Site: req.Site, Key: req.Key, Ver: ver, Origin: origin, Value: value})
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.Message{Args: []string{"hit"}, Body: body}, nil
+	case msgRepStore:
+		var rec state.Rec
+		if err := gobDecode(msg.Body, &rec); err != nil {
+			return transport.Message{}, err
+		}
+		n.repApplyMu.Lock()
+		curVer, curOrigin, _, _, had := n.store.GetVersioned(rec.Site, rec.Key)
+		applied, err := n.store.PutVersioned(rec)
+		n.repApplyMu.Unlock()
+		if err != nil {
+			return transport.Message{}, err
+		}
+		if applied {
+			n.repApplied.Add(1)
+			return transport.Message{Args: []string{"applied"}}, nil
+		}
+		if !had {
+			curVer, curOrigin = 0, ""
+		}
+		return transport.Message{Args: []string{"stale", fmt.Sprintf("%d", curVer), curOrigin}}, nil
+	case msgRepKeys:
+		return transport.Message{Args: n.store.KeysVersioned(msg.Key)}, nil
+	case msgRepRange:
+		var req repRangeReq
+		if err := gobDecode(msg.Body, &req); err != nil {
+			return transport.Message{}, err
+		}
+		// Each chunk rescans the store, so a stream over R records in a
+		// store of S costs O(R/chunk * S). Deliberate: keeping per-stream
+		// server state would have to survive requester retries against
+		// other replicas mid-crash, and stores here are far too small for
+		// the rescan to matter.
+		recs := n.store.VersionedRecords(func(site, key string) bool {
+			rk := state.ReplicaKey(site, key)
+			if !overlay.InInterval(overlay.HashID(rk), overlay.ID(req.From), overlay.ID(req.To)) {
+				return false
+			}
+			return req.After == "" || repKeyLess(req.After, rk)
+		})
+		sort.Slice(recs, func(i, j int) bool {
+			return repKeyLess(state.ReplicaKey(recs[i].Site, recs[i].Key), state.ReplicaKey(recs[j].Site, recs[j].Key))
+		})
+		limit := req.Limit
+		if limit <= 0 {
+			limit = 64
+		}
+		more := len(recs) > limit
+		if more {
+			recs = recs[:limit]
+		}
+		body, err := gobEncode(repRangeResp{Recs: recs, More: more})
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.Message{Body: body}, nil
+	default:
+		return transport.Message{}, fmt.Errorf("core: unknown replication message %q", msg.Type)
+	}
+}

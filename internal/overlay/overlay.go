@@ -84,6 +84,10 @@ type Node struct {
 	fingers []ref // fingers[b] ~ successor(ID + 2^b)
 	lookups int64
 	hops    int64
+	// churn, when non-nil, is invoked (outside locks) by Stabilize when the
+	// round changed this node's replication responsibilities: the
+	// predecessor died or the successor-list head changed.
+	churn func()
 }
 
 // NodeStats reports per-node overlay activity.
@@ -117,6 +121,46 @@ func (n *Node) Predecessor() string {
 	defer n.mu.Unlock()
 	return n.pred.name
 }
+
+// SetChurnHook installs f as the node's churn notification: Stabilize
+// invokes it (outside overlay locks) whenever a round detects a dead
+// predecessor or any successor-list change — the events that shift key
+// ownership or replication targets onto or off this node. The replication
+// layer uses it to schedule replica promotion and re-replication.
+func (n *Node) SetChurnHook(f func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.churn = f
+}
+
+// Ping reports whether peer currently answers overlay pings through the
+// transport. The replication repair path probes candidate owners with it
+// before trusting routing-table entries that may be stale under churn.
+func (n *Node) Ping(peer string) bool {
+	if peer == n.Name {
+		return true
+	}
+	_, err := n.ring.call(n.Name, peer, transport.Message{Type: msgPing})
+	return err == nil
+}
+
+// OwnedRange returns the half-open ring interval (from, to] of key IDs this
+// node believes it owns: everything between its known predecessor and
+// itself. ok is false while the predecessor is unknown (mid-bootstrap or
+// after its death), when the owned range cannot be bounded.
+func (n *Node) OwnedRange() (from, to ID, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred.name == "" {
+		return 0, 0, false
+	}
+	return n.pred.id, n.ID, true
+}
+
+// InInterval reports whether id lies in the half-open ring interval
+// (from, to], with wraparound. Exported for layers that partition keys by
+// ring position (replication handoff streams key ranges between nodes).
+func InInterval(id, from, to ID) bool { return between(id, from, to) }
 
 // DropIndex discards the node's cooperative-cache index, simulating the
 // loss of soft state when a node crashes.

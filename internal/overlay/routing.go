@@ -190,10 +190,19 @@ func (n *Node) closestPrecedingLocked(target ID, skip map[string]bool) string {
 // returning the owner's name and the number of remote routing hops taken.
 // Unreachable hops are routed around using the rest of the node's tables.
 func (n *Node) LookupName(key string) (string, int, error) {
-	return n.lookupID(HashID(key))
+	return n.lookupID(HashID(key), nil)
 }
 
-func (n *Node) lookupID(target ID) (string, int, error) {
+// LookupNameAvoid is LookupName with an initial set of names to treat as
+// unreachable. The replication layer uses it for failover: when the nominal
+// owner of a key is dead, looking the key up again with the dead node in
+// avoid yields the key's first live successor — the node that now serves
+// the key's replicas. avoid is not mutated.
+func (n *Node) LookupNameAvoid(key string, avoid map[string]bool) (string, int, error) {
+	return n.lookupID(HashID(key), avoid)
+}
+
+func (n *Node) lookupID(target ID, avoid map[string]bool) (string, int, error) {
 	r := n.ring
 	if r.Size() == 0 {
 		return "", 0, fmt.Errorf("overlay: empty ring")
@@ -208,7 +217,10 @@ func (n *Node) lookupID(target ID) (string, int, error) {
 		n.mu.Unlock()
 	}()
 
-	skip := make(map[string]bool)
+	skip := make(map[string]bool, len(avoid))
+	for name := range avoid {
+		skip[name] = true
+	}
 	dec := n.decide(target, skip)
 	if dec.final {
 		return dec.owner, hops, nil
@@ -452,19 +464,37 @@ func (n *Node) ServeRPC(from string, msg transport.Message) (transport.Message, 
 // current one is adopted, the successor list is refreshed from the live
 // successor's list, and the successor is notified of this node (updating
 // its predecessor pointer). A dead predecessor is cleared so notify can
-// replace it.
+// replace it. When the round detects churn that changes this node's
+// replication responsibilities — the predecessor died, or the successor
+// list changed — the node's churn hook fires (see SetChurnHook), so the
+// layer above can promote replicas and re-replicate.
 func (n *Node) Stabilize() {
 	r := n.ring
 	n.mu.Lock()
 	pred := n.pred
 	succs := append([]ref(nil), n.succs...)
+	oldList := fmt.Sprint(succs)
 	n.mu.Unlock()
+	churned := false
+	defer func() {
+		n.mu.Lock()
+		newList := fmt.Sprint(n.succs)
+		hook := n.churn
+		n.mu.Unlock()
+		// Any successor-list change matters, not just the head: a node K-1
+		// places downstream replicates for this node, so its death or
+		// arrival anywhere in the list shifts replication targets.
+		if (churned || newList != oldList) && hook != nil {
+			hook()
+		}
+	}()
 
 	if pred.name != "" {
 		if _, err := r.call(n.Name, pred.name, transport.Message{Type: msgPing}); err != nil {
 			n.mu.Lock()
 			if n.pred == pred {
 				n.pred = ref{}
+				churned = true
 			}
 			n.mu.Unlock()
 		}
@@ -500,11 +530,19 @@ func (n *Node) Stabilize() {
 			}
 		}
 		if live.name == "" {
-			if pred.name != "" && pred.name != n.Name {
-				n.mu.Lock()
-				n.succs = []ref{pred}
-				n.mu.Unlock()
+			// Nothing reachable anywhere. If the predecessor is still known
+			// (its ping succeeded above), fall back to it so a two-node ring
+			// can re-form; otherwise the node is fully isolated — clear the
+			// successor list so it stops addressing dead peers and serves
+			// alone until something reachable reappears (fingers are left in
+			// place as rejoin candidates for later rounds).
+			n.mu.Lock()
+			if n.pred.name != "" && n.pred.name != n.Name {
+				n.succs = []ref{n.pred}
+			} else {
+				n.succs = nil
 			}
+			n.mu.Unlock()
 			return
 		}
 	}
@@ -546,11 +584,21 @@ func (n *Node) Stabilize() {
 }
 
 // FixFingers refreshes every finger by routing for its target; entries
-// whose lookups fail are left for the next round.
+// whose lookups fail are left for the next round. A node with no
+// successor state skips the refresh entirely: its lookups resolve
+// everything to itself (the bootstrap rule), and overwriting the finger
+// table with self-entries would destroy the only routes it has left for
+// rejoining the ring.
 func (n *Node) FixFingers() {
+	n.mu.Lock()
+	isolated := len(n.succs) == 0
+	n.mu.Unlock()
+	if isolated {
+		return
+	}
 	for b := 0; b < idBits; b++ {
 		target := n.ID + ID(uint64(1)<<uint(b))
-		owner, _, err := n.lookupID(target)
+		owner, _, err := n.lookupID(target, nil)
 		if err != nil || owner == "" {
 			continue
 		}

@@ -69,19 +69,19 @@ type WAL struct {
 	fs   FS
 	name string
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	f       File
-	pending [][]byte // enqueued frames not yet written
-	nextSeq uint64   // seq assigned to the next enqueued record
-	durable uint64   // all records with seq <= durable are synced
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        File
+	pending  [][]byte // enqueued frames not yet written
+	nextSeq  uint64   // seq assigned to the next enqueued record
+	durable  uint64   // all records with seq <= durable are synced
 	flushing bool
-	batch   bool
-	closed  bool
-	err     error // sticky write/sync error: the log is broken
-	size    int64 // bytes in the file (durable + in-flight writes)
-	syncs   int64
-	records int64
+	batch    bool
+	closed   bool
+	err      error // sticky write/sync error: the log is broken
+	size     int64 // bytes in the file (durable + in-flight writes)
+	syncs    int64
+	records  int64
 }
 
 // openWAL opens name for appending (creating it if missing). size is the

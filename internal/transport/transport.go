@@ -23,7 +23,9 @@ import (
 )
 
 // Message is one request or reply between nodes. Type selects the operation
-// (namespaced by subsystem: "ov.lookup", "cache.get", "state.update"), Key
+// (namespaced by subsystem: "ov.lookup" overlay routing, "cache.get"
+// cooperative cache, "state.update" bus replication, "rep.put"/"rep.get"/
+// "rep.store"/"rep.range" successor-list replication of hard state), Key
 // carries the primary argument, Args carries auxiliary strings, and Body
 // carries an opaque payload.
 type Message struct {
