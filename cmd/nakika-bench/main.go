@@ -12,7 +12,7 @@
 //	nakika-bench -experiment replication -json out/ -baseline bench/baseline
 //
 // Experiments: table2, breakdown, capacity, rescontrol, simm-local, figure7,
-// specweb, extensions, persist, replication, all.
+// specweb, extensions, persist, replication, offload, all.
 //
 // With -baseline, the freshly written BENCH_*.json files are compared
 // against the committed baselines after the run: any tracked metric more
@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, replication, all)")
+	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, replication, offload, all)")
 	iterations := flag.Int("iterations", 10, "iterations per micro-benchmark measurement")
 	duration := flag.Duration("duration", 30*time.Second, "virtual duration for the wide-area simulations")
 	loadDuration := flag.Duration("load-duration", 2*time.Second, "wall-clock duration for capacity and resource-control load tests")
@@ -251,6 +251,15 @@ func main() {
 		}
 		fmt.Print(bench.FormatReplication(rows))
 		return rows, nil
+	})
+
+	run("offload", func() (interface{}, error) {
+		r, err := bench.RunOffload()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatOffload(r))
+		return r, nil
 	})
 
 	// The bench-regression gate: compare whatever this run produced

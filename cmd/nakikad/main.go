@@ -50,6 +50,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the persistent store (WAL + segments + disk cache tier); empty keeps all state in memory")
 	noGroupCommit := flag.Bool("no-group-commit", false, "sync the write-ahead log once per record instead of batching fsyncs")
 	replication := flag.Int("replication", 3, "copies kept of each hard-state key in cluster mode (ring owner + successors, written synchronously); 1 keeps owner-only placement, negative restores the legacy broadcast model")
+	offloadThreshold := flag.Float64("offload-threshold", 0, "load score above which arriving requests are shed to the least-loaded replica of their site (cluster mode); 0 disables offload")
+	hedgeAfter := flag.Duration("hedge-after", 0, "latency budget for replicated hard-state reads: when the owner's EWMA round trip exceeds it the read is hedged to the next replica; 0 disables hedging")
 	flag.Parse()
 
 	cfg := nakika.Config{
@@ -58,6 +60,8 @@ func main() {
 		ClientWallURL:     *clientWall,
 		ServerWallURL:     *serverWall,
 		ReplicationFactor: *replication,
+		OffloadThreshold:  *offloadThreshold,
+		HedgeAfter:        *hedgeAfter,
 		EnableResources:   *enableRes,
 		Resources: resource.Config{
 			Capacity: map[resource.Kind]float64{
@@ -141,7 +145,19 @@ func main() {
 	}()
 	if tcp != nil {
 		go func() {
-			for {
+			// Boot-time resync: a node that just started (first boot, or a
+			// restart after a crash) streams the key range it owns from its
+			// successors, catching up on every write it missed while it was
+			// not running — the cluster harness drives the same pull from
+			// StabilizeAll. Retried until it succeeds once.
+			resynced := false
+			for tick := 1; ; tick++ {
+				if !resynced {
+					if _, err := node.PullOwnedRange(0); err == nil {
+						resynced = true
+						node.RepairReplication()
+					}
+				}
 				time.Sleep(5 * time.Second)
 				node.RepublishPending()
 				// Overlay maintenance plus its replication consequences:
@@ -152,7 +168,22 @@ func main() {
 					ov.Stabilize()
 					ov.FixFingers()
 				}
-				node.RepairIfNeeded()
+				// Re-probe peers whose RTT estimate exceeds the hedge
+				// budget, so reads stop hedging around a peer that has
+				// recovered (no-op with -hedge-after 0).
+				node.RefreshRTTs()
+				if tick%6 == 0 {
+					// Periodic anti-entropy: churn detection sees only what
+					// stabilization observes changing; a peer that died and
+					// returned between observations — or writes that failed
+					// over while routing still pointed at a dead owner —
+					// leave no flag behind. A full repair pass every ~30s
+					// re-establishes the replication invariant regardless
+					// (all pushes are idempotent last-writer-wins applies).
+					node.RepairReplication()
+				} else {
+					node.RepairIfNeeded()
+				}
 			}
 		}()
 	}

@@ -1,0 +1,13 @@
+// Package e2e holds the real-process end-to-end test tier: build-tagged
+// tests (go test -tags e2e ./e2e/) that compile the actual nakikad and
+// nakika-origin binaries, spawn a multi-node TCP cluster as real OS
+// processes, drive HTTP traffic through the proxies, SIGKILL a node
+// mid-burst, and assert recovery with zero acked-write loss.
+//
+// Unlike the in-process cluster harness (internal/cluster), which
+// exercises the same protocol code over a simulated transport, this tier
+// covers what only real processes can: flag parsing, real TCP listeners
+// and connection pools, WAL files on a real filesystem, process death by
+// signal, and cold-start recovery of the shipped binaries. CI runs it as
+// its own job; without the e2e build tag the package contains no tests.
+package e2e

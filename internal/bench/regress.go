@@ -66,6 +66,16 @@ func TrackedMetrics(experiment string, data json.RawMessage) (map[string]float64
 			m[p+"failover_virtual_ns_per_op"] = float64(r.FailoverVirtualPerOp)
 		}
 		return m, nil
+	case "offload":
+		var r OffloadResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"spread_max_over_mean":       r.SpreadMaxOverMean,
+			"request_p99_virtual_ns":     float64(r.RequestP99Virtual),
+			"hedged_read_p99_virtual_ns": float64(r.HedgedReadP99Virtual),
+		}, nil
 	default:
 		return nil, nil
 	}

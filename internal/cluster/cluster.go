@@ -48,6 +48,16 @@ type Config struct {
 	// successor replication (the legacy bus-broadcast state model some
 	// scenarios pin).
 	Replication int
+	// OffloadThreshold enables load-aware request offload on every node
+	// (core.Config.OffloadThreshold); zero keeps it disabled.
+	OffloadThreshold float64
+	// HedgeAfter enables hedged replica reads on every node
+	// (core.Config.HedgeAfter); zero keeps them disabled.
+	HedgeAfter time.Duration
+	// LoadHalfLife overrides the load-score decay half-life. The harness
+	// always wires core.Config.LoadClock to the simulated network's virtual
+	// clock, so load accounting is deterministic under seed.
+	LoadHalfLife time.Duration
 	// Mutate, when non-nil, adjusts each node's Config before boot.
 	Mutate func(i int, cfg *core.Config)
 }
@@ -66,11 +76,25 @@ type Cluster struct {
 
 	errMu sync.Mutex
 	errs  []string
-	// resync names nodes that must pull their owned key range on the next
-	// StabilizeAll: restarted nodes catching up on writes they missed, and
-	// fresh joiners streaming the range they took over.
-	resync map[string]bool
+	// rounds counts the maintenance rounds this cluster has driven through
+	// StabilizeAll. It is deliberately a per-Cluster field, never package
+	// state: a process runs many harnesses (repeat-run fingerprints,
+	// seed sweeps, interleaved scenarios in one test binary), and a shared
+	// counter would make any behaviour derived from it — resync-stall
+	// detection below, round-stamped diagnostics — depend on which tests
+	// ran first. TestStabilizeRoundsIsolatedAcrossHarnesses pins this.
+	rounds int64
+	// resync maps nodes that must pull their owned key range on the next
+	// StabilizeAll — restarted nodes catching up on writes they missed, and
+	// fresh joiners streaming the range they took over — to the round they
+	// were marked in, so a pull that keeps failing surfaces in Err instead
+	// of retrying silently forever.
+	resync map[string]int64
 }
+
+// resyncStallRounds is how many maintenance rounds a marked node may spend
+// failing its handoff pull before the harness reports it through Err.
+const resyncStallRounds = 64
 
 // New boots the cluster with every node proxying for origin.
 func New(cfg Config, origin core.Fetcher) (*Cluster, error) {
@@ -84,7 +108,7 @@ func New(cfg Config, origin core.Fetcher) (*Cluster, error) {
 	if cfg.TTL > 0 {
 		ring.DefaultTTL = cfg.TTL
 	}
-	c := &Cluster{Sim: sim, Ring: ring, cfg: cfg, nodes: make(map[string]*core.Node), fss: make(map[string]*store.MemFS), resync: make(map[string]bool)}
+	c := &Cluster{Sim: sim, Ring: ring, cfg: cfg, nodes: make(map[string]*core.Node), fss: make(map[string]*store.MemFS), resync: make(map[string]int64)}
 	for i := 0; i < cfg.N; i++ {
 		if _, err := c.boot(i, origin); err != nil {
 			return nil, err
@@ -106,6 +130,10 @@ func (c *Cluster) boot(i int, origin core.Fetcher) (*core.Node, error) {
 		Upstream:          origin,
 		Ring:              c.Ring,
 		ReplicationFactor: c.cfg.Replication,
+		OffloadThreshold:  c.cfg.OffloadThreshold,
+		HedgeAfter:        c.cfg.HedgeAfter,
+		LoadHalfLife:      c.cfg.LoadHalfLife,
+		LoadClock:         c.Sim.Now,
 	}
 	if c.cfg.Persist {
 		fs := store.NewMemFS()
@@ -135,7 +163,7 @@ func (c *Cluster) AddNode(origin core.Fetcher) (string, error) {
 		return "", err
 	}
 	c.errMu.Lock()
-	c.resync[n.Name()] = true
+	c.resync[n.Name()] = c.rounds
 	c.errMu.Unlock()
 	return n.Name(), nil
 }
@@ -194,7 +222,7 @@ func (c *Cluster) Restart(name string) {
 			c.errMu.Unlock()
 		}
 		c.errMu.Lock()
-		c.resync[name] = true
+		c.resync[name] = c.rounds
 		c.errMu.Unlock()
 	}
 }
@@ -227,6 +255,9 @@ func (c *Cluster) Live(name string) bool { return !c.Sim.Crashed(name) }
 // deterministic (boot/sorted) order.
 func (c *Cluster) StabilizeAll(rounds int) {
 	for i := 0; i < rounds; i++ {
+		c.errMu.Lock()
+		c.rounds++
+		c.errMu.Unlock()
 		// One maintenance round over live nodes only — a crashed process
 		// runs no maintenance, and letting it would wipe the routing
 		// tables it needs intact to rejoin on restart.
@@ -244,19 +275,27 @@ func (c *Cluster) StabilizeAll(rounds int) {
 		for _, name := range c.Ring.Nodes() {
 			if n := c.nodes[name]; n != nil && c.Live(name) {
 				n.RepairIfNeeded()
+				// Re-probe peers whose RTT estimate exceeds the hedge
+				// budget, so a recovered peer stops being hedged around
+				// (no-op with hedging disabled).
+				n.RefreshRTTs()
 			}
 		}
 	}
 }
 
 // resyncPending runs the deferred handoff pulls; nodes whose pull fails
-// (for example no live successor yet) stay marked and retry next round.
+// (for example no live successor yet) stay marked and retry next round. A
+// node that has been failing its pull for resyncStallRounds maintenance
+// rounds is reported through Err — a resync that silently never completes
+// is exactly the kind of order-dependent harness state tests must see.
 func (c *Cluster) resyncPending() {
 	c.errMu.Lock()
 	var names []string
 	for name := range c.resync {
 		names = append(names, name)
 	}
+	round := c.rounds
 	c.errMu.Unlock()
 	sort.Strings(names)
 	for _, name := range names {
@@ -264,6 +303,12 @@ func (c *Cluster) resyncPending() {
 			continue
 		}
 		if _, err := c.nodes[name].PullOwnedRange(0); err != nil {
+			c.errMu.Lock()
+			if round-c.resync[name] >= resyncStallRounds {
+				c.errs = append(c.errs, fmt.Sprintf("resync %s stalled for %d rounds: %v", name, round-c.resync[name], err))
+				c.resync[name] = round // re-arm so the stall reports again, not every round
+			}
+			c.errMu.Unlock()
 			continue
 		}
 		// A node that was away repairs unconditionally once caught up: the
@@ -274,6 +319,16 @@ func (c *Cluster) resyncPending() {
 		delete(c.resync, name)
 		c.errMu.Unlock()
 	}
+}
+
+// Rounds returns how many maintenance rounds this cluster has driven.
+// The counter is per-Cluster (see the field comment): two harnesses in the
+// same process never share it, so scenario outcomes cannot depend on which
+// tests ran earlier.
+func (c *Cluster) Rounds() int64 {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.rounds
 }
 
 // RepairAll runs an unconditional replication repair pass on every live

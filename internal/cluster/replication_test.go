@@ -424,19 +424,70 @@ func TestRecoveredOwnerRebasesAboveReplicas(t *testing.T) {
 
 	// Crash wipes the owner's store (no persistence); restart it and
 	// write again immediately — before any resync — so the owner assigns
-	// (ver 1, owner) again, exactly what the replicas already hold.
+	// (ver 1, owner) again, exactly what the replicas already hold. The new
+	// value sorts below the old one, so the payload tie-break cannot accept
+	// it and the replicas must report it stale, forcing the rebase.
 	c.Crash(owner)
 	c.Sim.Restart(owner)
-	if err := on.StatePut(repSite, key, "second"); err != nil {
+	if err := on.StatePut(repSite, key, "again"); err != nil {
 		t.Fatalf("write from history-less owner must rebase, not fail: %v", err)
 	}
 	for _, name := range c.Names() {
-		if got, ok := c.NodeByName(name).StateGet(repSite, key); !ok || got != "second" {
+		if got, ok := c.NodeByName(name).StateGet(repSite, key); !ok || got != "again" {
 			t.Fatalf("%s reads (%q, %v), want the rebased write", name, got, ok)
 		}
 	}
 	if ver, _, _, ok := on.LocalStateRecord(repSite, key); !ok || ver < 2 {
 		t.Fatalf("owner's record at ver %d (ok=%v), want rebased above 1", ver, ok)
+	}
+}
+
+// TestAckedWriteSurvivesMixedStaleAcks pins the rebase-despite-ack rule:
+// an amnesiac owner reissues a version one replica already holds with a
+// payload-winning record while another replica (which missed the original
+// write behind a partition) accepts the reissue. Acking on that single
+// accept would hand the key back to the old value at the next repair; the
+// owner must rebase above the stale report even though it got an ack, so
+// the client's new write wins everywhere.
+func TestAckedWriteSurvivesMixedStaleAcks(t *testing.T) {
+	seed := 39 + seedOffset()
+	c := bootReplicated(t, 5, seed, 3)
+
+	// A key written at its own owner, whose replica set we can split.
+	key, owner := "", ""
+	for i := 0; i < 64 && key == ""; i++ {
+		k := fmt.Sprintf("mixed-%02d", i)
+		key, owner = k, c.Ring.Successor(state.ReplicaKey(repSite, k)).Name
+	}
+	on := c.NodeByName(owner)
+	reps := on.Overlay().Successors()
+	if len(reps) < 2 {
+		t.Fatalf("owner %s has %d successors, need 2 replicas", owner, len(reps))
+	}
+	// Partition the second replica away so the first write lands on the
+	// owner and the first replica only ("zzz" sorts above the later write).
+	c.Partition([]string{reps[1]})
+	if err := on.StatePut(repSite, key, "zzz-original"); err != nil {
+		t.Fatalf("first write with one replica reachable: %v", err)
+	}
+	c.Heal()
+
+	// The owner loses its history (crash without persistence) and the
+	// client writes a value that loses the payload tie at the reissued
+	// version: replica one reports it stale while replica two accepts it.
+	c.Crash(owner)
+	c.Sim.Restart(owner)
+	if err := on.StatePut(repSite, key, "aaa-new"); err != nil {
+		t.Fatalf("reissued write must rebase and succeed: %v", err)
+	}
+
+	// Repair must not resurrect the old value anywhere.
+	c.StabilizeAll(6)
+	c.RepairAll()
+	for _, name := range c.Names() {
+		if got, ok := c.NodeByName(name).StateGet(repSite, key); !ok || got != "aaa-new" {
+			t.Fatalf("%s reads (%q, %v): acked write lost to the pre-crash value", name, got, ok)
+		}
 	}
 }
 

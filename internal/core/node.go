@@ -17,6 +17,7 @@ import (
 
 	"nakika/internal/cache"
 	"nakika/internal/httpmsg"
+	"nakika/internal/loadview"
 	"nakika/internal/overlay"
 	"nakika/internal/pipeline"
 	"nakika/internal/resource"
@@ -130,6 +131,28 @@ type Config struct {
 	ReplicationFactor int
 	// StateQuota is the per-site persistent storage quota in bytes.
 	StateQuota int64
+	// OffloadThreshold is the load score above which an arriving request is
+	// shed to the least-loaded live replica of its site instead of executing
+	// locally (see internal/core/offload.go for the load score definition).
+	// Zero disables offload entirely — the request path is byte-identical to
+	// a build without the offload layer.
+	OffloadThreshold float64
+	// OffloadMaxDepth caps how many times one request may be forwarded
+	// before the holder must execute it locally (loop prevention under
+	// partitions and universally hot clusters); zero means 2.
+	OffloadMaxDepth int
+	// HedgeAfter is the latency budget for replicated hard-state reads:
+	// when the acting owner's expected round trip (a per-peer EWMA of RPC
+	// RTTs) exceeds it, the read is hedged to the next replica in successor
+	// order. Zero disables hedging.
+	HedgeAfter time.Duration
+	// LoadClock drives load-score decay and RTT measurement; nil means wall
+	// time. The cluster harness injects the simulated network's virtual
+	// clock so load and hedging behaviour is deterministic under seed.
+	LoadClock func() time.Duration
+	// LoadHalfLife is the decay half-life of the load score's work
+	// component; zero means the loadview default (2s).
+	LoadHalfLife time.Duration
 	// DataFS, when non-nil, roots the node's persistent storage engine:
 	// hard state is backed by a write-ahead log with snapshot compaction
 	// (acknowledged writes survive a crash), and fresh cache entries
@@ -161,6 +184,31 @@ type Stats struct {
 	Cache            cache.Stats
 	Resources        resource.Stats
 	Replication      ReplicationStats
+	Offload          OffloadStats
+}
+
+// OffloadStats counts load-shedding and hedged-read activity (all zero when
+// offload and hedging are disabled).
+type OffloadStats struct {
+	// Executed counts requests this node ran through its own pipeline —
+	// arrivals it kept plus offloads it accepted. The acceptance tests use
+	// it to measure per-node load spread.
+	Executed int64
+	// ForwardedOut counts requests this node shed to a less-loaded replica.
+	ForwardedOut int64
+	// ReceivedIn counts offloaded requests accepted from peers.
+	ReceivedIn int64
+	// Fallbacks counts forwards that failed in transit and were executed
+	// locally instead (the partition fallback).
+	Fallbacks int64
+	// DepthCapHits counts requests that reached the forwarding-depth cap
+	// and were pinned to local execution.
+	DepthCapHits int64
+	// HedgedReads counts replicated reads diverted to the next replica
+	// because the acting owner's expected RTT blew the hedge budget;
+	// HedgeHits counts the ones the hedge target answered.
+	HedgedReads int64
+	HedgeHits   int64
 }
 
 // ReplicationStats counts successor-list replication activity (all zero
@@ -243,6 +291,24 @@ type Node struct {
 	delMu      sync.Mutex
 	pendingDel map[string]delIntent
 
+	// Load accounting and offload/hedging state: the node's own load meter,
+	// its view of peer loads (fed by gossip piggybacked on overlay
+	// maintenance and offload replies), and per-peer RTT estimates for
+	// hedge budgets.
+	meter    *loadview.Meter
+	view     *loadview.View
+	rtts     *loadview.RTT
+	offDepth int
+	// cands caches per-site offload candidate sets; candGen is bumped by
+	// the overlay churn hook, and offloadCandidates rebuilds the map when
+	// its candMapGen trails it. wallStart anchors the monotonic fallback
+	// load clock.
+	candMu     sync.Mutex
+	cands      map[string][]string
+	candMapGen uint64
+	candGen    atomic.Uint64
+	wallStart  time.Time
+
 	requests      atomic.Int64
 	cacheHits     atomic.Int64
 	peerHits      atomic.Int64
@@ -255,6 +321,13 @@ type Node struct {
 	repPushes     atomic.Int64
 	repFailovers  atomic.Int64
 	repApplied    atomic.Int64
+	offExecuted   atomic.Int64
+	offFwdOut     atomic.Int64
+	offRecvIn     atomic.Int64
+	offFallback   atomic.Int64
+	offDepthCap   atomic.Int64
+	hedged        atomic.Int64
+	hedgeHits     atomic.Int64
 }
 
 // NewNode builds a node from cfg.
@@ -273,6 +346,7 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:        cfg,
+		wallStart:  time.Now(),
 		log:        state.NewAccessLog(),
 		replicas:   make(map[string]*state.Replica),
 		pendingPub: make(map[string]struct{}),
@@ -316,8 +390,19 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.EnableResources {
 		n.executor.Resources = n.res
 	}
+	// Load accounting is always on (it is a handful of atomic/mutex ops per
+	// request); the offload and hedging behaviours it feeds are opt-in via
+	// OffloadThreshold / HedgeAfter.
+	n.meter = loadview.NewMeter(cfg.LoadClock, cfg.LoadHalfLife)
+	n.view = loadview.NewView(cfg.LoadClock, cfg.LoadHalfLife)
+	n.rtts = loadview.NewRTT(0)
+	n.offDepth = cfg.OffloadMaxDepth
+	if n.offDepth <= 0 {
+		n.offDepth = 2
+	}
 	if cfg.Ring != nil {
 		n.overlay = cfg.Ring.Join(cfg.Name, cfg.Region)
+		n.overlay.SetLoadGossip(n.LoadScore, n.view.Observe)
 	}
 	if cfg.Directory != nil {
 		cfg.Directory.Register(n)
@@ -345,8 +430,13 @@ func NewNode(cfg Config) (*Node, error) {
 			n.repFactor = 3
 		}
 	}
-	if n.repEnabled() {
-		n.overlay.SetChurnHook(func() { n.repairPending.Store(true) })
+	if n.repEnabled() || n.offloadEnabled() {
+		n.overlay.SetChurnHook(func() {
+			// Churn shifts both replication targets and offload candidate
+			// sets; the repair flag is a no-op without replication.
+			n.repairPending.Store(true)
+			n.candGen.Add(1)
+		})
 	}
 	if n.tr != nil {
 		// One registered name serves every subsystem: overlay routing and
@@ -360,6 +450,7 @@ func NewNode(cfg Config) (*Node, error) {
 		mux.Route("cache.", n.serveCacheRPC)
 		mux.Route("state.", n.serveStateRPC)
 		mux.Route("rep.", n.serveRepRPC)
+		mux.Route("off.", n.serveOffloadRPC)
 		n.tr.Register(cfg.Name, mux.Serve)
 	}
 	return n, nil
@@ -523,14 +614,55 @@ func (n *Node) Stats() Stats {
 			FailoverReads:  n.repFailovers.Load(),
 			RecordsApplied: n.repApplied.Load(),
 		},
+		Offload: OffloadStats{
+			Executed:     n.offExecuted.Load(),
+			ForwardedOut: n.offFwdOut.Load(),
+			ReceivedIn:   n.offRecvIn.Load(),
+			Fallbacks:    n.offFallback.Load(),
+			DepthCapHits: n.offDepthCap.Load(),
+			HedgedReads:  n.hedged.Load(),
+			HedgeHits:    n.hedgeHits.Load(),
+		},
 	}
 }
 
+// LoadScore returns the node's current load score (in-flight requests plus
+// exponentially-decayed recent work): what the node gossips to peers and
+// compares against Config.OffloadThreshold.
+func (n *Node) LoadScore() float64 { return n.meter.Score() }
+
+// PeerLoadView returns the node's decayed last-known load score for each
+// peer it has observed (tests and debugging).
+func (n *Node) PeerLoadView() map[string]float64 { return n.view.Snapshot() }
+
 // Handle runs one request through the node: pipeline execution, caching, and
 // access logging. It is the programmatic entry point; ServeHTTP wraps it for
-// real HTTP traffic.
+// real HTTP traffic. When the node is over its offload threshold the
+// request may instead be shed to a less-loaded replica of the site (see
+// internal/core/offload.go) and executed there.
 func (n *Node) Handle(req *httpmsg.Request) (*httpmsg.Response, *pipeline.Trace, error) {
 	n.requests.Add(1)
+	if resp, who, err, shed := n.shedRequest(req, 0); shed {
+		if err != nil {
+			n.errors.Add(1)
+			return nil, &pipeline.Trace{Offloaded: true, OffloadPeer: who}, err
+		}
+		return resp, &pipeline.Trace{Offloaded: true, OffloadPeer: who}, nil
+	}
+	return n.handleLocal(req)
+}
+
+// handleLocal executes one request on this node's own pipeline, metering
+// its load cost.
+func (n *Node) handleLocal(req *httpmsg.Request) (*httpmsg.Response, *pipeline.Trace, error) {
+	n.offExecuted.Add(1)
+	n.meter.Begin()
+	// The completed request's load cost: one unit, weighted up by the
+	// site's congestion share when the resource controller sees it burning
+	// CPU — an expensive pipeline heats the node faster than a cache hit.
+	// Deferred so a panic escaping the pipeline (recovered per-connection
+	// by net/http) cannot leave the in-flight count inflated forever.
+	defer func() { n.meter.End(1 + n.res.Usage(req.SiteKey(), resource.CPU)) }()
 	start := time.Now()
 	resp, trace, err := n.executor.Execute(req)
 	if err != nil {
@@ -719,7 +851,7 @@ func decodeResponse(b []byte) (*httpmsg.Response, error) {
 // peerFetch retrieves key from a peer's cache over the transport; nil means
 // the peer is unreachable, errored, or no longer holds the key.
 func (n *Node) peerFetch(holder, key string) *httpmsg.Response {
-	reply, err := n.tr.Call(n.cfg.Name, holder, transport.Message{Type: "cache.get", Key: key})
+	reply, err := n.call(holder, transport.Message{Type: "cache.get", Key: key})
 	if err != nil || len(reply.Args) == 0 || reply.Args[0] != "hit" {
 		return nil
 	}
@@ -771,7 +903,7 @@ func (n *Node) broadcastState(msg state.Message) {
 		wg.Add(1)
 		go func(peer string) {
 			defer wg.Done()
-			_, _ = n.tr.Call(n.cfg.Name, peer, transport.Message{Type: "state.update", Body: buf.Bytes()})
+			_, _ = n.call(peer, transport.Message{Type: "state.update", Body: buf.Bytes()})
 		}(peer)
 	}
 	wg.Wait()

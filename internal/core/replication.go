@@ -164,7 +164,7 @@ func (n *Node) repForwardOp(site, key, msgType, value string, local func() error
 		if owner == n.cfg.Name {
 			return local()
 		}
-		_, err = n.tr.Call(n.cfg.Name, owner, transport.Message{Type: msgType, Body: body})
+		_, err = n.call(owner, transport.Message{Type: msgType, Body: body})
 		if err == nil {
 			n.repForwarded.Add(1)
 			return nil
@@ -201,13 +201,17 @@ func (n *Node) ownerPut(site, key string, deleted bool, value string) error {
 		}
 		acks, attempts, staleVer := n.replicate(rec)
 		switch {
+		case staleVer >= rec.Ver:
+			// Some replica holds a record at or ahead of our version that
+			// our write did not supersede (we lost history in a crash, or
+			// lost a payload tie) — even if another replica acked. Without
+			// a rebase, the next repair pass would spread the superseding
+			// record over the just-acknowledged write, losing it to an
+			// older value; so rebase above the reported version and retry
+			// until the client's write wins everywhere.
+			baseVer = staleVer
 		case attempts == 0 || acks > 0:
 			return nil
-		case staleVer >= rec.Ver:
-			// Replicas are at or ahead of our version (we lost history in a
-			// crash, or lost an origin tie at the same version): rebase
-			// above them and retry so the client's write still wins.
-			baseVer = staleVer
 		default:
 			return fmt.Errorf("core: write %s/%s durable locally but none of %d replicas acknowledged", site, key, attempts)
 		}
@@ -229,7 +233,7 @@ func (n *Node) replicate(rec state.Rec) (acks, attempts int, staleVer uint64) {
 	}
 	for _, t := range targets {
 		attempts++
-		reply, err := n.tr.Call(n.cfg.Name, t, transport.Message{Type: msgRepStore, Body: body})
+		reply, err := n.call(t, transport.Message{Type: msgRepStore, Body: body})
 		if err != nil {
 			continue
 		}
@@ -253,12 +257,17 @@ func (n *Node) replicate(rec state.Rec) (acks, attempts int, staleVer uint64) {
 // repGet routes one client read to the acting owner, failing over in
 // successor order while the routed owner is unreachable. A reachable
 // owner's miss is authoritative; only transport failures fall through to
-// the next replica.
+// the next replica. With a hedge budget configured (Config.HedgeAfter),
+// a read whose owner is expected to be slow is hedged to the next replica
+// first — see hedgeRead.
 func (n *Node) repGet(site, key string) (string, bool) {
 	rk := state.ReplicaKey(site, key)
 	body, err := gobEncode(repForward{Site: site, Key: key})
 	if err != nil {
 		return "", false
+	}
+	if value, ok, answered := n.hedgeRead(rk, site, key, body); answered {
+		return value, ok
 	}
 	avoid := make(map[string]bool)
 	for attempt := 0; attempt < n.repFactor+1; attempt++ {
@@ -269,7 +278,7 @@ func (n *Node) repGet(site, key string) (string, bool) {
 		if owner == n.cfg.Name {
 			return n.localVersionedGet(site, key)
 		}
-		reply, err := n.tr.Call(n.cfg.Name, owner, transport.Message{Type: msgRepGet, Body: body})
+		reply, err := n.call(owner, transport.Message{Type: msgRepGet, Body: body})
 		if err == nil {
 			if len(avoid) > 0 {
 				n.repFailovers.Add(1)
@@ -290,6 +299,63 @@ func (n *Node) repGet(site, key string) (string, bool) {
 	return "", false
 }
 
+// hedgeRead is the tail-tolerance path of replicated reads: when hedging
+// is enabled (Config.HedgeAfter > 0) and the acting owner's expected round
+// trip — the per-peer EWMA the node maintains over every completed RPC —
+// exceeds the budget, the read fires at the next replica in successor
+// order instead of waiting out the slow owner. The first answer wins: a
+// hit from the hedge target is returned immediately and the slow owner is
+// never contacted for this read (the "loser" is cancelled by prediction —
+// on a synchronous transport the race is resolved before it starts). A
+// miss or failure from the hedge target falls back to the normal owner
+// path, so hedging can only add one cheap RPC, never turn a readable key
+// into a miss.
+//
+// Freshness: a hedge hit serves the replica's copy, which can trail a
+// just-acknowledged write the replica missed (acks need only one of the
+// K-1 replicas) until repair catches it up — the same class of staleness
+// the dead-owner failover read path already serves, and in-model for Na
+// Kika's optimistic last-writer-wins hard state. RefreshRTTs retrains a
+// recovered owner's estimate from the maintenance loops so reads return
+// to the owner instead of hedging forever. answered reports whether the
+// hedge produced an authoritative result.
+func (n *Node) hedgeRead(rk, site, key string, body []byte) (value string, ok, answered bool) {
+	if n.cfg.HedgeAfter <= 0 {
+		return "", false, false
+	}
+	owner, _, err := n.overlay.LookupNameAvoid(rk, nil)
+	if err != nil || owner == n.cfg.Name {
+		return "", false, false
+	}
+	expect, known := n.rtts.Expect(owner)
+	if !known || expect <= n.cfg.HedgeAfter {
+		return "", false, false
+	}
+	alt, _, err := n.overlay.LookupNameAvoid(rk, map[string]bool{owner: true})
+	if err != nil || alt == owner {
+		return "", false, false
+	}
+	n.hedged.Add(1)
+	if alt == n.cfg.Name {
+		// This node is the next replica: serve its local copy.
+		if v, ok := n.localVersionedGet(site, key); ok {
+			n.hedgeHits.Add(1)
+			return v, true, true
+		}
+		return "", false, false
+	}
+	reply, err := n.call(alt, transport.Message{Type: msgRepGet, Body: body})
+	if err != nil || len(reply.Args) == 0 || reply.Args[0] != "hit" {
+		return "", false, false
+	}
+	var rec state.Rec
+	if gobDecode(reply.Body, &rec) != nil {
+		return "", false, false
+	}
+	n.hedgeHits.Add(1)
+	return rec.Value, true, true
+}
+
 // repKeys enumerates a site's live keys cluster-wide: the local holdings
 // plus a scatter to every ring member's rep.keys (unreachable members are
 // skipped — their keys are replicated on reachable successors). This
@@ -305,7 +371,7 @@ func (n *Node) repKeys(site string) []string {
 		if peer == n.cfg.Name {
 			continue
 		}
-		reply, err := n.tr.Call(n.cfg.Name, peer, transport.Message{Type: msgRepKeys, Key: site})
+		reply, err := n.call(peer, transport.Message{Type: msgRepKeys, Key: site})
 		if err != nil {
 			continue
 		}
@@ -390,7 +456,7 @@ func (n *Node) RepairReplication() int {
 			}
 		}
 		for _, t := range targets {
-			if _, err := n.tr.Call(n.cfg.Name, t, transport.Message{Type: msgRepStore, Body: body}); err == nil {
+			if _, err := n.call(t, transport.Message{Type: msgRepStore, Body: body}); err == nil {
 				pushed++
 				n.repPushes.Add(1)
 			}
@@ -491,7 +557,7 @@ func (n *Node) PullOwnedRange(chunk int) (int, error) {
 		if err != nil {
 			return applied, err
 		}
-		reply, err := n.tr.Call(n.cfg.Name, src, transport.Message{Type: msgRepRange, Body: body})
+		reply, err := n.call(src, transport.Message{Type: msgRepRange, Body: body})
 		if err != nil {
 			si++ // source died mid-stream: resume at the cursor from the next replica
 			continue

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"nakika/internal/loadview"
 	"nakika/internal/transport"
 )
 
@@ -88,6 +89,12 @@ type Node struct {
 	// round changed this node's replication responsibilities: the
 	// predecessor died or the successor-list head changed.
 	churn func()
+	// loadLocal / loadObserve implement load gossip (see SetLoadGossip):
+	// maintenance RPCs piggyback the sender's current load score and report
+	// observed peer scores, so the offload layer holds a fresh load view of
+	// the node's successors and predecessor without any extra messages.
+	loadLocal   func() float64
+	loadObserve func(peer string, load float64)
 }
 
 // NodeStats reports per-node overlay activity.
@@ -133,15 +140,62 @@ func (n *Node) SetChurnHook(f func()) {
 	n.churn = f
 }
 
+// SetLoadGossip installs the node's load gossip hooks: local reports this
+// node's current load score, observe is invoked (with overlay locks not
+// held on the maintenance paths) whenever a maintenance RPC carries a
+// peer's score. Scores piggyback on the existing ping/stabilize/notify
+// traffic — load accounting costs zero additional messages.
+func (n *Node) SetLoadGossip(local func() float64, observe func(peer string, load float64)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loadLocal = local
+	n.loadObserve = observe
+}
+
+// localLoadArg renders this node's load score for piggybacking ("" when no
+// provider is installed).
+func (n *Node) localLoadArg() string {
+	n.mu.Lock()
+	local := n.loadLocal
+	n.mu.Unlock()
+	if local == nil {
+		return ""
+	}
+	return loadview.FormatScore(local())
+}
+
+// observeLoad records a piggybacked peer score (no-op without an observer
+// or for peers that do not gossip load).
+func (n *Node) observeLoad(peer, arg string) {
+	if peer == "" || peer == n.Name {
+		return
+	}
+	score, ok := loadview.ParseScore(arg)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	observe := n.loadObserve
+	n.mu.Unlock()
+	if observe != nil {
+		observe(peer, score)
+	}
+}
+
 // Ping reports whether peer currently answers overlay pings through the
 // transport. The replication repair path probes candidate owners with it
 // before trusting routing-table entries that may be stale under churn.
+// Pings carry load gossip both ways.
 func (n *Node) Ping(peer string) bool {
 	if peer == n.Name {
 		return true
 	}
-	_, err := n.ring.call(n.Name, peer, transport.Message{Type: msgPing})
-	return err == nil
+	reply, err := n.ring.call(n.Name, peer, transport.Message{Type: msgPing, Key: n.localLoadArg()})
+	if err != nil {
+		return false
+	}
+	n.observeLoad(peer, reply.Key)
+	return true
 }
 
 // OwnedRange returns the half-open ring interval (from, to] of key IDs this

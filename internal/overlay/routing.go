@@ -145,7 +145,19 @@ func (n *Node) decide(target ID, skip map[string]bool) decision {
 		return decision{owner: n.succs[0].name, final: true}
 	}
 	if n.pred.name != "" && between(target, n.pred.id, n.ID) {
-		return decision{owner: n.Name, final: true}
+		// This node owns the target — unless the query skips it (a caller
+		// asking "who owns this besides me/besides the dead owner"), in
+		// which case ownership falls to the first non-skipped successor,
+		// exactly as it would after this node's death.
+		if !skip[n.Name] {
+			return decision{owner: n.Name, final: true}
+		}
+		for _, s := range n.succs {
+			if !skip[s.name] {
+				return decision{owner: s.name, final: true}
+			}
+		}
+		return decision{owner: n.succs[0].name, final: true}
 	}
 	if next := n.closestPrecedingLocked(target, skip); next != "" {
 		return decision{next: next}
@@ -433,14 +445,18 @@ func (n *Node) ServeRPC(from string, msg transport.Message) (transport.Message, 
 		n.applyUnpublish(from, msg.Key)
 		return transport.Message{}, nil
 	case msgStabilize:
+		n.observeLoad(from, msg.Key)
 		n.mu.Lock()
 		args := []string{n.pred.name}
 		for _, s := range n.succs {
 			args = append(args, s.name)
 		}
 		n.mu.Unlock()
-		return transport.Message{Args: args}, nil
+		return transport.Message{Key: n.localLoadArg(), Args: args}, nil
 	case msgNotify:
+		if len(msg.Args) > 0 {
+			n.observeLoad(msg.Key, msg.Args[0])
+		}
 		cand := ref{name: msg.Key, id: HashID(msg.Key)}
 		n.mu.Lock()
 		if cand.name != n.Name && (n.pred.name == "" || between(cand.id, n.pred.id, n.ID)) {
@@ -449,7 +465,8 @@ func (n *Node) ServeRPC(from string, msg transport.Message) (transport.Message, 
 		n.mu.Unlock()
 		return transport.Message{}, nil
 	case msgPing:
-		return transport.Message{}, nil
+		n.observeLoad(from, msg.Key)
+		return transport.Message{Key: n.localLoadArg()}, nil
 	default:
 		return transport.Message{}, fmt.Errorf("overlay: unknown message type %q", msg.Type)
 	}
@@ -489,14 +506,19 @@ func (n *Node) Stabilize() {
 		}
 	}()
 
+	// Maintenance traffic doubles as load gossip: every ping/stabilize
+	// below carries this node's load score and reports the peer's back.
+	loadArg := n.localLoadArg()
 	if pred.name != "" {
-		if _, err := r.call(n.Name, pred.name, transport.Message{Type: msgPing}); err != nil {
+		if rep, err := r.call(n.Name, pred.name, transport.Message{Type: msgPing, Key: loadArg}); err != nil {
 			n.mu.Lock()
 			if n.pred == pred {
 				n.pred = ref{}
 				churned = true
 			}
 			n.mu.Unlock()
+		} else {
+			n.observeLoad(pred.name, rep.Key)
 		}
 	}
 
@@ -504,11 +526,12 @@ func (n *Node) Stabilize() {
 	var reply transport.Message
 	for len(succs) > 0 {
 		s := succs[0]
-		rep, err := r.call(n.Name, s.name, transport.Message{Type: msgStabilize})
+		rep, err := r.call(n.Name, s.name, transport.Message{Type: msgStabilize, Key: loadArg})
 		if err != nil {
 			succs = succs[1:] // successor-list repair: skip the dead head
 			continue
 		}
+		n.observeLoad(s.name, rep.Key)
 		live, reply = s, rep
 		break
 	}
@@ -524,7 +547,8 @@ func (n *Node) Stabilize() {
 			if f.name == "" || f.name == n.Name {
 				continue
 			}
-			if rep, err := r.call(n.Name, f.name, transport.Message{Type: msgStabilize}); err == nil {
+			if rep, err := r.call(n.Name, f.name, transport.Message{Type: msgStabilize, Key: loadArg}); err == nil {
+				n.observeLoad(f.name, rep.Key)
 				live, reply = f, rep
 				break
 			}
@@ -559,10 +583,11 @@ func (n *Node) Stabilize() {
 		if !between(spRef.id, n.ID, live.id) || spRef.id == live.id {
 			break
 		}
-		rep, err := r.call(n.Name, sp, transport.Message{Type: msgStabilize})
+		rep, err := r.call(n.Name, sp, transport.Message{Type: msgStabilize, Key: loadArg})
 		if err != nil {
 			break
 		}
+		n.observeLoad(sp, rep.Key)
 		live, reply = spRef, rep
 	}
 
@@ -580,7 +605,7 @@ func (n *Node) Stabilize() {
 	n.mu.Lock()
 	n.succs = newSuccs
 	n.mu.Unlock()
-	_, _ = r.call(n.Name, live.name, transport.Message{Type: msgNotify, Key: n.Name})
+	_, _ = r.call(n.Name, live.name, transport.Message{Type: msgNotify, Key: n.Name, Args: []string{loadArg}})
 }
 
 // FixFingers refreshes every finger by routing for its target; entries

@@ -73,6 +73,11 @@ type Trace struct {
 	Terminated   bool
 	RejectedBusy bool
 	Elapsed      time.Duration
+	// Offloaded marks a request the load-shedding layer executed on another
+	// node instead of the local pipeline (no stages ran here); OffloadPeer
+	// names the node that did the work.
+	Offloaded   bool
+	OffloadPeer string
 }
 
 // Execute runs the full pipeline of Figure 4 for req and returns the

@@ -33,13 +33,27 @@ type Rec struct {
 	Value  string
 }
 
-// Supersedes reports whether r should overwrite a record currently at
-// (curVer, curOrigin) under last-writer-wins ordering.
-func (r Rec) Supersedes(curVer uint64, curOrigin string) bool {
-	if r.Ver != curVer {
-		return r.Ver > curVer
+// Supersedes reports whether r should overwrite cur under the total
+// last-writer-wins order: a higher version wins, version ties break by
+// origin name, and full (ver, origin) ties — reachable only when an owner
+// lost its version history in a crash and reissued a version it had
+// already used, so two different payloads carry the same stamp — break
+// deterministically by payload: a tombstone beats a put, equal liveness
+// falls back to the value ordering. Totality is what guarantees that
+// every replica converges to the same winner whatever order records
+// arrive in (the LWW convergence property test found the partial order's
+// divergence before this tie-break existed).
+func (r Rec) Supersedes(cur Rec) bool {
+	if r.Ver != cur.Ver {
+		return r.Ver > cur.Ver
 	}
-	return r.Origin > curOrigin
+	if r.Origin != cur.Origin {
+		return r.Origin > cur.Origin
+	}
+	if r.Delete != cur.Delete {
+		return r.Delete
+	}
+	return r.Value > cur.Value
 }
 
 // ReplicaKey is the string whose ring hash places a hard-state pair on the
@@ -114,8 +128,9 @@ func (s *Store) GetVersioned(site, key string) (ver uint64, origin string, delet
 // read-modify-write cycles (the replication manager holds one apply lock
 // per node), so two racing applies cannot interleave here.
 func (s *Store) PutVersioned(rec Rec) (bool, error) {
-	if curVer, curOrigin, _, _, ok := s.GetVersioned(rec.Site, rec.Key); ok {
-		if !rec.Supersedes(curVer, curOrigin) {
+	if curVer, curOrigin, curDel, curVal, ok := s.GetVersioned(rec.Site, rec.Key); ok {
+		cur := Rec{Site: rec.Site, Key: rec.Key, Ver: curVer, Origin: curOrigin, Delete: curDel, Value: curVal}
+		if !rec.Supersedes(cur) {
 			return false, nil
 		}
 	}

@@ -39,18 +39,32 @@ func TestVersionedCodecRoundTrip(t *testing.T) {
 }
 
 func TestSupersedesOrdering(t *testing.T) {
+	at := func(ver uint64, origin string) Rec { return Rec{Ver: ver, Origin: origin} }
 	r := Rec{Ver: 5, Origin: "node-b"}
-	if !r.Supersedes(4, "node-z") {
+	if !r.Supersedes(at(4, "node-z")) {
 		t.Error("higher version must win regardless of origin")
 	}
-	if r.Supersedes(6, "node-a") {
+	if r.Supersedes(at(6, "node-a")) {
 		t.Error("lower version must lose regardless of origin")
 	}
-	if !r.Supersedes(5, "node-a") || r.Supersedes(5, "node-c") {
+	if !r.Supersedes(at(5, "node-a")) || r.Supersedes(at(5, "node-c")) {
 		t.Error("equal versions must break ties by origin name")
 	}
-	if r.Supersedes(5, "node-b") {
-		t.Error("a record must not supersede itself")
+	if r.Supersedes(at(5, "node-b")) {
+		t.Error("a record must not supersede an identical record")
+	}
+	// Full (ver, origin) ties — an owner that lost its history reissuing a
+	// version — break by payload, totally and asymmetrically: tombstone
+	// over put, then value order.
+	del := Rec{Ver: 5, Origin: "node-b", Delete: true}
+	put := Rec{Ver: 5, Origin: "node-b", Value: "x"}
+	if !del.Supersedes(put) || put.Supersedes(del) {
+		t.Error("a tombstone must beat a put at the same (ver, origin)")
+	}
+	hi := Rec{Ver: 5, Origin: "node-b", Value: "b"}
+	lo := Rec{Ver: 5, Origin: "node-b", Value: "a"}
+	if !hi.Supersedes(lo) || lo.Supersedes(hi) {
+		t.Error("full ties must break by value so the order is total")
 	}
 }
 
@@ -66,8 +80,17 @@ func TestPutVersionedLastWriterWins(t *testing.T) {
 	if !put(1, "a", "v1", false) {
 		t.Fatal("first write not applied")
 	}
-	if put(1, "a", "v1-again", false) {
-		t.Error("same (ver, origin) must not reapply")
+	if put(1, "a", "v1", false) {
+		t.Error("an identical record must not reapply")
+	}
+	// A different payload at the same (ver, origin) — crash-amnesia reissue
+	// — resolves by the deterministic payload tie-break instead of sticking
+	// with whichever arrived first.
+	if !put(1, "a", "v1-later", false) {
+		t.Error("payload tie-break must apply the winning value")
+	}
+	if put(1, "a", "v0-earlier", false) {
+		t.Error("payload tie-break must reject the losing value")
 	}
 	if !put(2, "a", "v2", false) {
 		t.Fatal("newer version not applied")
