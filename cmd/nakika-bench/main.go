@@ -12,7 +12,7 @@
 //	nakika-bench -experiment replication -json out/ -baseline bench/baseline
 //
 // Experiments: table2, breakdown, capacity, rescontrol, simm-local, figure7,
-// specweb, extensions, persist, replication, offload, all.
+// specweb, extensions, persist, replication, offload, throughput, all.
 //
 // With -baseline, the freshly written BENCH_*.json files are compared
 // against the committed baselines after the run: any tracked metric more
@@ -25,13 +25,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nakika/internal/bench"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, replication, offload, all)")
+	// The throughput experiment re-execs this binary as the server half of
+	// its two-process RPC pair; the env var is how the child knows.
+	if os.Getenv(bench.RPCPeerEnv) != "" {
+		if err := bench.ServeRPCPeer(); err != nil {
+			fmt.Fprintf(os.Stderr, "rpc peer: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, replication, offload, throughput, all)")
 	iterations := flag.Int("iterations", 10, "iterations per micro-benchmark measurement")
 	duration := flag.Duration("duration", 30*time.Second, "virtual duration for the wide-area simulations")
 	loadDuration := flag.Duration("load-duration", 2*time.Second, "wall-clock duration for capacity and resource-control load tests")
@@ -39,6 +51,7 @@ func main() {
 	jsonDir := flag.String("json", ".", "directory for machine-readable BENCH_*.json results (empty: disabled)")
 	baseline := flag.String("baseline", "", "baseline directory to gate the fresh BENCH_*.json results against (empty: no gate)")
 	threshold := flag.Float64("regress-threshold", 0.20, "fractional regression that fails the -baseline gate")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile here after the experiments run (empty: disabled)")
 	flag.Parse()
 
 	// run executes one experiment; fn prints the human-readable tables and
@@ -262,9 +275,34 @@ func main() {
 		return r, nil
 	})
 
+	run("throughput", func() (interface{}, error) {
+		r, err := bench.RunThroughput(*loadDuration)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatThroughput(r))
+		return r, nil
+	})
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote allocation profile to %s\n", *memprofile)
+	}
+
 	// The bench-regression gate: compare whatever this run produced
 	// against the committed baselines and fail on a tracked-metric
-	// regression.
+	// regression. Hard metrics fail the run; soft (wall-clock) metrics
+	// only warn.
 	if *baseline != "" && *jsonDir != "" {
 		regs, notes, err := bench.CompareBenchDirs(*baseline, *jsonDir, *threshold)
 		if err != nil {
@@ -272,6 +310,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(bench.FormatRegressions(regs, notes, *threshold))
+		warnings, err := bench.CompareSoftDirs(*baseline, *jsonDir, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench gate (soft): %v\n", err)
+			os.Exit(1)
+		}
+		for _, w := range warnings {
+			fmt.Printf("warning: %s\n", w)
+		}
 		if len(regs) > 0 {
 			os.Exit(1)
 		}

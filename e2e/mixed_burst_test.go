@@ -1,0 +1,233 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The mixed-burst scenario: where TestClusterSurvivesSigkillWithZeroAckedWriteLoss
+// drives a sequential write burst, this one drives concurrent writers AND
+// readers through the cluster while a node is SIGKILLed — the traffic
+// shape the multiplexed transport exists for, with many requests in
+// flight on every node-to-node connection at the moment the peer dies.
+// The invariant is unchanged from the sequential test: a registration the
+// edge script acknowledged must stay readable — during the burst through
+// the survivors, and after the victim restarts, through every node.
+
+// clusterProcs is one spawned 4-node cluster plus its origin.
+type clusterProcs struct {
+	dir        string
+	nakikadBin string
+	originHost string
+	httpAddr   []string
+	nodes      []*proc
+	nodeArgs   func(i int) []string
+}
+
+// startCluster spawns the origin and a 4-node TCP cluster (replication 3,
+// mux transport — the default) and waits until every node proxies.
+func startCluster(t *testing.T, nodes int) *clusterProcs {
+	t.Helper()
+	dir := t.TempDir()
+	nakikadBin, originBin := buildBinaries(t, dir)
+
+	ports := freePorts(t, 1+2*nodes)
+	originHost := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	c := &clusterProcs{dir: dir, nakikadBin: nakikadBin, originHost: originHost}
+	rpcAddr := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		c.httpAddr = append(c.httpAddr, fmt.Sprintf("127.0.0.1:%d", ports[1+2*i]))
+		rpcAddr[i] = fmt.Sprintf("127.0.0.1:%d", ports[2+2*i])
+	}
+	spawn(t, dir, "origin", originBin, "-app", "specweb", "-listen", originHost, "-host", originHost)
+
+	c.nodeArgs = func(i int) []string {
+		var peers []string
+		for j := 0; j < nodes; j++ {
+			if j != i {
+				peers = append(peers, fmt.Sprintf("edge-%d=%s", j, rpcAddr[j]))
+			}
+		}
+		return []string{
+			"-listen", c.httpAddr[i],
+			"-name", fmt.Sprintf("edge-%d", i),
+			"-region", "e2e",
+			"-rpc", rpcAddr[i],
+			"-peers", strings.Join(peers, ","),
+			"-data-dir", filepath.Join(dir, fmt.Sprintf("data-%d", i)),
+			"-replication", "3",
+			"-resource-controls=false",
+			"-clientwall", fmt.Sprintf("http://%s/clientwall.js", originHost),
+			"-serverwall", fmt.Sprintf("http://%s/serverwall.js", originHost),
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		c.nodes = append(c.nodes, spawn(t, dir, fmt.Sprintf("edge-%d", i), nakikadBin, c.nodeArgs(i)...))
+	}
+	for i := 0; i < nodes; i++ {
+		waitServing(t, c.httpAddr[i], originHost, 30*time.Second)
+	}
+	return c
+}
+
+func TestMuxClusterMixedBurstSurvivesSigkill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process e2e suite")
+	}
+	c := startCluster(t, 4)
+	nodes := len(c.nodes)
+	const (
+		users   = 48
+		victim  = 1
+		readers = 3
+	)
+
+	// Shared acked set: writers append, readers sample.
+	var mu sync.Mutex
+	acked := make([]string, 0, users)
+	ackedUser := func(r *rand.Rand) string {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(acked) == 0 {
+			return ""
+		}
+		return acked[r.Intn(len(acked))]
+	}
+
+	killed := make(chan struct{})
+	stop := make(chan struct{})
+	errc := make(chan error, readers+1)
+	var wg sync.WaitGroup
+
+	// The writer: registrations rotating over all nodes, SIGKILLing the
+	// victim halfway. Connect errors against the dead node's own HTTP
+	// port are the client's problem (never acked); every other failure is
+	// a cluster failure.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for u := 0; u < users; u++ {
+			if u == users/2 {
+				// Kill inline (not via the sigkill helper: t.Fatalf must not
+				// run on a non-test goroutine).
+				if err := c.nodes[victim].cmd.Process.Signal(syscall.SIGKILL); err != nil {
+					errc <- fmt.Errorf("SIGKILL edge-%d: %v", victim, err)
+					return
+				}
+				_, _ = c.nodes[victim].cmd.Process.Wait()
+				close(killed)
+			}
+			node := u % nodes
+			user := fmt.Sprintf("mixed-user-%03d", u)
+			status, body, err := proxyGet(c.httpAddr[node], c.originHost, "/cgi-bin/register?user="+user)
+			if err != nil {
+				if node == victim && u >= users/2 {
+					continue
+				}
+				errc <- fmt.Errorf("register %s via edge-%d: %v", user, node, err)
+				return
+			}
+			if edgeRegistered(status, body) {
+				mu.Lock()
+				acked = append(acked, user)
+				mu.Unlock()
+			}
+		}
+	}()
+
+	// The readers: concurrent profile reads of already-acked users through
+	// the surviving nodes, running before, during, and after the kill. A
+	// read may fail in transit, but a response that renders an acked user
+	// as absent is lost acknowledged state — the one thing this test
+	// exists to catch.
+	for rdr := 0; rdr < readers; rdr++ {
+		wg.Add(1)
+		go func(rdr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(rdr)))
+			reads, hits := 0, 0
+			for {
+				select {
+				case <-stop:
+					if hits == 0 && reads > 0 {
+						errc <- fmt.Errorf("reader %d: %d reads, zero successful profile renders", rdr, reads)
+					}
+					return
+				default:
+				}
+				user := ackedUser(rng)
+				if user == "" {
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				node := rng.Intn(nodes)
+				if node == victim {
+					select {
+					case <-killed:
+						continue // the dead node's port only yields connect errors
+					default:
+					}
+				}
+				status, body, err := proxyGet(c.httpAddr[node], c.originHost, "/cgi-bin/profile?user="+user)
+				reads++
+				if err != nil {
+					continue // transient transit failure; loss is checked on content
+				}
+				if edgeProfile(status, body) {
+					hits++
+					continue
+				}
+				errc <- fmt.Errorf("reader %d: acked user %s rendered without profile via edge-%d mid-burst (status %d, body %.120q)",
+					rdr, user, node, status, body)
+				return
+			}
+		}(rdr)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("%v (edge-0 log:\n%s)", err, c.nodes[0].logTail(30))
+	}
+	if len(acked) < users/2 {
+		t.Fatalf("only %d of %d registrations acked; burst did not exercise the cluster", len(acked), users)
+	}
+
+	// Victim still dead: every acked registration reads through a survivor.
+	for _, user := range acked {
+		status, body, err := proxyGet(c.httpAddr[(victim+1)%nodes], c.originHost, "/cgi-bin/profile?user="+user)
+		if err != nil || !edgeProfile(status, body) {
+			t.Fatalf("acked registration %s lost with the owner dead (status %d, err %v, body %.120q)", user, status, err, body)
+		}
+	}
+
+	// Restart and require full recovery: every acked registration through
+	// every node, the restarted one included.
+	c.nodes[victim] = spawn(t, c.dir, fmt.Sprintf("edge-%d-restarted", victim), c.nakikadBin, c.nodeArgs(victim)...)
+	waitServing(t, c.httpAddr[victim], c.originHost, 30*time.Second)
+	deadline := time.Now().Add(90 * time.Second)
+	for _, user := range acked {
+		for node := 0; node < nodes; node++ {
+			for {
+				status, body, err := proxyGet(c.httpAddr[node], c.originHost, "/cgi-bin/profile?user="+user)
+				if err == nil && edgeProfile(status, body) {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("acked registration %s unreadable via edge-%d after recovery (status %d, err %v, body %.120q)\nrestarted node log:\n%s",
+						user, node, status, err, body, c.nodes[victim].logTail(40))
+				}
+				time.Sleep(500 * time.Millisecond)
+			}
+		}
+	}
+}

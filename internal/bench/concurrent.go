@@ -53,8 +53,20 @@ func warmNode(node *core.Node) error {
 
 // ConcurrentRequest builds a fresh request for the warm benchmark loops
 // (requests carry per-pipeline mutable state, so they are not reusable
-// across iterations).
-func ConcurrentRequest() *httpmsg.Request { return pageRequest() }
+// across iterations). It stages the request in the httpmsg pool — the same
+// path the proxy's ServeHTTP boundary uses — so the warm benchmarks measure
+// the server's steady-state allocation profile; release each request after
+// its response when the trace shows no handler ran.
+func ConcurrentRequest() *httpmsg.Request {
+	req := httpmsg.AcquireRequest()
+	req.Method = "GET"
+	req.SetURLCopy(&pageURL)
+	req.ClientIP = "10.0.0.1"
+	return req
+}
+
+// pageURL is the pre-parsed benchmark URL ConcurrentRequest copies from.
+var pageURL = *httpmsg.MustRequest("GET", "http://"+staticHost+"/index.html").URL
 
 // StampedeResult reports one cold-cache stampede round.
 type StampedeResult struct {

@@ -1,11 +1,9 @@
 package cache
 
 import (
-	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/gob"
 	"encoding/hex"
 	"fmt"
 	"hash/crc32"
@@ -103,23 +101,19 @@ func fileName(key string) string {
 
 // encodeDiskEntry frames one entry: CRC-32C over the rest, then the
 // uvarint-length-prefixed key, the expiry (unix nanoseconds), and the
-// gob-encoded response.
+// binary-encoded response (httpmsg codec, magic byte first).
 func encodeDiskEntry(key string, expires time.Time, resp *httpmsg.Response) ([]byte, error) {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(resp); err != nil {
-		return nil, err
-	}
 	payload := binary.AppendUvarint(nil, uint64(len(key)))
 	payload = append(payload, key...)
 	payload = binary.BigEndian.AppendUint64(payload, uint64(expires.UnixNano()))
-	payload = append(payload, body.Bytes()...)
+	payload = append(payload, httpmsg.EncodeResponse(resp)...)
 	out := binary.BigEndian.AppendUint32(nil, crc32.Checksum(payload, diskCRC))
 	return append(out, payload...), nil
 }
 
-// decodeDiskEntry validates and parses one entry file. The response is
-// decoded lazily by the caller via the returned bytes only when needed;
-// here it is decoded fully because callers always want it.
+// decodeDiskEntry validates and parses one entry file. The response body
+// decode accepts both the binary codec and the gob encoding written by the
+// previous release, so entries on disk stay readable across the upgrade.
 func decodeDiskEntry(data []byte) (key string, expires time.Time, resp *httpmsg.Response, err error) {
 	if len(data) < 4 {
 		return "", time.Time{}, nil, fmt.Errorf("cache: disk entry too short")
@@ -136,11 +130,11 @@ func decodeDiskEntry(data []byte) (key string, expires time.Time, resp *httpmsg.
 	key = string(payload[sz : sz+int(n)])
 	rest := payload[sz+int(n):]
 	expires = time.Unix(0, int64(binary.BigEndian.Uint64(rest[:8])))
-	var r httpmsg.Response
-	if err := gob.NewDecoder(bytes.NewReader(rest[8:])).Decode(&r); err != nil {
+	r, err := httpmsg.DecodeResponse(rest[8:])
+	if err != nil {
 		return "", time.Time{}, nil, fmt.Errorf("cache: disk entry body: %w", err)
 	}
-	return key, expires, &r, nil
+	return key, expires, r, nil
 }
 
 // Put demotes one entry to disk. Stale, negative, or uncacheable

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/state"
+	"nakika/internal/wire"
+)
+
+// Binary codecs for the core RPC payloads (replication forwards, handoff
+// range streams, offloaded requests), replacing the gob bodies the first
+// releases shipped. Encoders prefix wire.Magic; decoders sniff it and keep
+// accepting gob for one release so mixed-version rings upgrade cleanly (a
+// gob stream can never begin with the magic byte).
+
+// encodeRepForward renders a rep.put / rep.del / rep.get body.
+func encodeRepForward(req repForward) []byte {
+	buf := make([]byte, 0, 16+len(req.Site)+len(req.Key)+len(req.Value))
+	buf = append(buf, wire.Magic)
+	buf = wire.AppendString(buf, req.Site)
+	buf = wire.AppendString(buf, req.Key)
+	buf = wire.AppendString(buf, req.Value)
+	return buf
+}
+
+// decodeRepForward parses a rep forward body, accepting gob from old peers.
+func decodeRepForward(payload []byte) (req repForward, err error) {
+	if len(payload) == 0 {
+		return repForward{}, fmt.Errorf("core: empty rep forward payload")
+	}
+	if payload[0] != wire.Magic {
+		err = gobDecode(payload, &req)
+		return
+	}
+	r := wire.Reader{Buf: payload, Off: 1}
+	if req.Site, err = r.String(); err != nil {
+		return
+	}
+	if req.Key, err = r.String(); err != nil {
+		return
+	}
+	req.Value, err = r.String()
+	return
+}
+
+// encodeRepRangeReq renders a rep.range request body.
+func encodeRepRangeReq(req repRangeReq) []byte {
+	buf := make([]byte, 0, 32+len(req.After))
+	buf = append(buf, wire.Magic)
+	buf = wire.AppendUvarint(buf, req.From)
+	buf = wire.AppendUvarint(buf, req.To)
+	buf = wire.AppendString(buf, req.After)
+	buf = wire.AppendUvarint(buf, uint64(req.Limit))
+	return buf
+}
+
+// decodeRepRangeReq parses a rep.range request, accepting gob.
+func decodeRepRangeReq(payload []byte) (req repRangeReq, err error) {
+	if len(payload) == 0 {
+		return repRangeReq{}, fmt.Errorf("core: empty range request payload")
+	}
+	if payload[0] != wire.Magic {
+		err = gobDecode(payload, &req)
+		return
+	}
+	r := wire.Reader{Buf: payload, Off: 1}
+	if req.From, err = r.Uvarint(); err != nil {
+		return
+	}
+	if req.To, err = r.Uvarint(); err != nil {
+		return
+	}
+	if req.After, err = r.String(); err != nil {
+		return
+	}
+	limit, err2 := r.Uvarint()
+	if err2 != nil {
+		err = err2
+		return
+	}
+	req.Limit = int(limit)
+	return
+}
+
+// encodeRepRangeResp renders one handoff chunk.
+func encodeRepRangeResp(resp repRangeResp) []byte {
+	size := 16
+	for i := range resp.Recs {
+		rec := &resp.Recs[i]
+		size += 32 + len(rec.Site) + len(rec.Key) + len(rec.Origin) + len(rec.Value)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, wire.Magic)
+	buf = wire.AppendUvarint(buf, uint64(len(resp.Recs)))
+	for _, rec := range resp.Recs {
+		buf = state.AppendRec(buf, rec)
+	}
+	return wire.AppendBool(buf, resp.More)
+}
+
+// decodeRepRangeResp parses one handoff chunk, accepting gob.
+func decodeRepRangeResp(payload []byte) (resp repRangeResp, err error) {
+	if len(payload) == 0 {
+		return repRangeResp{}, fmt.Errorf("core: empty range response payload")
+	}
+	if payload[0] != wire.Magic {
+		err = gobDecode(payload, &resp)
+		return
+	}
+	r := wire.Reader{Buf: payload, Off: 1}
+	nrecs, err2 := r.Uvarint()
+	if err2 != nil {
+		err = err2
+		return
+	}
+	if nrecs > uint64(r.Len()) { // cheap sanity bound before allocating
+		err = wire.ErrMalformed
+		return
+	}
+	if nrecs > 0 {
+		resp.Recs = make([]state.Rec, 0, nrecs)
+	}
+	for i := uint64(0); i < nrecs; i++ {
+		var rec state.Rec
+		if rec, err = state.ReadRec(&r); err != nil {
+			return
+		}
+		resp.Recs = append(resp.Recs, rec)
+	}
+	resp.More, err = r.Bool()
+	return
+}
+
+// wireRequest is the legacy gob shape of an off.exec body; it survives only
+// as the grace decoder for requests sent by peers one release behind.
+type wireRequest struct {
+	Method   string
+	URL      string
+	Header   http.Header
+	Body     []byte
+	ClientIP string
+	Received time.Time
+}
+
+// encodeOffloadRequest renders an off.exec body from the pipeline request.
+func encodeOffloadRequest(req *httpmsg.Request) []byte {
+	return httpmsg.EncodeRequest(req)
+}
+
+// decodeOffloadRequest parses an off.exec body, accepting the legacy gob
+// wireRequest from old peers.
+func decodeOffloadRequest(payload []byte) (*httpmsg.Request, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("core: empty offload request payload")
+	}
+	var req *httpmsg.Request
+	if payload[0] == wire.Magic {
+		r := wire.Reader{Buf: payload, Off: 1}
+		var err error
+		if req, err = httpmsg.ReadRequest(&r); err != nil {
+			return nil, err
+		}
+	} else {
+		var w wireRequest
+		if err := gobDecode(payload, &w); err != nil {
+			return nil, fmt.Errorf("core: decode offloaded request: %w", err)
+		}
+		u, err := url.Parse(w.URL)
+		if err != nil {
+			return nil, fmt.Errorf("core: offloaded request url %q: %w", w.URL, err)
+		}
+		req = &httpmsg.Request{
+			Method:   w.Method,
+			URL:      u,
+			Header:   w.Header,
+			Body:     w.Body,
+			ClientIP: w.ClientIP,
+			Received: w.Received,
+		}
+	}
+	if req.Header == nil {
+		req.Header = make(http.Header)
+	}
+	return req, nil
+}

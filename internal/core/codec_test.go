@@ -1,0 +1,126 @@
+package core
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/state"
+)
+
+func TestRepForwardRoundTrip(t *testing.T) {
+	reqs := []repForward{
+		{},
+		{Site: "s.example", Key: "k", Value: "v"},
+		{Site: "s", Key: "binary \x00 key", Value: string([]byte{0, 255})},
+	}
+	for _, req := range reqs {
+		got, err := decodeRepForward(encodeRepForward(req))
+		if err != nil {
+			t.Fatalf("decodeRepForward: %v", err)
+		}
+		if got != req {
+			t.Fatalf("round trip: got %+v want %+v", got, req)
+		}
+	}
+}
+
+func TestRepRangeRoundTrip(t *testing.T) {
+	req := repRangeReq{From: 12, To: 1 << 62, After: "s/k", Limit: 64}
+	gotReq, err := decodeRepRangeReq(encodeRepRangeReq(req))
+	if err != nil {
+		t.Fatalf("decodeRepRangeReq: %v", err)
+	}
+	if gotReq != req {
+		t.Fatalf("range req round trip: got %+v want %+v", gotReq, req)
+	}
+
+	resp := repRangeResp{
+		Recs: []state.Rec{
+			{Site: "a", Key: "k1", Ver: 1, Origin: "n1", Value: "v1"},
+			{Site: "b", Key: "k2", Ver: 2, Origin: "n2", Delete: true},
+		},
+		More: true,
+	}
+	gotResp, err := decodeRepRangeResp(encodeRepRangeResp(resp))
+	if err != nil {
+		t.Fatalf("decodeRepRangeResp: %v", err)
+	}
+	if gotResp.More != resp.More || len(gotResp.Recs) != len(resp.Recs) {
+		t.Fatalf("range resp round trip: got %+v want %+v", gotResp, resp)
+	}
+	for i := range resp.Recs {
+		if gotResp.Recs[i] != resp.Recs[i] {
+			t.Fatalf("rec %d: got %+v want %+v", i, gotResp.Recs[i], resp.Recs[i])
+		}
+	}
+}
+
+// TestRepCodecsAcceptGob pins the one-release grace window: payloads encoded
+// by the previous release's gob codec still decode.
+func TestRepCodecsAcceptGob(t *testing.T) {
+	fwd := repForward{Site: "s", Key: "k", Value: "v"}
+	b, err := gobEncode(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := decodeRepForward(b); err != nil || got != fwd {
+		t.Fatalf("gob repForward: got %+v err %v", got, err)
+	}
+
+	rreq := repRangeReq{From: 1, To: 2, After: "a", Limit: 8}
+	if b, err = gobEncode(rreq); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := decodeRepRangeReq(b); err != nil || got != rreq {
+		t.Fatalf("gob repRangeReq: got %+v err %v", got, err)
+	}
+
+	rresp := repRangeResp{Recs: []state.Rec{{Site: "s", Key: "k", Ver: 9, Origin: "o", Value: "v"}}, More: true}
+	if b, err = gobEncode(rresp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRepRangeResp(b)
+	if err != nil || !got.More || len(got.Recs) != 1 || got.Recs[0] != rresp.Recs[0] {
+		t.Fatalf("gob repRangeResp: got %+v err %v", got, err)
+	}
+}
+
+func TestOffloadRequestRoundTrip(t *testing.T) {
+	req := httpmsg.MustRequest("GET", "http://site.example/resource")
+	req.Header.Set("Accept", "text/html")
+	req.ClientIP = "192.0.2.1"
+	req.Received = time.Unix(0, 1754600000000000000)
+
+	got, err := decodeOffloadRequest(encodeOffloadRequest(req))
+	if err != nil {
+		t.Fatalf("decodeOffloadRequest: %v", err)
+	}
+	if got.Method != req.Method || got.URL.String() != req.URL.String() || got.ClientIP != req.ClientIP {
+		t.Fatalf("round trip: got %+v want %+v", got, req)
+	}
+}
+
+// TestOffloadRequestAcceptsGob pins the grace decode of the previous
+// release's gob wireRequest shape.
+func TestOffloadRequestAcceptsGob(t *testing.T) {
+	w := wireRequest{
+		Method:   "GET",
+		URL:      "http://site.example/old",
+		Header:   http.Header{"Accept": {"*/*"}},
+		ClientIP: "192.0.2.2",
+		Received: time.Unix(50, 0),
+	}
+	b, err := gobEncode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeOffloadRequest(b)
+	if err != nil {
+		t.Fatalf("gob grace decode: %v", err)
+	}
+	if got.Method != "GET" || got.URL.String() != w.URL || got.ClientIP != w.ClientIP {
+		t.Fatalf("gob grace: got %+v", got)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/state"
+)
+
+// FuzzRPCPayloads throws arbitrary bytes at every RPC body decoder on the
+// node's transport surface. Each decoder sniffs its first byte to pick
+// binary or legacy gob, and both arms must fail cleanly on garbage: no
+// panic, no unbounded allocation — a peer (or an attacker on the RPC
+// port) controls these bytes.
+func FuzzRPCPayloads(f *testing.F) {
+	f.Add(encodeRepForward(repForward{Site: "s", Key: "k", Value: "v"}))
+	f.Add(encodeRepRangeReq(repRangeReq{From: 1, To: 99, After: "user:a", Limit: 64}))
+	f.Add(encodeRepRangeResp(repRangeResp{
+		Recs: []state.Rec{{Site: "s", Key: "k", Ver: 3, Origin: "n1", Value: "v"}},
+		More: true,
+	}))
+	f.Add(encodeOffloadRequest(httpmsg.MustRequest("GET", "http://match.example.org/find?q=1")))
+	f.Add(httpmsg.EncodeResponse(httpmsg.NewTextResponse(200, "ok")))
+	if gobForward, err := gobEncode(repForward{Site: "s", Key: "k", Value: "v"}); err == nil {
+		f.Add(gobForward) // legacy-arm seed: gob never starts with the magic byte
+	}
+	f.Add([]byte{0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeRepForward(data)
+		_, _ = decodeRepRangeReq(data)
+		_, _ = decodeRepRangeResp(data)
+		_, _ = decodeOffloadRequest(data)
+		_, _ = decodeResponse(data)
+	})
+}

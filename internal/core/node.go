@@ -5,8 +5,6 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"net"
 	"net/http"
@@ -686,8 +684,11 @@ func (n *Node) handleLocal(req *httpmsg.Request) (*httpmsg.Response, *pipeline.T
 }
 
 // ServeHTTP implements http.Handler so the node can serve as a real proxy.
+// Requests are staged in pooled httpmsg objects; a request is recycled only
+// when no script handler ran against it (a script could retain its bound
+// request, so touched requests are left to the garbage collector).
 func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	req, err := httpmsg.FromHTTPRequest(r, 8<<20)
+	req, err := httpmsg.AcquireFromHTTPRequest(r, 8<<20)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -697,13 +698,16 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if host := req.URL.Hostname(); strings.HasSuffix(host, ".nakika.net") {
 		req.URL.Host = strings.TrimSuffix(host, ".nakika.net")
 	}
-	resp, _, err := n.Handle(req)
+	resp, trace, err := n.Handle(req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	if err := resp.WriteTo(w); err != nil {
 		n.errors.Add(1)
+	}
+	if trace != nil && !trace.RanHandlers() {
+		req.Release()
 	}
 }
 
@@ -831,21 +835,14 @@ func (n *Node) RepublishPending() int {
 // ---------------------------------------------------------------------------
 
 // encodeResponse and decodeResponse carry a cached response across the
-// transport (all Response fields are exported, so gob round-trips it).
-func encodeResponse(resp *httpmsg.Response) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+// transport: the httpmsg binary codec, with decode still accepting gob from
+// peers one release behind.
+func encodeResponse(resp *httpmsg.Response) []byte {
+	return httpmsg.EncodeResponse(resp)
 }
 
 func decodeResponse(b []byte) (*httpmsg.Response, error) {
-	var resp httpmsg.Response
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return httpmsg.DecodeResponse(b)
 }
 
 // peerFetch retrieves key from a peer's cache over the transport; nil means
@@ -870,11 +867,7 @@ func (n *Node) serveCacheRPC(from string, msg transport.Message) (transport.Mess
 		if resp == nil {
 			return transport.Message{Args: []string{"miss"}}, nil
 		}
-		body, err := encodeResponse(resp)
-		if err != nil {
-			return transport.Message{}, err
-		}
-		return transport.Message{Args: []string{"hit"}, Body: body}, nil
+		return transport.Message{Args: []string{"hit"}, Body: encodeResponse(resp)}, nil
 	default:
 		return transport.Message{}, fmt.Errorf("core: unknown cache message %q", msg.Type)
 	}
@@ -891,10 +884,7 @@ func (n *Node) broadcastState(msg state.Message) {
 	if n.cfg.Ring == nil || n.tr == nil {
 		return
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
-		return
-	}
+	body := state.EncodeBusMessage(msg)
 	var wg sync.WaitGroup
 	for _, peer := range n.cfg.Ring.Nodes() {
 		if peer == n.cfg.Name {
@@ -903,7 +893,7 @@ func (n *Node) broadcastState(msg state.Message) {
 		wg.Add(1)
 		go func(peer string) {
 			defer wg.Done()
-			_, _ = n.call(peer, transport.Message{Type: "state.update", Body: buf.Bytes()})
+			_, _ = n.call(peer, transport.Message{Type: "state.update", Body: body})
 		}(peer)
 	}
 	wg.Wait()
@@ -913,8 +903,8 @@ func (n *Node) broadcastState(msg state.Message) {
 func (n *Node) serveStateRPC(from string, msg transport.Message) (transport.Message, error) {
 	switch msg.Type {
 	case "state.update":
-		var m state.Message
-		if err := gob.NewDecoder(bytes.NewReader(msg.Body)).Decode(&m); err != nil {
+		m, err := state.DecodeBusMessage(msg.Body)
+		if err != nil {
 			return transport.Message{}, err
 		}
 		if n.bus == nil {

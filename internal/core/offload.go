@@ -1,16 +1,13 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
-	"net/http"
-	"net/url"
 	"strconv"
 	"time"
 
 	"nakika/internal/httpmsg"
 	"nakika/internal/loadview"
+	"nakika/internal/pipeline"
 	"nakika/internal/transport"
 )
 
@@ -42,59 +39,6 @@ import (
 // the replier's post-execution load score in Args[0] and the name of the
 // node that ultimately executed in Args[1].
 const msgOffExec = "off.exec"
-
-// wireRequest is the transport encoding of a proxied request: only the
-// fields the remote pipeline needs, so the codec is independent of
-// httpmsg's unexported state.
-type wireRequest struct {
-	Method   string
-	URL      string
-	Header   http.Header
-	Body     []byte
-	ClientIP string
-	Received time.Time
-}
-
-func encodeRequest(req *httpmsg.Request) ([]byte, error) {
-	w := wireRequest{
-		Method:   req.Method,
-		Header:   req.Header,
-		Body:     req.Body,
-		ClientIP: req.ClientIP,
-		Received: req.Received,
-	}
-	if req.URL != nil {
-		w.URL = req.URL.String()
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeRequest(b []byte) (*httpmsg.Request, error) {
-	var w wireRequest
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
-		return nil, err
-	}
-	u, err := url.Parse(w.URL)
-	if err != nil {
-		return nil, fmt.Errorf("core: offloaded request url %q: %w", w.URL, err)
-	}
-	req := &httpmsg.Request{
-		Method:   w.Method,
-		URL:      u,
-		Header:   w.Header,
-		Body:     w.Body,
-		ClientIP: w.ClientIP,
-		Received: w.Received,
-	}
-	if req.Header == nil {
-		req.Header = make(http.Header)
-	}
-	return req, nil
-}
 
 // call sends one RPC to a peer through the node's transport, folding the
 // measured round trip into the per-peer RTT EWMA that hedge budgets are
@@ -246,10 +190,7 @@ func (n *Node) shedRequest(req *httpmsg.Request, depth int) (resp *httpmsg.Respo
 	if !ok || viewScore >= local {
 		return nil, "", nil, false
 	}
-	body, encErr := encodeRequest(req)
-	if encErr != nil {
-		return nil, "", nil, false
-	}
+	body := encodeOffloadRequest(req)
 	reply, callErr := n.call(target, transport.Message{
 		Type: msgOffExec,
 		Key:  req.SiteKey(),
@@ -304,23 +245,26 @@ func (n *Node) serveOffloadRPC(from string, msg transport.Message) (transport.Me
 				n.view.Observe(from, s)
 			}
 		}
-		req, err := decodeRequest(msg.Body)
+		req, err := decodeOffloadRequest(msg.Body)
 		if err != nil {
 			return transport.Message{}, err
 		}
 		resp, who, err, shed := n.shedRequest(req, depth)
+		var trace *pipeline.Trace
 		if !shed {
-			resp, _, err = n.handleLocal(req)
+			resp, trace, err = n.handleLocal(req)
 			who = n.cfg.Name
 		}
 		if err != nil {
 			return transport.Message{}, err
 		}
-		body, err := encodeResponse(resp)
-		if err != nil {
-			return transport.Message{}, err
+		reply := transport.Message{Args: []string{loadview.FormatScore(n.meter.Score()), who}, Body: encodeResponse(resp)}
+		// Recycle the staged request once the reply is encoded, unless a
+		// script handler saw it (same rule as ServeHTTP).
+		if trace == nil || !trace.RanHandlers() {
+			req.Release()
 		}
-		return transport.Message{Args: []string{loadview.FormatScore(n.meter.Score()), who}, Body: body}, nil
+		return reply, nil
 	default:
 		return transport.Message{}, fmt.Errorf("core: unknown offload message %q", msg.Type)
 	}

@@ -64,6 +64,9 @@ type repRangeResp struct {
 	More bool
 }
 
+// gobEncode and gobDecode are the legacy payload codec: encode survives for
+// the mixed-version interop tests, decode backs the grace paths in codec.go
+// that accept payloads from peers one release behind.
 func gobEncode(v interface{}) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -150,10 +153,7 @@ func (n *Node) repDelete(site, key string) error {
 // repForwardOp is the shared owner-routing loop for mutations.
 func (n *Node) repForwardOp(site, key, msgType, value string, local func() error) error {
 	rk := state.ReplicaKey(site, key)
-	body, err := gobEncode(repForward{Site: site, Key: key, Value: value})
-	if err != nil {
-		return err
-	}
+	body := encodeRepForward(repForward{Site: site, Key: key, Value: value})
 	avoid := make(map[string]bool)
 	var lastErr error
 	for attempt := 0; attempt < n.repFactor+1; attempt++ {
@@ -227,10 +227,7 @@ func (n *Node) replicate(rec state.Rec) (acks, attempts int, staleVer uint64) {
 	if len(targets) == 0 {
 		return 0, 0, 0
 	}
-	body, err := gobEncode(rec)
-	if err != nil {
-		return 0, len(targets), 0
-	}
+	body := state.EncodeRec(rec)
 	for _, t := range targets {
 		attempts++
 		reply, err := n.call(t, transport.Message{Type: msgRepStore, Body: body})
@@ -262,10 +259,7 @@ func (n *Node) replicate(rec state.Rec) (acks, attempts int, staleVer uint64) {
 // first — see hedgeRead.
 func (n *Node) repGet(site, key string) (string, bool) {
 	rk := state.ReplicaKey(site, key)
-	body, err := gobEncode(repForward{Site: site, Key: key})
-	if err != nil {
-		return "", false
-	}
+	body := encodeRepForward(repForward{Site: site, Key: key})
 	if value, ok, answered := n.hedgeRead(rk, site, key, body); answered {
 		return value, ok
 	}
@@ -284,8 +278,7 @@ func (n *Node) repGet(site, key string) (string, bool) {
 				n.repFailovers.Add(1)
 			}
 			if len(reply.Args) > 0 && reply.Args[0] == "hit" {
-				var rec state.Rec
-				if gobDecode(reply.Body, &rec) == nil {
+				if rec, err := state.DecodeRec(reply.Body); err == nil {
 					return rec.Value, true
 				}
 			}
@@ -348,8 +341,8 @@ func (n *Node) hedgeRead(rk, site, key string, body []byte) (value string, ok, a
 	if err != nil || len(reply.Args) == 0 || reply.Args[0] != "hit" {
 		return "", false, false
 	}
-	var rec state.Rec
-	if gobDecode(reply.Body, &rec) != nil {
+	rec, err := state.DecodeRec(reply.Body)
+	if err != nil {
 		return "", false, false
 	}
 	n.hedgeHits.Add(1)
@@ -442,10 +435,7 @@ func (n *Node) RepairReplication() int {
 		if err != nil {
 			continue
 		}
-		body, err := gobEncode(rec)
-		if err != nil {
-			continue
-		}
+		body := state.EncodeRec(rec)
 		targets := []string{owner}
 		if owner == n.cfg.Name {
 			targets = targets[:0]
@@ -553,17 +543,14 @@ func (n *Node) PullOwnedRange(chunk int) (int, error) {
 			si++
 			continue
 		}
-		body, err := gobEncode(repRangeReq{From: uint64(from), To: uint64(to), After: after, Limit: chunk})
-		if err != nil {
-			return applied, err
-		}
+		body := encodeRepRangeReq(repRangeReq{From: uint64(from), To: uint64(to), After: after, Limit: chunk})
 		reply, err := n.call(src, transport.Message{Type: msgRepRange, Body: body})
 		if err != nil {
 			si++ // source died mid-stream: resume at the cursor from the next replica
 			continue
 		}
-		var resp repRangeResp
-		if err := gobDecode(reply.Body, &resp); err != nil {
+		resp, err := decodeRepRangeResp(reply.Body)
+		if err != nil {
 			return applied, err
 		}
 		for _, rec := range resp.Recs {
@@ -593,8 +580,8 @@ func (n *Node) PullOwnedRange(chunk int) (int, error) {
 func (n *Node) serveRepRPC(from string, msg transport.Message) (transport.Message, error) {
 	switch msg.Type {
 	case msgRepPut, msgRepDel:
-		var req repForward
-		if err := gobDecode(msg.Body, &req); err != nil {
+		req, err := decodeRepForward(msg.Body)
+		if err != nil {
 			return transport.Message{}, err
 		}
 		// The sender routed here believing this node is the acting owner;
@@ -604,22 +591,19 @@ func (n *Node) serveRepRPC(from string, msg transport.Message) (transport.Messag
 		}
 		return transport.Message{}, n.ownerPut(req.Site, req.Key, false, req.Value)
 	case msgRepGet:
-		var req repForward
-		if err := gobDecode(msg.Body, &req); err != nil {
+		req, err := decodeRepForward(msg.Body)
+		if err != nil {
 			return transport.Message{}, err
 		}
 		ver, origin, deleted, value, ok := n.store.GetVersioned(req.Site, req.Key)
 		if !ok || deleted {
 			return transport.Message{Args: []string{"miss"}}, nil
 		}
-		body, err := gobEncode(state.Rec{Site: req.Site, Key: req.Key, Ver: ver, Origin: origin, Value: value})
-		if err != nil {
-			return transport.Message{}, err
-		}
+		body := state.EncodeRec(state.Rec{Site: req.Site, Key: req.Key, Ver: ver, Origin: origin, Value: value})
 		return transport.Message{Args: []string{"hit"}, Body: body}, nil
 	case msgRepStore:
-		var rec state.Rec
-		if err := gobDecode(msg.Body, &rec); err != nil {
+		rec, err := state.DecodeRec(msg.Body)
+		if err != nil {
 			return transport.Message{}, err
 		}
 		n.repApplyMu.Lock()
@@ -640,8 +624,8 @@ func (n *Node) serveRepRPC(from string, msg transport.Message) (transport.Messag
 	case msgRepKeys:
 		return transport.Message{Args: n.store.KeysVersioned(msg.Key)}, nil
 	case msgRepRange:
-		var req repRangeReq
-		if err := gobDecode(msg.Body, &req); err != nil {
+		req, err := decodeRepRangeReq(msg.Body)
+		if err != nil {
 			return transport.Message{}, err
 		}
 		// Each chunk rescans the store, so a stream over R records in a
@@ -667,11 +651,7 @@ func (n *Node) serveRepRPC(from string, msg transport.Message) (transport.Messag
 		if more {
 			recs = recs[:limit]
 		}
-		body, err := gobEncode(repRangeResp{Recs: recs, More: more})
-		if err != nil {
-			return transport.Message{}, err
-		}
-		return transport.Message{Body: body}, nil
+		return transport.Message{Body: encodeRepRangeResp(repRangeResp{Recs: recs, More: more})}, nil
 	default:
 		return transport.Message{}, fmt.Errorf("core: unknown replication message %q", msg.Type)
 	}

@@ -41,6 +41,9 @@ type Request struct {
 	terminated *Response
 	// Redirected records whether a script rewrote the URL.
 	Redirected bool
+	// urlBuf is the inline URL storage SetURLCopy points URL at, so pooled
+	// requests carry their URL without a per-request url.URL allocation.
+	urlBuf url.URL
 }
 
 // NewRequest builds a request for the given method and raw URL.
@@ -95,8 +98,12 @@ func (r *Request) SiteKey() string {
 // cached and published in the cooperative cache index: method plus the URL
 // without fragment.
 func (r *Request) CacheKey() string {
-	u := *r.URL
-	u.Fragment = ""
+	u := r.URL
+	if u.Fragment != "" || u.RawFragment != "" {
+		cp := *u
+		cp.Fragment, cp.RawFragment = "", ""
+		u = &cp
+	}
 	return r.Method + " " + u.String()
 }
 
@@ -340,19 +347,25 @@ func (r *Response) SetAbsoluteExpiry(t time.Time) {
 // proxy listener) into a pipeline Request, reading at most maxBody bytes of
 // body. A maxBody of zero or less means unlimited.
 func FromHTTPRequest(hr *http.Request, maxBody int64) (*Request, error) {
-	u := *hr.URL
-	if u.Host == "" {
-		u.Host = hr.Host
+	req := &Request{Header: make(http.Header, len(hr.Header)), Received: time.Now()}
+	if err := fillFromHTTPRequest(req, hr, maxBody); err != nil {
+		return nil, err
 	}
-	if u.Scheme == "" {
-		u.Scheme = "http"
+	return req, nil
+}
+
+// fillFromHTTPRequest populates req (whose Header map must be live) from an
+// inbound net/http request; shared by the allocating and pooled converters.
+func fillFromHTTPRequest(req *Request, hr *http.Request, maxBody int64) error {
+	req.Method = hr.Method
+	req.SetURLCopy(hr.URL)
+	if req.URL.Host == "" {
+		req.URL.Host = hr.Host
 	}
-	req := &Request{
-		Method:   hr.Method,
-		URL:      &u,
-		Header:   cloneHeader(hr.Header),
-		Received: time.Now(),
+	if req.URL.Scheme == "" {
+		req.URL.Scheme = "http"
 	}
+	copyHeaderInto(req.Header, hr.Header)
 	host := hr.RemoteAddr
 	if i := strings.LastIndex(host, ":"); i > 0 {
 		host = host[:i]
@@ -370,7 +383,7 @@ func FromHTTPRequest(hr *http.Request, maxBody int64) (*Request, error) {
 				if n > 0 {
 					total += int64(n)
 					if total > maxBody {
-						return nil, fmt.Errorf("httpmsg: request body exceeds %d bytes", maxBody)
+						return fmt.Errorf("httpmsg: request body exceeds %d bytes", maxBody)
 					}
 					body = append(body, buf[:n]...)
 				}
@@ -381,12 +394,12 @@ func FromHTTPRequest(hr *http.Request, maxBody int64) (*Request, error) {
 		} else {
 			body, err = readAll(hr.Body)
 			if err != nil {
-				return nil, fmt.Errorf("httpmsg: read request body: %w", err)
+				return fmt.Errorf("httpmsg: read request body: %w", err)
 			}
 		}
 		req.Body = body
 	}
-	return req, nil
+	return nil
 }
 
 // WriteTo writes the response to a net/http ResponseWriter.
@@ -460,10 +473,21 @@ func isHopByHop(name string) bool {
 	return hopByHopHeaders[textproto.CanonicalMIMEHeaderKey(name)]
 }
 
+// cloneHeader deep-copies a header in two allocations: the map and one flat
+// backing array all value slices are carved from (rather than one slice
+// allocation per key). Callers may append to a cloned key's values; append
+// sees the sub-slice at full length and copies out, so siblings are safe.
 func cloneHeader(h http.Header) http.Header {
 	out := make(http.Header, len(h))
+	n := 0
+	for _, vs := range h {
+		n += len(vs)
+	}
+	flat := make([]string, 0, n)
 	for k, vs := range h {
-		out[k] = append([]string(nil), vs...)
+		lo := len(flat)
+		flat = append(flat, vs...)
+		out[k] = flat[lo:len(flat):len(flat)]
 	}
 	return out
 }

@@ -78,6 +78,23 @@ type Trace struct {
 	// names the node that did the work.
 	Offloaded   bool
 	OffloadPeer string
+
+	// stagesBuf is the inline backing array for Stages: the standard
+	// three-stage pipeline records its traces inside the Trace allocation
+	// itself instead of growing a separate slice per request.
+	stagesBuf [4]StageTrace
+}
+
+// RanHandlers reports whether any stage executed a script handler. Callers
+// that pool requests use it as the safety gate: a request no script touched
+// cannot have been captured by one.
+func (t *Trace) RanHandlers() bool {
+	for i := range t.Stages {
+		if t.Stages[i].RanRequest || t.Stages[i].RanResponse {
+			return true
+		}
+	}
+	return t.Generated
 }
 
 // Execute runs the full pipeline of Figure 4 for req and returns the
@@ -85,6 +102,7 @@ type Trace struct {
 func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, error) {
 	start := time.Now()
 	trace := &Trace{}
+	trace.Stages = trace.stagesBuf[:0]
 	site := req.SiteKey()
 
 	// Admission control by the resource manager: throttled sites see a
@@ -115,18 +133,22 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 	}
 
 	// forward is the stack of stage script URLs still to run; the top of the
-	// stack is the end of the slice.
-	forward := []string{
+	// stack is the end of the slice. Both stacks live in fixed-size local
+	// arrays — the standard three-stage pipeline never spills to the heap,
+	// and dynamically scheduled stages just grow past the array.
+	var forwardBuf [8]string
+	forward := append(forwardBuf[:0],
 		e.serverWallURL(),
 		e.siteScriptURL(req),
 		e.clientWallURL(),
-	}
+	)
 	type executedStage struct {
 		stage  *Stage
 		pol    *policy.Policy
 		script string
 	}
-	var backward []executedStage
+	var backwardBuf [8]executedStage
+	backward := backwardBuf[:0]
 	var response *httpmsg.Response
 	stagesRun := 0
 

@@ -217,8 +217,10 @@ type Loader struct {
 	ForkCharge func(site string, heapBytes int64)
 	// stages caches loaded stages by script URL.
 	stages *cache.Memo[*Stage]
-	// missing caches script URLs known not to exist.
-	missing *cache.Memo[bool]
+	// missing caches the shared Empty stage for script URLs known not to
+	// exist, so the (very hot) no-script path returns the cached stage
+	// instead of allocating a fresh one per request.
+	missing *cache.Memo[*Stage]
 
 	// loads coalesces concurrent cold loads of one script URL so a stampede
 	// on a scripted site evaluates the script once instead of once per
@@ -240,7 +242,7 @@ func NewLoader(host vocab.Host, limits script.Limits) *Loader {
 		Host:    host,
 		Limits:  limits,
 		stages:  cache.NewMemo[*Stage](0, 4096),
-		missing: cache.NewMemo[bool](0, 4096),
+		missing: cache.NewMemo[*Stage](0, 4096),
 	}
 }
 
@@ -262,8 +264,8 @@ func (l *Loader) Load(scriptURL, site string) (*Stage, error) {
 	if st, ok := l.stages.Get(scriptURL); ok {
 		return st, nil
 	}
-	if miss, ok := l.missing.Get(scriptURL); ok && miss {
-		return &Stage{URL: scriptURL, Site: site, Empty: true}, nil
+	if st, ok := l.missing.Get(scriptURL); ok {
+		return st, nil
 	}
 	l.loadMu.Lock()
 	if l.loads == nil {
@@ -301,8 +303,8 @@ func (l *Loader) loadSlow(scriptURL, site string) (*Stage, error) {
 	if st, ok := l.stages.Get(scriptURL); ok {
 		return st, nil
 	}
-	if miss, ok := l.missing.Get(scriptURL); ok && miss {
-		return &Stage{URL: scriptURL, Site: site, Empty: true}, nil
+	if st, ok := l.missing.Get(scriptURL); ok {
+		return st, nil
 	}
 	req, err := httpmsg.NewRequest("GET", scriptURL)
 	if err != nil {
@@ -310,19 +312,27 @@ func (l *Loader) loadSlow(scriptURL, site string) (*Stage, error) {
 	}
 	resp, err := l.Host.Fetch(req)
 	if err != nil || resp == nil || resp.Status != 200 {
-		l.missing.Put(scriptURL, true)
-		return &Stage{URL: scriptURL, Site: site, Empty: true}, nil
+		return l.cacheEmpty(scriptURL, site), nil
 	}
 	st, err := l.compile(scriptURL, site, string(resp.Body))
 	if err != nil {
 		// A script that fails to parse or evaluate contributes no policies;
 		// it must not take the node down. The error is reported so the trace
 		// can surface it.
-		l.missing.Put(scriptURL, true)
-		return &Stage{URL: scriptURL, Site: site, Empty: true}, err
+		return l.cacheEmpty(scriptURL, site), err
 	}
 	l.stages.Put(scriptURL, st)
 	return st, nil
+}
+
+// cacheEmpty records and returns the shared negative-cache stage for a
+// script URL. Empty stages never run handlers or charge resources, so one
+// instance is safely shared by every request (the Site recorded is whichever
+// request populated the entry).
+func (l *Loader) cacheEmpty(scriptURL, site string) *Stage {
+	st := &Stage{URL: scriptURL, Site: site, Empty: true}
+	l.missing.Put(scriptURL, st)
+	return st
 }
 
 // LoadSource compiles a stage directly from source text; used by tests, by

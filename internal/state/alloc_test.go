@@ -1,0 +1,30 @@
+package state
+
+import "testing"
+
+// The zero-alloc claims of the binary codec are tested, not just
+// benchmarked: a change that quietly reintroduces per-field boxing or
+// reflection shows up here as a test failure, independent of the bench
+// gate's thresholds.
+
+func TestRecCodecAllocBudget(t *testing.T) {
+	rec := Rec{
+		Site:   "match.example.org",
+		Key:    "user:arthur",
+		Ver:    7,
+		Origin: "edge-3",
+		Value:  `{"name":"Arthur","quality":"novice","region":"nyc"}`,
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		out, err := DecodeRec(EncodeRec(rec))
+		if err != nil || out != rec {
+			t.Fatalf("round trip: %+v, %v", out, err)
+		}
+	})
+	// Measured: 5 (the encode buffer plus the decoded record's four
+	// strings). The budget leaves room for toolchain drift, nothing more —
+	// gob cost ~194 allocs on this payload.
+	if allocs > 8 {
+		t.Errorf("Rec round trip costs %.1f allocs/op, budget is 8", allocs)
+	}
+}

@@ -13,6 +13,7 @@ package state
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -417,9 +418,23 @@ func (l *AccessLog) Flush(post Poster) error {
 }
 
 // FormatAccess renders the standard access-log line the node writes for each
-// proxied request.
+// proxied request. It is on the per-request hot path, so the line is
+// assembled append-style into one right-sized buffer instead of through fmt.
 func FormatAccess(clientIP, method, url string, status, bytes int, elapsed time.Duration) string {
-	return fmt.Sprintf("%s %s %s %d %d %s", clientIP, method, url, status, bytes, elapsed.Round(time.Millisecond))
+	d := elapsed.Round(time.Millisecond).String()
+	b := make([]byte, 0, len(clientIP)+len(method)+len(url)+len(d)+26)
+	b = append(b, clientIP...)
+	b = append(b, ' ')
+	b = append(b, method...)
+	b = append(b, ' ')
+	b = append(b, url...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(status), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(bytes), 10)
+	b = append(b, ' ')
+	b = append(b, d...)
+	return string(b)
 }
 
 // ---------------------------------------------------------------------------

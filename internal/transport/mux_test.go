@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMuxSharesOneConnection pins the point of the mux protocol: any number
+// of calls to one peer ride a single TCP connection.
+func TestMuxSharesOneConnection(t *testing.T) {
+	ta, tb := NewTCP(), NewTCP()
+	defer ta.Close()
+	defer tb.Close()
+	tb.Register("srv", echoHandler("srv"))
+	addrB, err := tb.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.AddPeer("srv", addrB.String())
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				key := fmt.Sprintf("g%d-i%d", g, i)
+				body := []byte(strings.Repeat("b", 1024*(g+1)))
+				reply, err := ta.Call("cli", "srv", Message{Type: "echo", Key: key, Body: body})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if reply.Key != key || len(reply.Body) != len(body) {
+					errs <- fmt.Errorf("reply mismatch for %s", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	tb.mu.Lock()
+	conns := len(tb.accepted)
+	tb.mu.Unlock()
+	if conns != 1 {
+		t.Errorf("64 calls used %d connections, want 1 multiplexed connection", conns)
+	}
+}
+
+// TestMuxFallsBackToLegacyServer pins the mixed-version path: a server
+// running the previous protocol (emulated with DisableMux) refuses the
+// handshake, and the client transparently serves the peer over the legacy
+// one-shot pool — including reusing the connection the handshake rode on.
+func TestMuxFallsBackToLegacyServer(t *testing.T) {
+	ta, tb := NewTCP(), NewTCP()
+	defer ta.Close()
+	defer tb.Close()
+	tb.DisableMux = true
+	tb.Register("srv", echoHandler("srv"))
+	addrB, err := tb.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.AddPeer("srv", addrB.String())
+
+	for i := 0; i < 4; i++ {
+		reply, err := ta.Call("cli", "srv", Message{Type: "echo", Key: fmt.Sprintf("k%d", i)})
+		if err != nil {
+			t.Fatalf("call %d over legacy fallback: %v", i, err)
+		}
+		if reply.Key != fmt.Sprintf("k%d", i) {
+			t.Errorf("call %d reply = %+v", i, reply)
+		}
+	}
+
+	// The refusal is remembered: the client stops offering the handshake
+	// for the grace interval instead of re-probing on every call.
+	ta.muxMu.Lock()
+	e := ta.mux[addrB.String()]
+	ta.muxMu.Unlock()
+	if e == nil {
+		t.Fatal("no mux entry recorded for legacy peer")
+	}
+	e.mu.Lock()
+	legacy := time.Now().Before(e.legacyUntil)
+	e.mu.Unlock()
+	if !legacy {
+		t.Error("legacy refusal not remembered")
+	}
+	// The handshake connection was parked in the one-shot pool, not leaked.
+	ta.mu.Lock()
+	pooled := len(ta.idle["srv"])
+	ta.mu.Unlock()
+	if pooled == 0 {
+		t.Error("handshake connection not parked in the idle pool")
+	}
+}
+
+// TestMuxDisabledClientSpeaksLegacy pins the other direction: a client one
+// release behind (emulated with DisableMux) never offers the handshake, and
+// a current server serves its first non-hello frame over the legacy loop.
+func TestMuxDisabledClientSpeaksLegacy(t *testing.T) {
+	ta, tb := NewTCP(), NewTCP()
+	defer ta.Close()
+	defer tb.Close()
+	ta.DisableMux = true
+	tb.Register("srv", echoHandler("srv"))
+	addrB, err := tb.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.AddPeer("srv", addrB.String())
+	for i := 0; i < 3; i++ {
+		reply, err := ta.Call("cli", "srv", Message{Type: "echo", Key: "legacy"})
+		if err != nil {
+			t.Fatalf("legacy client call %d: %v", i, err)
+		}
+		if reply.Key != "legacy" {
+			t.Errorf("reply = %+v", reply)
+		}
+	}
+}
+
+// TestMuxCallTimeoutLeavesConnUsable pins per-call timeouts: a slow handler
+// times out its own call without killing the shared connection, and the
+// late reply for the abandoned ID is dropped rather than crossing wires.
+func TestMuxCallTimeoutLeavesConnUsable(t *testing.T) {
+	ta, tb := NewTCP(), NewTCP()
+	defer ta.Close()
+	defer tb.Close()
+	ta.CallTimeout = 50 * time.Millisecond
+	release := make(chan struct{})
+	tb.Register("srv", func(from string, msg Message) (Message, error) {
+		if msg.Key == "slow" {
+			<-release
+		}
+		return Message{Key: msg.Key}, nil
+	})
+	addrB, err := tb.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.AddPeer("srv", addrB.String())
+
+	if _, err := ta.Call("cli", "srv", Message{Key: "slow"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("slow call should time out as unreachable, got %v", err)
+	}
+	close(release) // let the abandoned handler finish and send its late reply
+	for i := 0; i < 3; i++ {
+		reply, err := ta.Call("cli", "srv", Message{Key: fmt.Sprintf("fast%d", i)})
+		if err != nil {
+			t.Fatalf("call after timeout: %v", err)
+		}
+		if reply.Key != fmt.Sprintf("fast%d", i) {
+			t.Errorf("late reply crossed wires: got %+v", reply)
+		}
+	}
+
+	tb.mu.Lock()
+	conns := len(tb.accepted)
+	tb.mu.Unlock()
+	if conns != 1 {
+		t.Errorf("timeout should not kill the connection, server sees %d conns", conns)
+	}
+}
+
+// TestIdlePoolBounded pins the legacy pool bounds: overflow connections are
+// closed rather than parked, per peer and in total.
+func TestIdlePoolBounded(t *testing.T) {
+	tr := NewTCP()
+	park := func(name string) net.Conn {
+		a, b := net.Pipe()
+		t.Cleanup(func() { a.Close(); b.Close() })
+		tr.release(name, a)
+		return a
+	}
+	for i := 0; i < maxIdlePerPeer+3; i++ {
+		park("peer0")
+	}
+	tr.mu.Lock()
+	perPeer, total := len(tr.idle["peer0"]), tr.idleTotal
+	tr.mu.Unlock()
+	if perPeer != maxIdlePerPeer || total != maxIdlePerPeer {
+		t.Fatalf("per-peer pool = %d (total %d), want %d", perPeer, total, maxIdlePerPeer)
+	}
+	for p := 1; tr.idleTotal < maxIdleTotal; p++ {
+		for i := 0; i < maxIdlePerPeer && tr.idleTotal < maxIdleTotal; i++ {
+			park(fmt.Sprintf("peer%d", p))
+		}
+	}
+	overflow := park("peer-overflow")
+	tr.mu.Lock()
+	total = tr.idleTotal
+	pooledOverflow := len(tr.idle["peer-overflow"])
+	tr.mu.Unlock()
+	if total != maxIdleTotal || pooledOverflow != 0 {
+		t.Fatalf("total pool = %d (overflow pooled %d), want cap %d", total, pooledOverflow, maxIdleTotal)
+	}
+	// The overflow connection was closed, not leaked.
+	if _, err := overflow.Write([]byte("x")); err == nil {
+		t.Error("overflow connection should be closed")
+	}
+}
+
+// TestMuxDialBackoff pins reconnect backoff: calls to a dead peer fail fast
+// once the backoff gate is set instead of re-dialing per call.
+func TestMuxDialBackoff(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	tr.DialTimeout = 100 * time.Millisecond
+	// A listener that is closed immediately gives us an address that
+	// refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	tr.AddPeer("dead", addr)
+
+	if _, err := tr.Call("cli", "dead", Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dead peer = %v", err)
+	}
+	tr.muxMu.Lock()
+	e := tr.mux[addr]
+	tr.muxMu.Unlock()
+	if e == nil {
+		t.Fatal("no mux entry for dead peer")
+	}
+	e.mu.Lock()
+	backoff, gated := e.backoff, time.Now().Before(e.nextDialAt)
+	e.mu.Unlock()
+	if backoff == 0 || !gated {
+		t.Errorf("dial failure should set backoff, got backoff=%v gated=%v", backoff, gated)
+	}
+	// Within the backoff window the call still reports unreachable (without
+	// burning another dial — pinned by the gate check above).
+	if _, err := tr.Call("cli", "dead", Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("gated call = %v", err)
+	}
+}
+
+// TestMuxFrameHelpers pins the frame-level encoding the two sides agree on.
+func TestMuxFrameHelpers(t *testing.T) {
+	if !isMuxHello(helloFrame()) || isMuxHello(helloAckFrame()) {
+		t.Error("hello frame classification broken")
+	}
+	if !isMuxHelloAck(helloAckFrame()) || isMuxHelloAck(helloFrame()) {
+		t.Error("helloAck frame classification broken")
+	}
+	// A legacy request payload must never classify as a hello: its first
+	// byte is uvarint(len(from)) which is nonzero for any named node.
+	legacy := encodeRequest("node-a", "node-b", Message{Type: "echo"})
+	if isMuxHello(legacy) {
+		t.Error("legacy request classified as mux hello")
+	}
+	frame := appendMuxHeader(nil, muxReq, 12345)
+	frame = append(frame, []byte("payload")...)
+	kind, id, inner, ok := parseMuxFrame(frame)
+	if !ok || kind != muxReq || id != 12345 || string(inner) != "payload" {
+		t.Errorf("parseMuxFrame = %v %v %q %v", kind, id, inner, ok)
+	}
+	if _, _, _, ok := parseMuxFrame([]byte{muxMagic}); ok {
+		t.Error("truncated frame should not parse")
+	}
+	if _, _, _, ok := parseMuxFrame(legacy); ok {
+		t.Error("legacy payload should not parse as mux frame")
+	}
+}

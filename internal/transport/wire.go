@@ -66,9 +66,8 @@ func (r *wireReader) string() (string, error) {
 	return string(b), err
 }
 
-// encodeRequest renders a request frame payload (without the frame length).
-func encodeRequest(from, to string, msg Message) []byte {
-	buf := make([]byte, 0, 64+len(msg.Key)+len(msg.Body))
+// appendRequest appends a request frame payload (without the frame length).
+func appendRequest(buf []byte, from, to string, msg Message) []byte {
 	buf = appendString(buf, from)
 	buf = appendString(buf, to)
 	buf = appendString(buf, msg.Type)
@@ -79,6 +78,11 @@ func encodeRequest(from, to string, msg Message) []byte {
 	}
 	buf = appendBytes(buf, msg.Body)
 	return buf
+}
+
+// encodeRequest renders a request frame payload (without the frame length).
+func encodeRequest(from, to string, msg Message) []byte {
+	return appendRequest(make([]byte, 0, 64+len(msg.Key)+len(msg.Body)), from, to, msg)
 }
 
 // decodeRequest parses a request frame payload.
@@ -122,13 +126,12 @@ func decodeRequest(payload []byte) (from, to string, msg Message, err error) {
 	return
 }
 
-// encodeReply renders a reply frame payload.
-func encodeReply(msg Message, remoteErr error) []byte {
+// appendReply appends a reply frame payload.
+func appendReply(buf []byte, msg Message, remoteErr error) []byte {
 	if remoteErr != nil {
-		buf := []byte{1}
+		buf = append(buf, 1)
 		return appendString(buf, remoteErr.Error())
 	}
-	buf := make([]byte, 0, 32+len(msg.Key)+len(msg.Body))
 	buf = append(buf, 0)
 	buf = appendString(buf, msg.Type)
 	buf = appendString(buf, msg.Key)
@@ -138,6 +141,11 @@ func encodeReply(msg Message, remoteErr error) []byte {
 	}
 	buf = appendBytes(buf, msg.Body)
 	return buf
+}
+
+// encodeReply renders a reply frame payload.
+func encodeReply(msg Message, remoteErr error) []byte {
+	return appendReply(make([]byte, 0, 32+len(msg.Key)+len(msg.Body)), msg, remoteErr)
 }
 
 // decodeReply parses a reply frame payload.

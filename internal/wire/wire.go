@@ -1,0 +1,201 @@
+// Package wire provides the append-style binary encoding primitives shared
+// by the transport framing and the subsystem RPC codecs (replication,
+// offload, cooperative cache, state bus). The format is the one
+// internal/transport's wire codec established: uvarint-length-prefixed byte
+// strings and uvarint integers, written by appending to a caller-supplied
+// buffer so encoders compose without intermediate allocations, and read by a
+// bounds-checked Reader that never panics on malformed input.
+//
+// Payloads produced by these codecs start with the Magic byte (0x00), which
+// no gob stream can begin with (gob's first byte is a nonzero message
+// length): decoders sniff it to keep accepting gob-encoded payloads from
+// peers one release behind (see the package users' Decode* functions).
+//
+// The package also owns the buffer pool the hot path encodes into: GetBuf
+// returns a zero-length buffer with capacity, PutBuf recycles it. Buffers
+// are plain []byte so append idioms work unchanged; callers must not retain
+// a buffer after PutBuf.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Magic is the first byte of every binary-codec payload. A gob stream never
+// starts with 0x00 (the first byte is the nonzero length of the first
+// message), so one sniff byte distinguishes the two encodings during the
+// one-release upgrade window.
+const Magic byte = 0x00
+
+// ErrMalformed reports a truncated or corrupt binary payload.
+var ErrMalformed = errors.New("wire: malformed payload")
+
+// AppendUvarint appends v in uvarint encoding.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendVarint appends v in zigzag varint encoding (for signed values like
+// unix-nano timestamps).
+func AppendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+// AppendString appends s as a uvarint-length-prefixed byte string.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendBytes appends b as a uvarint-length-prefixed byte string.
+func AppendBytes(buf []byte, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// AppendBool appends a bool as one byte.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendTime appends t as a presence flag plus unix nanoseconds. The flag
+// keeps a zero time round-tripping as a zero time instead of a bogus
+// wall-clock value.
+func AppendTime(buf []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return binary.AppendVarint(buf, t.UnixNano())
+}
+
+// Reader is a bounds-checked cursor over one binary payload. Every method
+// returns ErrMalformed instead of panicking when the payload is truncated,
+// so decoders are safe on arbitrary network bytes.
+type Reader struct {
+	Buf []byte
+	Off int
+}
+
+// NewReader returns a reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{Buf: buf} }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.Buf) - r.Off }
+
+// Byte reads one byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.Off >= len(r.Buf) {
+		return 0, ErrMalformed
+	}
+	b := r.Buf[r.Off]
+	r.Off++
+	return b, nil
+}
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() (bool, error) {
+	b, err := r.Byte()
+	return b != 0, err
+}
+
+// Uvarint reads one uvarint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.Buf[r.Off:])
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	r.Off += n
+	return v, nil
+}
+
+// Varint reads one zigzag varint.
+func (r *Reader) Varint() (int64, error) {
+	v, n := binary.Varint(r.Buf[r.Off:])
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	r.Off += n
+	return v, nil
+}
+
+// Bytes reads one length-prefixed byte string. The returned slice aliases
+// the payload buffer — callers that retain it past the buffer's lifetime
+// must copy (see CopyBytes).
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, ErrMalformed
+	}
+	b := r.Buf[r.Off : r.Off+int(n)]
+	r.Off += int(n)
+	return b, nil
+}
+
+// CopyBytes reads one length-prefixed byte string into freshly allocated
+// memory (nil for an empty string), safe to retain after the payload buffer
+// is recycled.
+func (r *Reader) CopyBytes() ([]byte, error) {
+	b, err := r.Bytes()
+	if err != nil || len(b) == 0 {
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// String reads one length-prefixed byte string as a string (always a copy).
+func (r *Reader) String() (string, error) {
+	b, err := r.Bytes()
+	return string(b), err
+}
+
+// Time reads one AppendTime-encoded timestamp.
+func (r *Reader) Time() (time.Time, error) {
+	present, err := r.Bool()
+	if err != nil || !present {
+		return time.Time{}, err
+	}
+	nano, err := r.Varint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(0, nano), nil
+}
+
+// ---------------------------------------------------------------------------
+// Pooled encode buffers
+// ---------------------------------------------------------------------------
+
+// bufPool recycles encode buffers across requests. Buffers that grew beyond
+// maxPooledBuf are dropped instead of parked so one giant body cannot pin
+// megabytes in the pool forever.
+var bufPool = sync.Pool{
+	New: func() interface{} { b := make([]byte, 0, 1024); return &b },
+}
+
+// maxPooledBuf bounds the capacity of buffers returned to the pool (1 MiB).
+const maxPooledBuf = 1 << 20
+
+// GetBuf returns a zero-length pooled buffer.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf recycles buf. The caller must not use buf afterwards.
+func PutBuf(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(&buf)
+}
