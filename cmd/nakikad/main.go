@@ -52,6 +52,7 @@ func main() {
 	replication := flag.Int("replication", 3, "copies kept of each hard-state key in cluster mode (ring owner + successors, written synchronously); 1 keeps owner-only placement, negative restores the legacy broadcast model")
 	offloadThreshold := flag.Float64("offload-threshold", 0, "load score above which arriving requests are shed to the least-loaded replica of their site (cluster mode); 0 disables offload")
 	hedgeAfter := flag.Duration("hedge-after", 0, "latency budget for replicated hard-state reads: when the owner's EWMA round trip exceeds it the read is hedged to the next replica; 0 disables hedging")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "default time-to-live of distributed leases taken without an explicit TTL (Lease.acquire)")
 	flag.Parse()
 
 	cfg := nakika.Config{
@@ -62,6 +63,7 @@ func main() {
 		ReplicationFactor: *replication,
 		OffloadThreshold:  *offloadThreshold,
 		HedgeAfter:        *hedgeAfter,
+		LeaseTTL:          *leaseTTL,
 		EnableResources:   *enableRes,
 		Resources: resource.Config{
 			Capacity: map[resource.Kind]float64{

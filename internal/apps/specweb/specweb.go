@@ -186,6 +186,58 @@ prof.onRequest = function() {
 	}
 };
 prof.register();
+
+// Site-wide checkpoint: a maintenance step only one edge node may run at a
+// time. The per-site lease arbitrates who runs it, and the counter is
+// written under the holdership's fencing token, so a node that loses the
+// lease mid-step cannot clobber its successor's checkpoint.
+var chk = new Policy();
+chk.url = [ "` + originHost + `/cgi-bin/checkpoint" ];
+chk.onRequest = function() {
+	Response.setHeader("Content-Type", "text/plain");
+	var token = Lease.acquire("specweb-checkpoint", 5000);
+	if (token == null) { Response.write("busy"); return; }
+	var n = State.get("checkpoint:count");
+	n = (n == null) ? 1 : JSON.parse(n) + 1;
+	Lease.put("checkpoint:count", JSON.stringify(n), "specweb-checkpoint", token);
+	Lease.release("specweb-checkpoint", token);
+	Response.write("checkpoint " + n);
+};
+chk.register();
+
+// Long-running per-site job: "begin" takes the lease once and hands the
+// fencing token to the client, which carries it through every "step"
+// write. A node that dies mid-job leaves the lease to the failure
+// detector or the TTL; whoever begins next is a new holdership with a
+// higher token, and the dead holder's stale token can never write over
+// the successor's steps — Lease.put throws, and the script reports
+// "fenced" instead of silently continuing.
+var job = new Policy();
+job.url = [ "` + originHost + `/cgi-bin/job" ];
+job.onRequest = function() {
+	Response.setHeader("Content-Type", "text/plain");
+	var op = Request.param("op");
+	if (op == "begin") {
+		var ttl = Request.param("ttl");
+		var token = Lease.acquire("specweb-job", ttl == null ? 5000 : JSON.parse(ttl));
+		if (token == null) { Response.write("busy"); return; }
+		Response.write("token " + token);
+		return;
+	}
+	if (op == "step") {
+		var token = JSON.parse(Request.param("token"));
+		var seq = Request.param("seq");
+		try {
+			Lease.put("job:cursor", JSON.stringify({ seq: seq, token: token }), "specweb-job", token);
+			Response.write("step " + seq + " ok");
+		} catch (e) {
+			Response.write("fenced");
+		}
+		return;
+	}
+	Request.terminate(400);
+};
+job.register();
 `
 }
 

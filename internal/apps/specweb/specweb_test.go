@@ -1,6 +1,7 @@
 package specweb
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -149,5 +150,57 @@ func TestEdgeScriptHandlesDynamicRequestsAtEdge(t *testing.T) {
 	_ = originDynamicBefore
 	if origin.UserCount() != (Config{}).Defaults().Users {
 		t.Error("edge-handled registrations must not touch the origin's user table")
+	}
+
+	// The lease-guarded checkpoint runs at the edge: each request takes the
+	// per-site lease, bumps the counter under its fencing token, and
+	// releases, so repeat requests advance the count exactly once each.
+	// (This legacy bus-mode setup keeps fenced writes node-local; the
+	// cluster tests cover lease arbitration and fenced replication across
+	// nodes.)
+	for want := 1; want <= 2; want++ {
+		chk, trace, err := nodeA.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/checkpoint"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chk.Status != 200 || !trace.Generated || string(chk.Body) != fmt.Sprintf("checkpoint %d", want) {
+			t.Fatalf("checkpoint %d at edge: status=%d generated=%v body=%q", want, chk.Status, trace.Generated, chk.Body)
+		}
+	}
+
+	// The lease-guarded job: begin hands the fencing token to the client
+	// and steps write under it. A second begin through the same node is
+	// the holder re-entering its own lease — same token, not a new
+	// holdership (denial of OTHER nodes is cluster arbitration, covered
+	// by the cluster and e2e suites).
+	begin, _, err := nodeA.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/job?op=begin&ttl=60000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(begin.Body) != "token 1" {
+		t.Fatalf("job begin = %q", begin.Body)
+	}
+	again, _, err := nodeA.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/job?op=begin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again.Body) != "token 1" {
+		t.Fatalf("holder re-begin = %q, want the same token", again.Body)
+	}
+	step, _, err := nodeA.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/job?op=step&seq=7&token=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(step.Body) != "step 7 ok" {
+		t.Fatalf("job step = %q", step.Body)
+	}
+	// A token never granted is fenced at the floor; the script reports it
+	// instead of falling through to the origin.
+	stale, _, err := nodeA.Handle(httpmsg.MustRequest("GET", "http://"+host+"/cgi-bin/job?op=step&seq=8&token=0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(stale.Body) != "fenced" {
+		t.Fatalf("stale job step = %q, want fenced", stale.Body)
 	}
 }

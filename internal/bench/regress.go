@@ -76,6 +76,21 @@ func TrackedMetrics(experiment string, data json.RawMessage) (map[string]float64
 			"request_p99_virtual_ns":     float64(r.RequestP99Virtual),
 			"hedged_read_p99_virtual_ns": float64(r.HedgedReadP99Virtual),
 		}, nil
+	case "lease":
+		var r LeaseResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"acquire_msgs_per_op":            r.AcquireMsgsPerOp,
+			"acquire_virtual_ns_per_op":      float64(r.AcquireVirtualPerOp),
+			"fenced_write_msgs_per_op":       r.FencedWriteMsgsPerOp,
+			"fenced_write_virtual_ns_per_op": float64(r.FencedWriteVirtualPerOp),
+			"crash_handover_msgs":            r.CrashHandoverMsgs,
+			"crash_handover_virtual_ns":      float64(r.CrashHandoverVirtual),
+			"expiry_handover_msgs":           r.ExpiryHandoverMsgs,
+			"expiry_handover_virtual_ns":     float64(r.ExpiryHandoverVirtual),
+		}, nil
 	case "throughput":
 		// Only the allocation counters are gated hard: for a fixed Go
 		// toolchain they are deterministic, so a >threshold change is a

@@ -135,6 +135,87 @@ func decodeRepRangeResp(payload []byte) (resp repRangeResp, err error) {
 	return
 }
 
+// leaseReq is the body of lease.acquire / lease.renew / lease.release.
+type leaseReq struct {
+	Site, Name, Holder string
+	Token              uint64
+	TTL                int64
+}
+
+// encodeLeaseReq renders a lease operation body.
+func encodeLeaseReq(req leaseReq) []byte {
+	buf := make([]byte, 0, 32+len(req.Site)+len(req.Name)+len(req.Holder))
+	buf = append(buf, wire.Magic)
+	buf = wire.AppendString(buf, req.Site)
+	buf = wire.AppendString(buf, req.Name)
+	buf = wire.AppendString(buf, req.Holder)
+	buf = wire.AppendUvarint(buf, req.Token)
+	return wire.AppendVarint(buf, req.TTL)
+}
+
+// decodeLeaseReq parses a lease operation body. Lease messages are new in
+// this release, so there is no gob grace path: the magic byte is required.
+func decodeLeaseReq(payload []byte) (req leaseReq, err error) {
+	if len(payload) == 0 || payload[0] != wire.Magic {
+		return leaseReq{}, fmt.Errorf("core: malformed lease request payload")
+	}
+	r := wire.Reader{Buf: payload, Off: 1}
+	if req.Site, err = r.String(); err != nil {
+		return
+	}
+	if req.Name, err = r.String(); err != nil {
+		return
+	}
+	if req.Holder, err = r.String(); err != nil {
+		return
+	}
+	if req.Token, err = r.Uvarint(); err != nil {
+		return
+	}
+	req.TTL, err = r.Varint()
+	return
+}
+
+// leaseFenced is the body of lease.fput (client → acting owner; Rec
+// carries only site/key/value, the owner assigns the version) and
+// lease.fstore (owner → replica; Rec is fully versioned).
+type leaseFenced struct {
+	Guard  string
+	Holder string
+	Token  uint64
+	Rec    state.Rec
+}
+
+// encodeLeaseFenced renders a fenced-write body.
+func encodeLeaseFenced(req leaseFenced) []byte {
+	buf := make([]byte, 0, 48+len(req.Guard)+len(req.Holder)+len(req.Rec.Site)+len(req.Rec.Key)+len(req.Rec.Value))
+	buf = append(buf, wire.Magic)
+	buf = wire.AppendString(buf, req.Guard)
+	buf = wire.AppendString(buf, req.Holder)
+	buf = wire.AppendUvarint(buf, req.Token)
+	return state.AppendRec(buf, req.Rec)
+}
+
+// decodeLeaseFenced parses a fenced-write body (magic required; no gob
+// grace, like decodeLeaseReq).
+func decodeLeaseFenced(payload []byte) (req leaseFenced, err error) {
+	if len(payload) == 0 || payload[0] != wire.Magic {
+		return leaseFenced{}, fmt.Errorf("core: malformed fenced write payload")
+	}
+	r := wire.Reader{Buf: payload, Off: 1}
+	if req.Guard, err = r.String(); err != nil {
+		return
+	}
+	if req.Holder, err = r.String(); err != nil {
+		return
+	}
+	if req.Token, err = r.Uvarint(); err != nil {
+		return
+	}
+	req.Rec, err = state.ReadRec(&r)
+	return
+}
+
 // wireRequest is the legacy gob shape of an off.exec body; it survives only
 // as the grace decoder for requests sent by peers one release behind.
 type wireRequest struct {

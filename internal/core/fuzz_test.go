@@ -21,6 +21,11 @@ func FuzzRPCPayloads(f *testing.F) {
 	}))
 	f.Add(encodeOffloadRequest(httpmsg.MustRequest("GET", "http://match.example.org/find?q=1")))
 	f.Add(httpmsg.EncodeResponse(httpmsg.NewTextResponse(200, "ok")))
+	f.Add(encodeLeaseReq(leaseReq{Site: "s", Name: "job", Holder: "node-1", Token: 7, TTL: 30_000_000_000}))
+	f.Add(encodeLeaseFenced(leaseFenced{
+		Guard: "\x00nk:lease:job", Holder: "node-1", Token: 7,
+		Rec: state.Rec{Site: "s", Key: "k", Ver: 3, Origin: "n1", Value: "v"},
+	}))
 	if gobForward, err := gobEncode(repForward{Site: "s", Key: "k", Value: "v"}); err == nil {
 		f.Add(gobForward) // legacy-arm seed: gob never starts with the magic byte
 	}
@@ -32,5 +37,7 @@ func FuzzRPCPayloads(f *testing.F) {
 		_, _ = decodeRepRangeResp(data)
 		_, _ = decodeOffloadRequest(data)
 		_, _ = decodeResponse(data)
+		_, _ = decodeLeaseReq(data)
+		_, _ = decodeLeaseFenced(data)
 	})
 }

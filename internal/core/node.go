@@ -144,6 +144,9 @@ type Config struct {
 	// RTTs) exceeds it, the read is hedged to the next replica in successor
 	// order. Zero disables hedging.
 	HedgeAfter time.Duration
+	// LeaseTTL is the default time-to-live of distributed leases taken
+	// without an explicit TTL (see internal/core/lease.go); zero means 30s.
+	LeaseTTL time.Duration
 	// LoadClock drives load-score decay and RTT measurement; nil means wall
 	// time. The cluster harness injects the simulated network's virtual
 	// clock so load and hedging behaviour is deterministic under seed.
@@ -183,6 +186,7 @@ type Stats struct {
 	Resources        resource.Stats
 	Replication      ReplicationStats
 	Offload          OffloadStats
+	Lease            LeaseStats
 }
 
 // OffloadStats counts load-shedding and hedged-read activity (all zero when
@@ -307,6 +311,10 @@ type Node struct {
 	candGen    atomic.Uint64
 	wallStart  time.Time
 
+	// leaseMu serializes lease arbitration on this node (acting-owner
+	// decisions are read-decide-store cycles; see internal/core/lease.go).
+	leaseMu sync.Mutex
+
 	requests      atomic.Int64
 	cacheHits     atomic.Int64
 	peerHits      atomic.Int64
@@ -326,6 +334,14 @@ type Node struct {
 	offDepthCap   atomic.Int64
 	hedged        atomic.Int64
 	hedgeHits     atomic.Int64
+	leaseAcquired atomic.Int64
+	leaseRenewed  atomic.Int64
+	leaseReleased atomic.Int64
+	leaseDenied   atomic.Int64
+	leaseCrashHO  atomic.Int64
+	leaseExpiryHO atomic.Int64
+	leaseFenced   atomic.Int64
+	leaseFenceRej atomic.Int64
 }
 
 // NewNode builds a node from cfg.
@@ -449,6 +465,7 @@ func NewNode(cfg Config) (*Node, error) {
 		mux.Route("state.", n.serveStateRPC)
 		mux.Route("rep.", n.serveRepRPC)
 		mux.Route("off.", n.serveOffloadRPC)
+		mux.Route("lease.", n.serveLeaseRPC)
 		n.tr.Register(cfg.Name, mux.Serve)
 	}
 	return n, nil
@@ -620,6 +637,16 @@ func (n *Node) Stats() Stats {
 			DepthCapHits: n.offDepthCap.Load(),
 			HedgedReads:  n.hedged.Load(),
 			HedgeHits:    n.hedgeHits.Load(),
+		},
+		Lease: LeaseStats{
+			Acquired:        n.leaseAcquired.Load(),
+			Renewed:         n.leaseRenewed.Load(),
+			Released:        n.leaseReleased.Load(),
+			Denied:          n.leaseDenied.Load(),
+			CrashHandovers:  n.leaseCrashHO.Load(),
+			ExpiryHandovers: n.leaseExpiryHO.Load(),
+			FencedWrites:    n.leaseFenced.Load(),
+			FencedRejects:   n.leaseFenceRej.Load(),
 		},
 	}
 }
@@ -1027,6 +1054,12 @@ func (n *Node) Log(site, message string) { n.log.Append(site, message) }
 // the first live successor when the owner is dead; otherwise it reads the
 // local replica.
 func (n *Node) StateGet(site, key string) (string, bool) {
+	if state.IsInternalKey(key) {
+		// The internal namespace (lease records) is invisible to scripts:
+		// reads miss, writes and deletes are refused. Lease state is
+		// reached through the Lease vocabulary instead.
+		return "", false
+	}
 	if n.repEnabled() {
 		return n.repGet(site, key)
 	}
@@ -1039,6 +1072,9 @@ func (n *Node) StateGet(site, key string) (string, bool) {
 // acknowledged; otherwise it writes locally and propagates the update when
 // a bus is configured.
 func (n *Node) StatePut(site, key, value string) error {
+	if state.IsInternalKey(key) {
+		return fmt.Errorf("core: key %q is in the reserved internal namespace", key)
+	}
 	if n.repEnabled() {
 		return n.repPut(site, key, value)
 	}
@@ -1057,6 +1093,9 @@ func (n *Node) StatePut(site, key, value string) error {
 // re-executes it through the owner path (which assigns a version current
 // enough to win), making the delete eventual rather than lost.
 func (n *Node) StateDelete(site, key string) {
+	if state.IsInternalKey(key) {
+		return
+	}
 	if n.repEnabled() {
 		if err := n.repDelete(site, key); err != nil {
 			n.repApplyMu.Lock()

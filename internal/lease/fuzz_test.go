@@ -1,0 +1,41 @@
+package lease
+
+import "testing"
+
+// FuzzLeaseRecordRoundTrip asserts Encode/Decode are inverse over arbitrary
+// field values: whatever holder bytes, token, expiry, and release flag a
+// record carries, the stored string decodes back to exactly that record.
+func FuzzLeaseRecordRoundTrip(f *testing.F) {
+	f.Add("node-a", uint64(1), int64(12345), false)
+	f.Add("", uint64(0), int64(0), true)
+	f.Add("holder with spaces \x00 and nul", ^uint64(0), int64(-1), false)
+	f.Fuzz(func(t *testing.T, holder string, token uint64, expires int64, released bool) {
+		rec := Record{Holder: holder, Token: token, Expires: expires, Released: released}
+		got, ok := Decode(Encode(rec))
+		if !ok {
+			t.Fatalf("Decode rejected Encode(%+v)", rec)
+		}
+		if got != rec {
+			t.Fatalf("round trip %+v = %+v", rec, got)
+		}
+	})
+}
+
+// FuzzLeaseRecordDecode feeds arbitrary bytes to the stored-value decoder:
+// it must never panic, and anything it does accept must re-encode to an
+// equivalent record (decoding is unambiguous).
+func FuzzLeaseRecordDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Encode(Record{Holder: "node-a", Token: 3, Expires: 99})))
+	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, ok := Decode(string(data))
+		if !ok {
+			return
+		}
+		got, ok2 := Decode(Encode(rec))
+		if !ok2 || got != rec {
+			t.Fatalf("accepted %q as %+v but re-decode = %+v, %v", data, rec, got, ok2)
+		}
+	})
+}

@@ -141,10 +141,15 @@ func (s *Store) PutVersioned(rec Rec) (bool, error) {
 }
 
 // KeysVersioned lists site's keys whose current record is a live versioned
-// put — tombstones and non-versioned values are filtered out.
+// put — tombstones, non-versioned values, and internal-namespace keys
+// (lease records; see IsInternalKey) are filtered out. VersionedRecords
+// stays unfiltered: repair and handoff must carry internal keys.
 func (s *Store) KeysVersioned(site string) []string {
 	var out []string
 	for _, key := range s.Keys(site) {
+		if IsInternalKey(key) {
+			continue
+		}
 		if _, _, deleted, _, ok := s.GetVersioned(site, key); ok && !deleted {
 			out = append(out, key)
 		}

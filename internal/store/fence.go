@@ -1,0 +1,325 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrFencedStale is returned by FencedPut and RaiseFence when the write's
+// (token, holder) pair is below the store's durable fence floor for that
+// guard: a newer holdership has already written here, so the caller is
+// deposed and its write must not land.
+var ErrFencedStale = errors.New("store: write fenced off by a newer token")
+
+// fenceFloor is the durable high-water mark for one guard at one store: the
+// largest fencing token ever admitted, together with the holder it was
+// issued to. Admission compares the whole pair, not just the token — under
+// a split-brain double-grant two holders can carry the same token, and the
+// first one to reach this store claims it; the other is fenced off, which
+// keeps every per-store admission sequence free of interleavings.
+type fenceFloor struct {
+	token  uint64
+	holder string
+}
+
+func (t *table) fence(site, guard string) fenceFloor {
+	return t.fences[site][guard]
+}
+
+// fenceAdmits reports whether a write by holder under token clears the
+// guard's floor: strictly above it, or exactly the holdership that set it.
+// Token zero (never granted) is always fenced.
+func (t *table) fenceAdmits(site, guard, holder string, token uint64) bool {
+	if token == 0 {
+		return false
+	}
+	cur := t.fences[site][guard]
+	return token > cur.token || (token == cur.token && holder == cur.holder)
+}
+
+// raiseFence lifts the guard's floor to (token, holder) if that is strictly
+// higher; it never lowers, so replaying records in any order converges.
+func (t *table) raiseFence(site, guard, holder string, token uint64) {
+	part, ok := t.fences[site]
+	if !ok {
+		part = make(map[string]fenceFloor)
+		t.fences[site] = part
+	}
+	if token > part[guard].token {
+		part[guard] = fenceFloor{token: token, holder: holder}
+	}
+}
+
+func (t *table) rangeFences(fn func(site, guard, holder string, token uint64) bool) {
+	sites := make([]string, 0, len(t.fences))
+	for s := range t.fences {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		guards := make([]string, 0, len(t.fences[site]))
+		for g := range t.fences[site] {
+			guards = append(guards, g)
+		}
+		sort.Strings(guards)
+		for _, guard := range guards {
+			f := t.fences[site][guard]
+			if !fn(site, guard, f.holder, f.token) {
+				return
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mem
+// ---------------------------------------------------------------------------
+
+// FenceToken implements KV.
+func (m *Mem) FenceToken(site, guard string) (uint64, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.t.fence(site, guard)
+	return f.token, f.holder
+}
+
+// RaiseFence implements KV.
+func (m *Mem) RaiseFence(site, guard, holder string, token uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.t.fenceAdmits(site, guard, holder, token) {
+		return ErrFencedStale
+	}
+	m.t.raiseFence(site, guard, holder, token)
+	return nil
+}
+
+// FencedPut implements KV.
+func (m *Mem) FencedPut(site, key, value, guard, holder string, token uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.t.fenceAdmits(site, guard, holder, token) {
+		return ErrFencedStale
+	}
+	if err := m.t.put(site, key, value, m.quota); err != nil {
+		return err
+	}
+	m.t.raiseFence(site, guard, holder, token)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Log
+// ---------------------------------------------------------------------------
+
+// FenceToken implements KV.
+func (l *Log) FenceToken(site, guard string) (uint64, string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f := l.t.fence(site, guard)
+	return f.token, f.holder
+}
+
+// RaiseFence implements KV: the floor raise is a WAL record of its own (op
+// 'F'), so a floor advanced without a value write — a fenced write whose
+// value lost the LWW race — still survives a crash.
+func (l *Log) RaiseFence(site, guard, holder string, token uint64) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if !l.t.fenceAdmits(site, guard, holder, token) {
+		l.mu.Unlock()
+		return ErrFencedStale
+	}
+	if l.t.fence(site, guard).token == token {
+		// Same holdership re-asserting its own floor: nothing to persist.
+		l.mu.Unlock()
+		return nil
+	}
+	l.t.raiseFence(site, guard, holder, token)
+	wal := l.wal
+	seq, err := wal.Reserve(encodeFence(site, guard, holder, token))
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := wal.WaitDurable(seq); err != nil {
+		l.failStop(err)
+		return err
+	}
+	l.maybeCompact()
+	return nil
+}
+
+// FencedPut implements KV: one WAL record (op 'G') raises the guard's floor
+// and writes the value atomically, so recovery can never observe the value
+// without the floor that admitted it — and the log itself becomes an audit
+// trail of which holdership wrote what, in admission order.
+func (l *Log) FencedPut(site, key, value, guard, holder string, token uint64) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if !l.t.fenceAdmits(site, guard, holder, token) {
+		l.mu.Unlock()
+		return ErrFencedStale
+	}
+	if err := l.t.put(site, key, value, l.cfg.Quota); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.t.raiseFence(site, guard, holder, token)
+	wal := l.wal
+	seq, err := wal.Reserve(encodeFencedPut(site, key, value, guard, holder, token))
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := wal.WaitDurable(seq); err != nil {
+		l.failStop(err)
+		return err
+	}
+	l.maybeCompact()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Record codec for the fencing ops, and the exported WAL audit surface
+// ---------------------------------------------------------------------------
+
+func encodeFencedPut(site, key, value, guard, holder string, token uint64) []byte {
+	b := make([]byte, 0, 1+6*binary.MaxVarintLen64+len(site)+len(key)+len(value)+len(guard)+len(holder))
+	b = append(b, opFencedPut)
+	b = appendString(b, site)
+	b = appendString(b, key)
+	b = appendString(b, value)
+	b = appendString(b, guard)
+	b = appendString(b, holder)
+	return binary.AppendUvarint(b, token)
+}
+
+func encodeFence(site, guard, holder string, token uint64) []byte {
+	b := make([]byte, 0, 1+4*binary.MaxVarintLen64+len(site)+len(guard)+len(holder))
+	b = append(b, opFence)
+	b = appendString(b, site)
+	b = appendString(b, guard)
+	b = appendString(b, holder)
+	return binary.AppendUvarint(b, token)
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("store: truncated uvarint in record")
+	}
+	return n, b[sz:], nil
+}
+
+// LogRecord is one decoded WAL/snapshot record. Op is one of 'P' (put),
+// 'D' (delete), 'G' (fenced put: value write plus floor raise), or 'F'
+// (floor raise alone); Guard/Holder/Token are set only for the fencing ops.
+type LogRecord struct {
+	Op    byte
+	Site  string
+	Key   string
+	Value string
+
+	Guard  string
+	Holder string
+	Token  uint64
+}
+
+// DecodeLogRecord parses one framed record payload. Malformed payloads
+// (possible only through corruption that still passes the CRC, or fuzzed
+// input) return an error; they never panic.
+func DecodeLogRecord(payload []byte) (LogRecord, error) {
+	var rec LogRecord
+	if len(payload) < 1 {
+		return rec, fmt.Errorf("store: empty record")
+	}
+	op, rest := payload[0], payload[1:]
+	rec.Op = op
+	var err error
+	switch op {
+	case opPut, opDelete, opFencedPut:
+		if rec.Site, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if rec.Key, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if op != opDelete {
+			if rec.Value, rest, err = takeString(rest); err != nil {
+				return rec, err
+			}
+		}
+		if op == opFencedPut {
+			if rec.Guard, rest, err = takeString(rest); err != nil {
+				return rec, err
+			}
+			if rec.Holder, rest, err = takeString(rest); err != nil {
+				return rec, err
+			}
+			if rec.Token, rest, err = takeUvarint(rest); err != nil {
+				return rec, err
+			}
+		}
+	case opFence:
+		if rec.Site, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if rec.Guard, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if rec.Holder, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if rec.Token, rest, err = takeUvarint(rest); err != nil {
+			return rec, err
+		}
+	default:
+		return rec, fmt.Errorf("store: unknown record op %q", op)
+	}
+	if len(rest) != 0 {
+		return rec, fmt.Errorf("store: %d trailing bytes in record", len(rest))
+	}
+	return rec, nil
+}
+
+// DumpWAL decodes every complete record in every surviving WAL file under
+// fs, in log order (files ascending by sequence, records in append order).
+// Each file's scan stops cleanly at a torn tail, exactly as recovery does.
+// The e2e suite uses this to audit the fenced-write admission sequence
+// recovered from a killed process's data directory.
+func DumpWAL(fs FS) ([]LogRecord, error) {
+	names, err := fs.List("")
+	if err != nil {
+		return nil, fmt.Errorf("store: list log dir: %w", err)
+	}
+	var out []LogRecord
+	// List is sorted and the names zero-pad the sequence number, so the
+	// files already come back in replay order.
+	for _, name := range names {
+		if _, ok := parseSeq(name, "wal-", ".log"); !ok {
+			continue
+		}
+		data, err := ReadAll(fs, name)
+		if err != nil {
+			return nil, fmt.Errorf("store: read %s: %w", name, err)
+		}
+		ReplayFrames(data, func(payload []byte) error {
+			rec, err := DecodeLogRecord(payload)
+			if err != nil {
+				return err
+			}
+			out = append(out, rec)
+			return nil
+		})
+	}
+	return out, nil
+}

@@ -24,6 +24,19 @@ type KV interface {
 	Bytes(site string) int64
 	// Range visits every pair; iteration stops when fn returns false.
 	Range(fn func(site, key, value string) bool)
+	// FenceToken returns the guard's durable fence floor: the largest
+	// fencing token ever admitted here and the holder it was issued to.
+	FenceToken(site, guard string) (uint64, string)
+	// RaiseFence lifts the guard's floor to (token, holder) without
+	// writing a value — used when a fenced write is admitted by the fence
+	// but superseded in the LWW order, so the floor must still advance.
+	// Returns ErrFencedStale when (token, holder) is below the floor.
+	RaiseFence(site, guard, holder string, token uint64) error
+	// FencedPut writes key=value and raises the guard's floor to
+	// (token, holder) atomically (one WAL record in the persistent
+	// engine). Returns ErrFencedStale when the pair is below the floor:
+	// the write comes from a deposed holdership and must not land.
+	FencedPut(site, key, value, guard, holder string, token uint64) error
 	// Sync makes every acknowledged write durable (no-op in memory).
 	Sync() error
 	// Close flushes and releases the engine.
@@ -33,12 +46,17 @@ type KV interface {
 // table is the in-memory index shared by both engines, with quota-checked
 // mutation. Callers hold their own lock.
 type table struct {
-	data  map[string]map[string]string
-	bytes map[string]int64
+	data   map[string]map[string]string
+	bytes  map[string]int64
+	fences map[string]map[string]fenceFloor
 }
 
 func newTable() *table {
-	return &table{data: make(map[string]map[string]string), bytes: make(map[string]int64)}
+	return &table{
+		data:   make(map[string]map[string]string),
+		bytes:  make(map[string]int64),
+		fences: make(map[string]map[string]fenceFloor),
+	}
 }
 
 func (t *table) get(site, key string) (string, bool) {
@@ -179,10 +197,13 @@ func (m *Mem) Close() error { return nil }
 // ---------------------------------------------------------------------------
 
 // Record ops. A log record is one mutation: op byte, then uvarint-length-
-// prefixed site, key, and (for puts) value.
+// prefixed site, key, and (for puts) value; the fencing ops carry the
+// guard, holder, and token after those (see fence.go).
 const (
-	opPut    = 'P'
-	opDelete = 'D'
+	opPut       = 'P'
+	opDelete    = 'D'
+	opFencedPut = 'G'
+	opFence     = 'F'
 )
 
 func encodePut(site, key, value string) []byte {
@@ -215,30 +236,12 @@ func takeString(b []byte) (string, []byte, error) {
 	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
 }
 
-// decodeRecord parses one record payload. Malformed payloads (possible
-// only through corruption that still passes the CRC, or fuzzed input)
-// return an error; they never panic.
+// decodeRecord parses one record payload into the plain-op fields; see
+// DecodeLogRecord (fence.go) for the full record including fencing fields.
 func decodeRecord(payload []byte) (op byte, site, key, value string, err error) {
-	if len(payload) < 1 {
-		return 0, "", "", "", fmt.Errorf("store: empty record")
-	}
-	op, rest := payload[0], payload[1:]
-	if op != opPut && op != opDelete {
-		return 0, "", "", "", fmt.Errorf("store: unknown record op %q", op)
-	}
-	if site, rest, err = takeString(rest); err != nil {
+	rec, err := DecodeLogRecord(payload)
+	if err != nil {
 		return 0, "", "", "", err
 	}
-	if key, rest, err = takeString(rest); err != nil {
-		return 0, "", "", "", err
-	}
-	if op == opPut {
-		if value, rest, err = takeString(rest); err != nil {
-			return 0, "", "", "", err
-		}
-	}
-	if len(rest) != 0 {
-		return 0, "", "", "", fmt.Errorf("store: %d trailing bytes in record", len(rest))
-	}
-	return op, site, key, value, nil
+	return rec.Op, rec.Site, rec.Key, rec.Value, nil
 }

@@ -149,12 +149,18 @@ func (l *Log) loadSnapshot(seq uint64) bool {
 	t := newTable()
 	valid := true
 	off, _ := ReplayFrames(data, func(payload []byte) error {
-		op, site, key, value, err := decodeRecord(payload)
-		if err != nil || op != opPut {
+		// A snapshot is puts plus fence-floor records — never deletes or
+		// fenced puts, which only appear in WALs.
+		rec, err := DecodeLogRecord(payload)
+		if err != nil || (rec.Op != opPut && rec.Op != opFence) {
 			valid = false
 			return fmt.Errorf("stop")
 		}
-		t.put(site, key, value, 0)
+		if rec.Op == opFence {
+			t.raiseFence(rec.Site, rec.Guard, rec.Holder, rec.Token)
+		} else {
+			t.put(rec.Site, rec.Key, rec.Value, 0)
+		}
 		return nil
 	})
 	if !valid || off != len(data) {
@@ -170,17 +176,22 @@ func (l *Log) loadSnapshot(seq uint64) bool {
 func (l *Log) applyFrames(data []byte) int {
 	n := 0
 	ReplayFrames(data, func(payload []byte) error {
-		op, site, key, value, err := decodeRecord(payload)
+		rec, err := DecodeLogRecord(payload)
 		if err != nil {
 			return err // stops the scan; the prefix stays applied
 		}
-		switch op {
+		switch rec.Op {
 		case opPut:
 			// Replay bypasses the quota: the record was accepted before
 			// the crash and must recover exactly.
-			l.t.put(site, key, value, 0)
+			l.t.put(rec.Site, rec.Key, rec.Value, 0)
 		case opDelete:
-			l.t.del(site, key)
+			l.t.del(rec.Site, rec.Key)
+		case opFencedPut:
+			l.t.put(rec.Site, rec.Key, rec.Value, 0)
+			l.t.raiseFence(rec.Site, rec.Guard, rec.Holder, rec.Token)
+		case opFence:
+			l.t.raiseFence(rec.Site, rec.Guard, rec.Holder, rec.Token)
 		}
 		n++
 		return nil
@@ -356,6 +367,10 @@ func (l *Log) maybeCompact() {
 	var snap []byte
 	l.t.rangeAll(func(site, key, value string) bool {
 		snap = AppendFrame(snap, encodePut(site, key, value))
+		return true
+	})
+	l.t.rangeFences(func(site, guard, holder string, token uint64) bool {
+		snap = AppendFrame(snap, encodeFence(site, guard, holder, token))
 		return true
 	})
 	wal, err := openWAL(l.fs, walName(newSeq), 0, !l.cfg.NoGroupCommit)

@@ -47,6 +47,15 @@ type Host interface {
 	// Propagate sends a replication message to the site's update channel on
 	// other nodes via the reliable messaging layer.
 	Propagate(site, message string) error
+	// Distributed lease operations, partitioned by site (see
+	// internal/core/lease.go). LeaseAcquire takes or renews the named
+	// lease for this node (ttl <= 0 means the node default) and returns
+	// the holdership's fencing token; FencedStatePut writes hard state
+	// under that token, rejected once a newer holdership has written.
+	LeaseAcquire(site, name string, ttl time.Duration) (uint64, bool)
+	LeaseRenew(site, name string, token uint64, ttl time.Duration) bool
+	LeaseRelease(site, name string, token uint64) bool
+	FencedStatePut(site, key, value, name string, token uint64) error
 	// NodeName identifies this edge node (diagnostics, Via headers).
 	NodeName() string
 	// Now returns the current (possibly virtual) time.
@@ -96,6 +105,18 @@ func (NopHost) StateKeys(site string) []string { return nil }
 
 // Propagate discards the message.
 func (NopHost) Propagate(site, message string) error { return nil }
+
+// LeaseAcquire always grants token 1.
+func (NopHost) LeaseAcquire(site, name string, ttl time.Duration) (uint64, bool) { return 1, true }
+
+// LeaseRenew always succeeds.
+func (NopHost) LeaseRenew(site, name string, token uint64, ttl time.Duration) bool { return true }
+
+// LeaseRelease always succeeds.
+func (NopHost) LeaseRelease(site, name string, token uint64) bool { return true }
+
+// FencedStatePut discards the value.
+func (NopHost) FencedStatePut(site, key, value, name string, token uint64) error { return nil }
 
 // NodeName returns a placeholder name.
 func (NopHost) NodeName() string { return "nop-node" }
@@ -163,6 +184,7 @@ func Install(ctx *script.Context, host Host, site string) {
 	installCacheVocabulary(ctx, host)
 	installFetch(ctx, host)
 	installState(ctx, host, site)
+	installLease(ctx, host, site)
 	installLog(ctx, host, site)
 	installImageTransformer(ctx)
 	installXML(ctx)
@@ -320,6 +342,57 @@ func installState(ctx *script.Context, host Host, site string) {
 		return script.Boolean(true), nil
 	}})
 	ctx.DefineGlobal("State", state)
+}
+
+// installLease binds the Lease vocabulary: per-site distributed leases
+// with fencing tokens. acquire returns the token (or null when a live
+// holder has the lease); put writes hard state under the token and throws
+// once the holdership is deposed, so a script cannot silently keep
+// writing after losing its lease.
+func installLease(ctx *script.Context, host Host, site string) {
+	leaseObj := script.NewObject()
+	leaseObj.ClassName = "Lease"
+	ttlArg := func(args []script.Value, idx int) time.Duration {
+		if len(args) > idx {
+			return time.Duration(script.ToInt(args[idx])) * time.Millisecond
+		}
+		return 0
+	}
+	leaseObj.Set("acquire", &script.Native{Name: "Lease.acquire", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return nil, script.ThrowString("Lease.acquire: missing lease name")
+		}
+		token, ok := host.LeaseAcquire(site, script.ToString(args[0]), ttlArg(args, 1))
+		if !ok {
+			return script.NullValue(), nil
+		}
+		return script.Num(float64(token)), nil
+	}})
+	leaseObj.Set("renew", &script.Native{Name: "Lease.renew", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 2 {
+			return script.Boolean(false), nil
+		}
+		name, token := script.ToString(args[0]), uint64(script.ToInt(args[1]))
+		return script.Boolean(host.LeaseRenew(site, name, token, ttlArg(args, 2))), nil
+	}})
+	leaseObj.Set("release", &script.Native{Name: "Lease.release", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 2 {
+			return script.Boolean(false), nil
+		}
+		return script.Boolean(host.LeaseRelease(site, script.ToString(args[0]), uint64(script.ToInt(args[1])))), nil
+	}})
+	leaseObj.Set("put", &script.Native{Name: "Lease.put", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if len(args) < 4 {
+			return nil, script.ThrowString("Lease.put: need key, value, lease name, token")
+		}
+		key, value := script.ToString(args[0]), script.ToString(args[1])
+		name, token := script.ToString(args[2]), uint64(script.ToInt(args[3]))
+		if err := host.FencedStatePut(site, key, value, name, token); err != nil {
+			return nil, script.ThrowString("Lease.put: " + err.Error())
+		}
+		return script.Boolean(true), nil
+	}})
+	ctx.DefineGlobal("Lease", leaseObj)
 }
 
 func installLog(ctx *script.Context, host Host, site string) {

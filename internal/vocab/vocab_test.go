@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"nakika/internal/httpmsg"
 	"nakika/internal/script"
@@ -217,6 +218,84 @@ func TestStateVocabulary(t *testing.T) {
 	run(t, ctx, `State.propagate(JSON.stringify({ op: "put", key: "user:42" }))`)
 	if len(h.messages) != 1 {
 		t.Errorf("messages = %v", h.messages)
+	}
+}
+
+// leaseHost overrides the lease surface to model one round of arbitration:
+// the first acquire of a name wins token 1, a second acquire while held is
+// denied, and fenced puts are admitted only at the current token.
+type leaseHost struct {
+	NopHost
+	mu     sync.Mutex
+	tokens map[string]uint64
+	puts   []string
+}
+
+func (h *leaseHost) LeaseAcquire(site, name string, ttl time.Duration) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.tokens == nil {
+		h.tokens = make(map[string]uint64)
+	}
+	if h.tokens[name] != 0 {
+		return 0, false
+	}
+	h.tokens[name] = 1
+	return 1, true
+}
+
+func (h *leaseHost) LeaseRenew(site, name string, token uint64, ttl time.Duration) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tokens[name] == token
+}
+
+func (h *leaseHost) LeaseRelease(site, name string, token uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.tokens[name] != token {
+		return false
+	}
+	delete(h.tokens, name)
+	return true
+}
+
+func (h *leaseHost) FencedStatePut(site, key, value, name string, token uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.tokens[name] != token {
+		return fmt.Errorf("write fenced off")
+	}
+	h.puts = append(h.puts, key+"="+value)
+	return nil
+}
+
+func TestLeaseVocabulary(t *testing.T) {
+	h := &leaseHost{}
+	ctx := newTestEnv(h)
+	v := run(t, ctx, `
+		var token = Lease.acquire("checkpoint", 5000);
+		Lease.put("progress", "42", "checkpoint", token);
+		Lease.renew("checkpoint", token)
+	`)
+	if !bool(v.(script.Bool)) {
+		t.Error("renew with the granted token should succeed")
+	}
+	if len(h.puts) != 1 || h.puts[0] != "progress=42" {
+		t.Errorf("puts = %v", h.puts)
+	}
+	if v := run(t, ctx, `Lease.acquire("checkpoint")`); !script.IsNullish(v) {
+		t.Error("second acquire while held should return null")
+	}
+	// A stale token must throw at Lease.put, not silently write.
+	if _, err := ctx.RunSource(`Lease.put("progress", "43", "checkpoint", 99)`, "test.js"); err == nil {
+		t.Error("fenced put with a stale token should throw")
+	}
+	if v := run(t, ctx, `Lease.release("checkpoint", 1)`); !bool(v.(script.Bool)) {
+		t.Error("release with the granted token should succeed")
+	}
+	if v := run(t, ctx, `Lease.acquire("checkpoint")`); script.ToNumber(v) != 1 {
+		t.Error("acquire after release should grant again")
 	}
 }
 
