@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"nakika"
+	"nakika/internal/admin"
 	"nakika/internal/resource"
 	"nakika/internal/store"
 	"nakika/internal/transport"
@@ -53,6 +54,8 @@ func main() {
 	offloadThreshold := flag.Float64("offload-threshold", 0, "load score above which arriving requests are shed to the least-loaded replica of their site (cluster mode); 0 disables offload")
 	hedgeAfter := flag.Duration("hedge-after", 0, "latency budget for replicated hard-state reads: when the owner's EWMA round trip exceeds it the read is hedged to the next replica; 0 disables hedging")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "default time-to-live of distributed leases taken without an explicit TTL (Lease.acquire)")
+	adminAddr := flag.String("admin", "", "admin listener address serving /metrics, /admin/traces, /admin/statusz, and /debug/pprof; empty disables the listener")
+	noObserve := flag.Bool("no-observe", false, "disable the observability plane (metrics registry, request tracing, trace-id propagation)")
 	flag.Parse()
 
 	cfg := nakika.Config{
@@ -64,6 +67,7 @@ func main() {
 		OffloadThreshold:  *offloadThreshold,
 		HedgeAfter:        *hedgeAfter,
 		LeaseTTL:          *leaseTTL,
+		NoObserve:         *noObserve,
 		EnableResources:   *enableRes,
 		Resources: resource.Config{
 			Capacity: map[resource.Kind]float64{
@@ -195,6 +199,22 @@ func main() {
 	// then exit. A node killed without -data-dir simply loses its state,
 	// as before; with it, the next boot replays the log.
 	srv := &http.Server{Addr: *listen, Handler: node}
+
+	// Optional admin listener: /metrics, /admin/traces, /admin/statusz and
+	// /debug/pprof on a port separate from client traffic. It drains on the
+	// same signal as the front server so a scrape in flight at SIGTERM
+	// completes before the process exits.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: admin.NewHandler(node)}
+		go func() {
+			log.Printf("nakikad: admin surface on %s", *adminAddr)
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("nakikad: admin listener: %v", err)
+			}
+		}()
+	}
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -202,6 +222,11 @@ func main() {
 		log.Printf("nakikad: %v: shutting down", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if adminSrv != nil {
+			if err := adminSrv.Shutdown(ctx); err != nil {
+				log.Printf("nakikad: admin shutdown: %v", err)
+			}
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("nakikad: http shutdown: %v", err)
 		}

@@ -28,24 +28,28 @@ type clusterProcs struct {
 	nakikadBin string
 	originHost string
 	httpAddr   []string
+	adminAddr  []string
 	nodes      []*proc
 	nodeArgs   func(i int) []string
 }
 
 // startCluster spawns the origin and a 4-node TCP cluster (replication 3,
-// mux transport — the default) and waits until every node proxies.
-func startCluster(t *testing.T, nodes int) *clusterProcs {
+// mux transport — the default, plus an admin listener per node) and waits
+// until every node proxies. extra flags are appended to every node's
+// command line.
+func startCluster(t *testing.T, nodes int, extra ...string) *clusterProcs {
 	t.Helper()
 	dir := t.TempDir()
 	nakikadBin, originBin := buildBinaries(t, dir)
 
-	ports := freePorts(t, 1+2*nodes)
+	ports := freePorts(t, 1+3*nodes)
 	originHost := fmt.Sprintf("127.0.0.1:%d", ports[0])
 	c := &clusterProcs{dir: dir, nakikadBin: nakikadBin, originHost: originHost}
 	rpcAddr := make([]string, nodes)
 	for i := 0; i < nodes; i++ {
-		c.httpAddr = append(c.httpAddr, fmt.Sprintf("127.0.0.1:%d", ports[1+2*i]))
-		rpcAddr[i] = fmt.Sprintf("127.0.0.1:%d", ports[2+2*i])
+		c.httpAddr = append(c.httpAddr, fmt.Sprintf("127.0.0.1:%d", ports[1+3*i]))
+		rpcAddr[i] = fmt.Sprintf("127.0.0.1:%d", ports[2+3*i])
+		c.adminAddr = append(c.adminAddr, fmt.Sprintf("127.0.0.1:%d", ports[3+3*i]))
 	}
 	spawn(t, dir, "origin", originBin, "-app", "specweb", "-listen", originHost, "-host", originHost)
 
@@ -56,7 +60,7 @@ func startCluster(t *testing.T, nodes int) *clusterProcs {
 				peers = append(peers, fmt.Sprintf("edge-%d=%s", j, rpcAddr[j]))
 			}
 		}
-		return []string{
+		return append([]string{
 			"-listen", c.httpAddr[i],
 			"-name", fmt.Sprintf("edge-%d", i),
 			"-region", "e2e",
@@ -65,9 +69,10 @@ func startCluster(t *testing.T, nodes int) *clusterProcs {
 			"-data-dir", filepath.Join(dir, fmt.Sprintf("data-%d", i)),
 			"-replication", "3",
 			"-resource-controls=false",
+			"-admin", c.adminAddr[i],
 			"-clientwall", fmt.Sprintf("http://%s/clientwall.js", originHost),
 			"-serverwall", fmt.Sprintf("http://%s/serverwall.js", originHost),
-		}
+		}, extra...)
 	}
 	for i := 0; i < nodes; i++ {
 		c.nodes = append(c.nodes, spawn(t, dir, fmt.Sprintf("edge-%d", i), nakikadBin, c.nodeArgs(i)...))

@@ -1,0 +1,154 @@
+// Package admin serves a node's observability surface over HTTP: the
+// Prometheus /metrics exposition, the /admin/traces dump of the slowest
+// recent requests, a human-readable /admin/statusz, and net/http/pprof
+// under /debug/pprof/. It binds a separate listener from the proxy front
+// (cmd/nakikad's -admin flag) so operators can scrape and profile a node
+// without touching the client-facing port.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"nakika/internal/metrics"
+	"nakika/internal/trace"
+)
+
+// Node is the slice of the edge node the admin surface reads. Metrics
+// and Traces may return nil (the node was built with observability
+// disabled); the endpoints degrade to 503 rather than panicking.
+type Node interface {
+	Name() string
+	Metrics() *metrics.Registry
+	Traces() *trace.Ring
+	LoadScore() float64
+}
+
+// DefaultTraceDump bounds the /admin/traces response when no ?n= is
+// given.
+const DefaultTraceDump = 32
+
+// NewHandler returns the admin surface for node.
+func NewHandler(node Node) http.Handler {
+	mux := http.NewServeMux()
+	start := time.Now()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := node.Metrics()
+		if reg == nil {
+			http.Error(w, "metrics disabled on this node", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/admin/traces", func(w http.ResponseWriter, r *http.Request) {
+		ring := node.Traces()
+		if ring == nil {
+			http.Error(w, "tracing disabled on this node", http.StatusServiceUnavailable)
+			return
+		}
+		n := DefaultTraceDump
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dumpSamples(node.Name(), ring.Slowest(n)))
+	})
+	mux.HandleFunc("/admin/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "node:       %s\n", node.Name())
+		fmt.Fprintf(w, "uptime:     %s\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "load score: %.3f\n", node.LoadScore())
+		fmt.Fprintf(w, "goroutines: %d\n", runtime.NumGoroutine())
+		fmt.Fprintf(w, "go:         %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		fmt.Fprintf(w, "endpoints:  /metrics /admin/traces /admin/statusz /debug/pprof/\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// TraceDump is the /admin/traces response shape.
+type TraceDump struct {
+	Node    string       `json:"node"`
+	Count   int          `json:"count"`
+	Samples []SampleJSON `json:"samples"`
+}
+
+// SampleJSON is one recorded request, flattened for the dump: the shared
+// cross-node trace id in hex, the stage spans with nanosecond timings,
+// and the offload/hedge/lease/fencing activity the request performed.
+type SampleJSON struct {
+	TraceID string       `json:"trace_id"`
+	Node    string       `json:"node"`
+	Method  string       `json:"method"`
+	URL     string       `json:"url"`
+	Start   time.Time    `json:"start"`
+	Elapsed int64        `json:"elapsed_ns"`
+	Status  int          `json:"status"`
+	Spans   []trace.Span `json:"spans,omitempty"`
+
+	SpansDropped int  `json:"spans_dropped,omitempty"`
+	Generated    bool `json:"generated,omitempty"`
+	FromCache    bool `json:"from_cache,omitempty"`
+	Terminated   bool `json:"terminated,omitempty"`
+	RejectedBusy bool `json:"rejected_busy,omitempty"`
+
+	Offloaded   bool   `json:"offloaded,omitempty"`
+	OffloadPeer string `json:"offload_peer,omitempty"`
+
+	HedgedReads   int32  `json:"hedged_reads,omitempty"`
+	HedgeWins     int32  `json:"hedge_wins,omitempty"`
+	LeaseAcquires int32  `json:"lease_acquires,omitempty"`
+	LeaseDenials  int32  `json:"lease_denials,omitempty"`
+	LeaseRenewals int32  `json:"lease_renewals,omitempty"`
+	LeaseReleases int32  `json:"lease_releases,omitempty"`
+	FencedWrites  int32  `json:"fenced_writes,omitempty"`
+	FenceRejects  int32  `json:"fence_rejects,omitempty"`
+	FenceToken    uint64 `json:"fence_token,omitempty"`
+}
+
+func dumpSamples(node string, samples []*trace.Sample) TraceDump {
+	out := TraceDump{Node: node, Count: len(samples), Samples: make([]SampleJSON, 0, len(samples))}
+	for _, s := range samples {
+		out.Samples = append(out.Samples, SampleJSON{
+			TraceID:       fmt.Sprintf("%016x", s.TraceID),
+			Node:          s.Node,
+			Method:        s.Method,
+			URL:           s.URL(),
+			Start:         s.Start,
+			Elapsed:       int64(s.Elapsed),
+			Status:        s.Status,
+			Spans:         s.Spans,
+			SpansDropped:  s.SpansDropped,
+			Generated:     s.Generated,
+			FromCache:     s.FromCache,
+			Terminated:    s.Terminated,
+			RejectedBusy:  s.RejectedBusy,
+			Offloaded:     s.Offloaded,
+			OffloadPeer:   s.OffloadPeer,
+			HedgedReads:   s.HedgedReads,
+			HedgeWins:     s.HedgeWins,
+			LeaseAcquires: s.LeaseAcquires,
+			LeaseDenials:  s.LeaseDenials,
+			LeaseRenewals: s.LeaseRenewals,
+			LeaseReleases: s.LeaseReleases,
+			FencedWrites:  s.FencedWrites,
+			FenceRejects:  s.FenceRejects,
+			FenceToken:    s.FenceToken,
+		})
+	}
+	return out
+}

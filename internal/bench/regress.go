@@ -106,6 +106,21 @@ func TrackedMetrics(experiment string, data json.RawMessage) (map[string]float64
 			"proxy_allocs_per_op":        r.Proxy.AllocsPerOp,
 			"proxy_bytes_per_op":         r.Proxy.BytesPerOp,
 		}, nil
+	case "metrics":
+		// Same rule as throughput: the allocation counters are
+		// deterministic per toolchain, so both sides of the
+		// observability-plane comparison gate hard, and the enabled side
+		// regressing past threshold means the plane's hot-path cost grew.
+		var r MetricsCostResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"enabled_allocs_per_op":  r.Enabled.AllocsPerOp,
+			"enabled_bytes_per_op":   r.Enabled.BytesPerOp,
+			"disabled_allocs_per_op": r.Disabled.AllocsPerOp,
+			"disabled_bytes_per_op":  r.Disabled.BytesPerOp,
+		}, nil
 	default:
 		return nil, nil
 	}
@@ -125,6 +140,15 @@ func SoftMetrics(experiment string, data json.RawMessage) (map[string]float64, e
 		return map[string]float64{
 			"proxy_req_per_sec":   r.Proxy.ReqPerSec,
 			"rpc_mux_req_per_sec": r.RPCMux.ReqPerSec,
+		}, nil
+	case "metrics":
+		var r MetricsCostResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"enabled_req_per_sec":  r.Enabled.ReqPerSec,
+			"disabled_req_per_sec": r.Disabled.ReqPerSec,
 		}, nil
 	default:
 		return nil, nil

@@ -9,11 +9,13 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"nakika/internal/core"
 	"nakika/internal/state"
 	"nakika/internal/transport"
 )
@@ -181,6 +183,14 @@ func runProxyLoop(d time.Duration) (ProxyThroughput, error) {
 	if err != nil {
 		return ProxyThroughput{}, err
 	}
+	return measureProxyLoop(node, d)
+}
+
+// measureProxyLoop drives the warm proxy loop against an already-warmed
+// node. Shared between the throughput experiment and the metrics-cost
+// experiment (which runs it twice, with the observability plane on and
+// off).
+func measureProxyLoop(node *core.Node, d time.Duration) (ProxyThroughput, error) {
 	oneOp := func() error {
 		req := ConcurrentRequest()
 		resp, trace, err := node.Handle(req)
@@ -219,17 +229,34 @@ func runProxyLoop(d time.Duration) (ProxyThroughput, error) {
 	out.P50 = benchPercentile(lats, 0.50)
 	out.P99 = benchPercentile(lats, 0.99)
 
-	var before, after runtime.MemStats
+	// The counting passes run with GC held off (a mid-pass collection
+	// drains the request/frame sync.Pools and charges their refill to the
+	// window), and the pass runs twice with the minimum taken: amortized
+	// one-shot events — a long-lived buffer's append-doubling, a map
+	// resize — land in at most one of two back-to-back 20k-op windows
+	// (the next doubling is exponentially far away), so the minimum is
+	// the steady-state per-op cost, deterministic per toolchain.
 	runtime.GC()
-	runtime.ReadMemStats(&before)
-	for i := 0; i < proxyAllocOps; i++ {
-		if err := oneOp(); err != nil {
-			return ProxyThroughput{}, err
+	gcPercent := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPercent)
+	for pass := 0; pass < 2; pass++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < proxyAllocOps; i++ {
+			if err := oneOp(); err != nil {
+				return ProxyThroughput{}, err
+			}
+		}
+		runtime.ReadMemStats(&after)
+		allocs := float64(after.Mallocs-before.Mallocs) / proxyAllocOps
+		bytes := float64(after.TotalAlloc-before.TotalAlloc) / proxyAllocOps
+		if pass == 0 || allocs < out.AllocsPerOp {
+			out.AllocsPerOp = allocs
+		}
+		if pass == 0 || bytes < out.BytesPerOp {
+			out.BytesPerOp = bytes
 		}
 	}
-	runtime.ReadMemStats(&after)
-	out.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / proxyAllocOps
-	out.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / proxyAllocOps
 	return out, nil
 }
 

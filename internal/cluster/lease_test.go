@@ -168,6 +168,12 @@ func runLeaseHandoverScenario(t *testing.T, seed int64) string {
 		t.Fatalf("ttl owner stats = %+v, want 1 expiry handover after >= 1 denial", st)
 	}
 
+	// The metrics registry splits handovers by recovery path exactly as
+	// the scenario drove them: the detector-visible crash on the phase-1
+	// record owner, the TTL expiry on the phase-2 owner.
+	expositionHas(t, c.NodeByName(owner1), `nakika_lease_handovers_total{path="crash"} 1`)
+	expositionHas(t, c.NodeByName(owner2), `nakika_lease_handovers_total{path="expiry"} 1`)
+
 	// The adaptive path is strictly cheaper than waiting out the TTL, in
 	// messages and in virtual time.
 	if msgsCrash >= msgsTTL {

@@ -137,6 +137,32 @@ func runOffloadScenario(t *testing.T, seed int64) string {
 		t.Fatal("ingress never offloaded despite the flash crowd")
 	}
 
+	// Cross-node tracing: an offloaded request leaves a sample at the
+	// ingress naming the executing peer, and the peer's own sample of the
+	// execution carries the same trace id — one trace across the forward.
+	linked := false
+	for _, s := range c.NodeByName(ingress).Traces().Snapshot() {
+		if !s.Offloaded || s.OffloadPeer == "" || s.TraceID == 0 {
+			continue
+		}
+		peer := c.NodeByName(s.OffloadPeer)
+		if peer == nil {
+			continue
+		}
+		for _, ps := range peer.Traces().Snapshot() {
+			if ps.TraceID == s.TraceID {
+				linked = true
+				break
+			}
+		}
+		if linked {
+			break
+		}
+	}
+	if !linked {
+		t.Fatal("no offloaded request shared its trace id with the executing peer's sample")
+	}
+
 	// Phase B: hedged reads under one slow replica. Write a burst of keys
 	// through the ingress, slow every edge of one owner down, and read the
 	// keys it owns back repeatedly: after the first slow round trip trains

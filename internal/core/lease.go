@@ -9,6 +9,7 @@ import (
 	"nakika/internal/lease"
 	"nakika/internal/state"
 	"nakika/internal/store"
+	"nakika/internal/trace"
 	"nakika/internal/transport"
 )
 
@@ -319,7 +320,7 @@ func (n *Node) replicateFenced(rec state.Rec, guard, holder string, token uint64
 
 // leaseForward routes one lease operation to the record's acting owner,
 // failing over in successor order exactly like the replicated mutations.
-func (n *Node) leaseForward(site, name, msgType string, body []byte, local func() (transport.Message, error)) (transport.Message, error) {
+func (n *Node) leaseForward(act *trace.Act, site, name, msgType string, body []byte, local func() (transport.Message, error)) (transport.Message, error) {
 	rk := state.ReplicaKey(site, lease.Key(name))
 	avoid := make(map[string]bool)
 	var lastErr error
@@ -331,7 +332,7 @@ func (n *Node) leaseForward(site, name, msgType string, body []byte, local func(
 		if owner == n.cfg.Name {
 			return local()
 		}
-		reply, err := n.call(owner, transport.Message{Type: msgType, Body: body})
+		reply, err := n.callT(act, owner, transport.Message{Type: msgType, Body: body})
 		if err == nil {
 			return reply, nil
 		}
@@ -352,6 +353,10 @@ func (n *Node) leaseForward(site, name, msgType string, body []byte, local func(
 // fencing token; ok is false when a live holder already has the lease or
 // no owner was reachable.
 func (n *Node) LeaseAcquire(site, name string, ttl time.Duration) (uint64, bool) {
+	return n.leaseAcquire(nil, site, name, ttl)
+}
+
+func (n *Node) leaseAcquire(act *trace.Act, site, name string, ttl time.Duration) (uint64, bool) {
 	t := n.leaseTTL(ttl)
 	local := func() (transport.Message, error) {
 		rec, out, err := n.ownerLeaseAcquire(site, name, n.cfg.Name, t)
@@ -360,44 +365,67 @@ func (n *Node) LeaseAcquire(site, name string, ttl time.Duration) (uint64, bool)
 		}
 		return leaseAcquireReply(rec, out), nil
 	}
+	var token uint64
+	var ok bool
 	if !n.repEnabled() {
 		reply, err := local()
-		return parseLeaseAcquireReply(reply, err)
+		token, ok = parseLeaseAcquireReply(reply, err)
+	} else {
+		body := encodeLeaseReq(leaseReq{Site: site, Name: name, Holder: n.cfg.Name, TTL: t})
+		reply, err := n.leaseForward(act, site, name, msgLeaseAcquire, body, local)
+		token, ok = parseLeaseAcquireReply(reply, err)
 	}
-	body := encodeLeaseReq(leaseReq{Site: site, Name: name, Holder: n.cfg.Name, TTL: t})
-	reply, err := n.leaseForward(site, name, msgLeaseAcquire, body, local)
-	return parseLeaseAcquireReply(reply, err)
+	act.RecordLeaseAcquire(ok, token)
+	return token, ok
 }
 
 // LeaseRenew extends this node's holdership before it expires.
 func (n *Node) LeaseRenew(site, name string, token uint64, ttl time.Duration) bool {
+	return n.leaseRenew(nil, site, name, token, ttl)
+}
+
+func (n *Node) leaseRenew(act *trace.Act, site, name string, token uint64, ttl time.Duration) bool {
 	t := n.leaseTTL(ttl)
 	local := func() (transport.Message, error) {
 		ok, err := n.ownerLeaseRenew(site, name, n.cfg.Name, token, t)
 		return leaseBoolReply(ok), err
 	}
+	var ok bool
 	if !n.repEnabled() {
 		reply, err := local()
-		return err == nil && leaseReplyOK(reply)
+		ok = err == nil && leaseReplyOK(reply)
+	} else {
+		body := encodeLeaseReq(leaseReq{Site: site, Name: name, Holder: n.cfg.Name, Token: token, TTL: t})
+		reply, err := n.leaseForward(act, site, name, msgLeaseRenew, body, local)
+		ok = err == nil && leaseReplyOK(reply)
 	}
-	body := encodeLeaseReq(leaseReq{Site: site, Name: name, Holder: n.cfg.Name, Token: token, TTL: t})
-	reply, err := n.leaseForward(site, name, msgLeaseRenew, body, local)
-	return err == nil && leaseReplyOK(reply)
+	act.RecordLeaseRenew(ok)
+	return ok
 }
 
 // LeaseRelease gives this node's holdership up early.
 func (n *Node) LeaseRelease(site, name string, token uint64) bool {
+	return n.leaseRelease(nil, site, name, token)
+}
+
+func (n *Node) leaseRelease(act *trace.Act, site, name string, token uint64) bool {
 	local := func() (transport.Message, error) {
 		ok, err := n.ownerLeaseRelease(site, name, n.cfg.Name, token)
 		return leaseBoolReply(ok), err
 	}
+	var ok bool
 	if !n.repEnabled() {
 		reply, err := local()
-		return err == nil && leaseReplyOK(reply)
+		ok = err == nil && leaseReplyOK(reply)
+	} else {
+		body := encodeLeaseReq(leaseReq{Site: site, Name: name, Holder: n.cfg.Name, Token: token})
+		reply, err := n.leaseForward(act, site, name, msgLeaseRelease, body, local)
+		ok = err == nil && leaseReplyOK(reply)
 	}
-	body := encodeLeaseReq(leaseReq{Site: site, Name: name, Holder: n.cfg.Name, Token: token})
-	reply, err := n.leaseForward(site, name, msgLeaseRelease, body, local)
-	return err == nil && leaseReplyOK(reply)
+	if ok {
+		act.RecordLeaseRelease()
+	}
+	return ok
 }
 
 // FencedStatePut writes site-partitioned hard state under the named
@@ -406,6 +434,10 @@ func (n *Node) LeaseRelease(site, name string, token uint64) bool {
 // reaches, and rejected with ErrFenced anywhere a newer holdership has
 // already written. Scripts reach it as Lease.put.
 func (n *Node) FencedStatePut(site, key, value, name string, token uint64) error {
+	return n.fencedStatePut(nil, site, key, value, name, token)
+}
+
+func (n *Node) fencedStatePut(act *trace.Act, site, key, value, name string, token uint64) error {
 	if state.IsInternalKey(key) {
 		return fmt.Errorf("core: key %q is in the reserved internal namespace", key)
 	}
@@ -428,14 +460,16 @@ func (n *Node) FencedStatePut(site, key, value, name string, token uint64) error
 			Guard: guard, Holder: n.cfg.Name, Token: token,
 			Rec: state.Rec{Site: site, Key: key, Value: value},
 		})
-		reply, err = n.leaseForward(site, key, msgLeaseFPut, body, local)
+		reply, err = n.leaseForward(act, site, key, msgLeaseFPut, body, local)
 	}
 	if err != nil {
 		return err
 	}
 	if len(reply.Args) > 0 && reply.Args[0] == "fenced" {
+		act.RecordFencedPut(token, true)
 		return ErrFenced
 	}
+	act.RecordFencedPut(token, false)
 	return nil
 }
 

@@ -16,12 +16,14 @@ import (
 	"nakika/internal/cache"
 	"nakika/internal/httpmsg"
 	"nakika/internal/loadview"
+	"nakika/internal/metrics"
 	"nakika/internal/overlay"
 	"nakika/internal/pipeline"
 	"nakika/internal/resource"
 	"nakika/internal/script"
 	"nakika/internal/state"
 	"nakika/internal/store"
+	nktrace "nakika/internal/trace"
 	"nakika/internal/transport"
 )
 
@@ -167,6 +169,15 @@ type Config struct {
 	// ClientHostLookup resolves client IPs to hostnames for client
 	// predicates.
 	ClientHostLookup func(ip string) string
+	// NoObserve disables the node's observability plane: no metrics
+	// registry, no request latency histogram, no trace ids minted, and no
+	// samples recorded — requests and RPC frames are byte-identical to a
+	// build without the plane. The bench harness uses it to measure the
+	// plane's hot-path cost.
+	NoObserve bool
+	// TraceRingSize bounds the per-node ring of recent request samples
+	// behind /admin/traces; zero means trace.DefaultRingSize.
+	TraceRingSize int
 }
 
 // Stats aggregates node-level counters.
@@ -315,6 +326,15 @@ type Node struct {
 	// decisions are read-decide-store cycles; see internal/core/lease.go).
 	leaseMu sync.Mutex
 
+	// Observability plane (see internal/core/observe.go): the trace-id
+	// generator, the ring of recent request samples, the metrics registry,
+	// and the request latency histogram. All nil/unused when
+	// Config.NoObserve is set — ring doubles as the enable flag.
+	ids     *nktrace.IDGen
+	ring    *nktrace.Ring
+	reg     *metrics.Registry
+	latency *metrics.Histogram
+
 	requests      atomic.Int64
 	cacheHits     atomic.Int64
 	peerHits      atomic.Int64
@@ -388,14 +408,14 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n.res = resource.NewManager(cfg.Resources)
 	n.res.SetEnabled(cfg.EnableResources)
-	n.loader = pipeline.NewLoader(n, cfg.ScriptLimits)
+	n.loader = pipeline.NewLoader(hostAdapter{n}, cfg.ScriptLimits)
 	n.loader.ContextPoolSize = cfg.StageContextPool
 	n.loader.ForkCharge = func(site string, heapBytes int64) {
 		n.res.Charge(site, resource.Memory, float64(heapBytes))
 	}
 	n.executor = &pipeline.Executor{
 		Loader:           n.loader,
-		Host:             n,
+		Host:             hostAdapter{n},
 		FetchOrigin:      n.fetchWithCache,
 		ClientWallURL:    cfg.ClientWallURL,
 		ServerWallURL:    cfg.ServerWallURL,
@@ -403,6 +423,11 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.EnableResources {
 		n.executor.Resources = n.res
+	}
+	if !cfg.NoObserve {
+		n.ids = nktrace.NewIDGen(cfg.Name)
+		n.ring = nktrace.NewRing(cfg.TraceRingSize)
+		n.buildRegistry()
 	}
 	// Load accounting is always on (it is a handful of atomic/mutex ops per
 	// request); the offload and hedging behaviours it feeds are opt-in via
@@ -667,12 +692,26 @@ func (n *Node) PeerLoadView() map[string]float64 { return n.view.Snapshot() }
 // internal/core/offload.go) and executed there.
 func (n *Node) Handle(req *httpmsg.Request) (*httpmsg.Response, *pipeline.Trace, error) {
 	n.requests.Add(1)
+	if n.ring != nil && req.TraceID == 0 {
+		// Mint the request's cross-node trace id: it rides every RPC this
+		// request fans out into (offload forwards, hedged reads, lease
+		// operations), so samples recorded on different nodes share it.
+		req.TraceID = n.ids.Next()
+	}
+	var start time.Time
+	if n.ring != nil {
+		start = time.Now()
+	}
 	if resp, who, err, shed := n.shedRequest(req, 0); shed {
+		trace := &pipeline.Trace{Offloaded: true, OffloadPeer: who}
+		trace.Act.ID = req.TraceID
 		if err != nil {
 			n.errors.Add(1)
-			return nil, &pipeline.Trace{Offloaded: true, OffloadPeer: who}, err
+			n.observe(req, nil, trace, start)
+			return nil, trace, err
 		}
-		return resp, &pipeline.Trace{Offloaded: true, OffloadPeer: who}, nil
+		n.observe(req, resp, trace, start)
+		return resp, trace, nil
 	}
 	return n.handleLocal(req)
 }
@@ -692,6 +731,7 @@ func (n *Node) handleLocal(req *httpmsg.Request) (*httpmsg.Response, *pipeline.T
 	resp, trace, err := n.executor.Execute(req)
 	if err != nil {
 		n.errors.Add(1)
+		n.observe(req, nil, trace, start)
 		return nil, trace, err
 	}
 	if trace.RejectedBusy {
@@ -707,6 +747,7 @@ func (n *Node) handleLocal(req *httpmsg.Request) (*httpmsg.Response, *pipeline.T
 		resp.Header.Set("X-Na-Kika-Node", n.cfg.Name)
 		n.log.Append(req.SiteKey(), state.FormatAccess(req.ClientIP, req.Method, req.URL.String(), resp.Status, len(resp.Body), time.Since(start)))
 	}
+	n.observe(req, resp, trace, start)
 	return resp, trace, nil
 }
 
@@ -988,7 +1029,8 @@ func (n *Node) replica(site string) *state.Replica {
 }
 
 // ---------------------------------------------------------------------------
-// vocab.Host implementation
+// Host surface (the pipeline reaches these through hostAdapter, which
+// threads the per-request trace act in; see internal/core/observe.go)
 // ---------------------------------------------------------------------------
 
 // Fetch retrieves a resource on behalf of a script (and of the stage
@@ -1053,7 +1095,9 @@ func (n *Node) Log(site, message string) { n.log.Append(site, message) }
 // enabled the read is routed to the key's acting owner and fails over to
 // the first live successor when the owner is dead; otherwise it reads the
 // local replica.
-func (n *Node) StateGet(site, key string) (string, bool) {
+func (n *Node) StateGet(site, key string) (string, bool) { return n.stateGet(nil, site, key) }
+
+func (n *Node) stateGet(act *nktrace.Act, site, key string) (string, bool) {
 	if state.IsInternalKey(key) {
 		// The internal namespace (lease records) is invisible to scripts:
 		// reads miss, writes and deletes are refused. Lease state is
@@ -1061,7 +1105,7 @@ func (n *Node) StateGet(site, key string) (string, bool) {
 		return "", false
 	}
 	if n.repEnabled() {
-		return n.repGet(site, key)
+		return n.repGet(act, site, key)
 	}
 	return n.replica(site).Get(key)
 }
@@ -1071,12 +1115,14 @@ func (n *Node) StateGet(site, key string) (string, bool) {
 // there, and synchronously pushed to the owner's successors before it is
 // acknowledged; otherwise it writes locally and propagates the update when
 // a bus is configured.
-func (n *Node) StatePut(site, key, value string) error {
+func (n *Node) StatePut(site, key, value string) error { return n.statePut(nil, site, key, value) }
+
+func (n *Node) statePut(act *nktrace.Act, site, key, value string) error {
 	if state.IsInternalKey(key) {
 		return fmt.Errorf("core: key %q is in the reserved internal namespace", key)
 	}
 	if n.repEnabled() {
-		return n.repPut(site, key, value)
+		return n.repPut(act, site, key, value)
 	}
 	r := n.replica(site)
 	if n.bus == nil {
@@ -1092,12 +1138,14 @@ func (n *Node) StatePut(site, key, value string) error {
 // reading its own delete, the intent is queued, and the next repair pass
 // re-executes it through the owner path (which assigns a version current
 // enough to win), making the delete eventual rather than lost.
-func (n *Node) StateDelete(site, key string) {
+func (n *Node) StateDelete(site, key string) { n.stateDelete(nil, site, key) }
+
+func (n *Node) stateDelete(act *nktrace.Act, site, key string) {
 	if state.IsInternalKey(key) {
 		return
 	}
 	if n.repEnabled() {
-		if err := n.repDelete(site, key); err != nil {
+		if err := n.repDelete(act, site, key); err != nil {
 			n.repApplyMu.Lock()
 			ver, _, _, _, _ := n.store.GetVersioned(site, key)
 			_, _ = n.store.PutVersioned(state.Rec{Site: site, Key: key, Ver: ver + 1, Origin: n.cfg.Name, Delete: true})
@@ -1121,9 +1169,11 @@ func (n *Node) StateDelete(site, key string) {
 // the keys of a site span the whole ring, so the listing scatters to
 // every reachable member and merges (tombstones filtered) — keeping it
 // consistent with StateGet, which also routes cluster-wide.
-func (n *Node) StateKeys(site string) []string {
+func (n *Node) StateKeys(site string) []string { return n.stateKeys(nil, site) }
+
+func (n *Node) stateKeys(act *nktrace.Act, site string) []string {
 	if n.repEnabled() {
-		return n.repKeys(site)
+		return n.repKeys(act, site)
 	}
 	return n.store.Keys(site)
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/metrics"
+	"nakika/internal/pipeline"
+	nktrace "nakika/internal/trace"
+	"nakika/internal/transport"
+)
+
+// This file is the node's observability plane: the vocab.Host adapter
+// that threads each request's trace act into the state and lease paths,
+// the traced RPC helper, per-request sample recording, and the metrics
+// registry the admin listener scrapes. Everything here is disabled as a
+// unit by Config.NoObserve.
+
+// hostAdapter is the vocab.Host the pipeline sees. It forwards every
+// host call to the node, passing the per-handler-run trace act into the
+// state and lease paths so hedged reads, lease outcomes, and fenced
+// writes land on the requesting pipeline's activity record — and so the
+// request's trace id rides any RPC those operations fan out into.
+// Node's own public methods keep their act-free signatures for
+// embedders, the harness, and tests.
+type hostAdapter struct{ n *Node }
+
+func (h hostAdapter) Fetch(req *httpmsg.Request) (*httpmsg.Response, error) {
+	return h.n.fetchWithCache(req)
+}
+func (h hostAdapter) CacheGet(key string) *httpmsg.Response       { return h.n.CacheGet(key) }
+func (h hostAdapter) CachePut(key string, resp *httpmsg.Response) { h.n.CachePut(key, resp) }
+func (h hostAdapter) IsLocalClient(ip string) bool                { return h.n.IsLocalClient(ip) }
+func (h hostAdapter) Usage(site, resource string) float64         { return h.n.Usage(site, resource) }
+func (h hostAdapter) Log(site, message string)                    { h.n.Log(site, message) }
+func (h hostAdapter) Propagate(site, message string) error        { return h.n.Propagate(site, message) }
+func (h hostAdapter) NodeName() string                            { return h.n.NodeName() }
+func (h hostAdapter) Now() time.Time                              { return h.n.Now() }
+
+func (h hostAdapter) StateGet(act *nktrace.Act, site, key string) (string, bool) {
+	return h.n.stateGet(act, site, key)
+}
+func (h hostAdapter) StatePut(act *nktrace.Act, site, key, value string) error {
+	return h.n.statePut(act, site, key, value)
+}
+func (h hostAdapter) StateDelete(act *nktrace.Act, site, key string) {
+	h.n.stateDelete(act, site, key)
+}
+func (h hostAdapter) StateKeys(act *nktrace.Act, site string) []string {
+	return h.n.stateKeys(act, site)
+}
+func (h hostAdapter) LeaseAcquire(act *nktrace.Act, site, name string, ttl time.Duration) (uint64, bool) {
+	return h.n.leaseAcquire(act, site, name, ttl)
+}
+func (h hostAdapter) LeaseRenew(act *nktrace.Act, site, name string, token uint64, ttl time.Duration) bool {
+	return h.n.leaseRenew(act, site, name, token, ttl)
+}
+func (h hostAdapter) LeaseRelease(act *nktrace.Act, site, name string, token uint64) bool {
+	return h.n.leaseRelease(act, site, name, token)
+}
+func (h hostAdapter) FencedStatePut(act *nktrace.Act, site, key, value, name string, token uint64) error {
+	return h.n.fencedStatePut(act, site, key, value, name, token)
+}
+
+// callT is the traced variant of call: when the operation runs on behalf
+// of a traced request the request's id rides the RPC frame, so the peer
+// serving it joins its work to the same trace. Untraced operations (nil
+// act, or an act with no id) send frames byte-identical to a build
+// without tracing — the codec only encodes a nonzero trace id.
+func (n *Node) callT(act *nktrace.Act, to string, msg transport.Message) (transport.Message, error) {
+	if act != nil {
+		msg.Trace = act.ID
+	}
+	return n.call(to, msg)
+}
+
+// observe records one finished request into the latency histogram and
+// the trace ring. Cost on the hot path: one small allocation (the
+// Sample), inline copies, and atomic adds; a no-op under NoObserve.
+func (n *Node) observe(req *httpmsg.Request, resp *httpmsg.Response, trace *pipeline.Trace, start time.Time) {
+	if n.ring == nil {
+		return
+	}
+	elapsed := time.Since(start)
+	n.latency.Observe(elapsed.Seconds())
+	s := &nktrace.Sample{
+		TraceID: req.TraceID,
+		Node:    n.cfg.Name,
+		Method:  req.Method,
+		Start:   start,
+		Elapsed: elapsed,
+	}
+	s.SetURL(req.URL.Host, req.URL.Path)
+	if resp != nil {
+		s.Status = resp.Status
+	}
+	if trace != nil {
+		s.Generated = trace.Generated
+		s.FromCache = trace.FromCache
+		s.Terminated = trace.Terminated
+		s.RejectedBusy = trace.RejectedBusy
+		s.Offloaded = trace.Offloaded
+		s.OffloadPeer = trace.OffloadPeer
+		s.FillFromAct(&trace.Act)
+		if s.TraceID == 0 {
+			s.TraceID = req.TraceID
+		}
+	}
+	n.ring.Record(s)
+}
+
+// Metrics returns the node's registry (nil under Config.NoObserve); the
+// admin listener serves it at /metrics.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Traces returns the node's ring of recent request samples (nil under
+// Config.NoObserve); the admin listener serves it at /admin/traces.
+func (n *Node) Traces() *nktrace.Ring { return n.ring }
+
+// buildRegistry registers every exported series. Counters over the
+// node's existing atomics are CounterFunc callbacks read at scrape time,
+// so exporting them costs the request path nothing; subsystem snapshots
+// (cache, store, resource) are taken per scrape.
+func (n *Node) buildRegistry() {
+	r := metrics.NewRegistry()
+	cv := func(c *atomic.Int64) func() float64 {
+		return func() float64 { return float64(c.Load()) }
+	}
+
+	r.CounterFunc("nakika_requests_total", "Requests arriving at this node (kept or offloaded).", nil, cv(&n.requests))
+	r.CounterFunc("nakika_fetches_total", "Resource fetches by where they were served.", metrics.Labels{"source": "cache"}, cv(&n.cacheHits))
+	r.CounterFunc("nakika_fetches_total", "", metrics.Labels{"source": "peer"}, cv(&n.peerHits))
+	r.CounterFunc("nakika_fetches_total", "", metrics.Labels{"source": "origin"}, cv(&n.originFetches))
+	r.CounterFunc("nakika_fetches_total", "", metrics.Labels{"source": "coalesced"}, cv(&n.coalesced))
+	r.CounterFunc("nakika_generated_responses_total", "Responses generated by script handlers.", nil, cv(&n.generated))
+	r.CounterFunc("nakika_rejected_total", "Requests refused by admission control (server busy).", nil, cv(&n.rejected))
+	r.CounterFunc("nakika_errors_total", "Requests that failed with an error.", nil, cv(&n.errors))
+
+	r.CounterFunc("nakika_cache_hits_total", "Proxy cache hits per tier.", metrics.Labels{"tier": "memory"},
+		func() float64 { return float64(n.cache.Stats().Hits) })
+	r.CounterFunc("nakika_cache_hits_total", "", metrics.Labels{"tier": "disk"},
+		func() float64 { return float64(n.cache.Stats().DiskHits) })
+	r.CounterFunc("nakika_cache_misses_total", "Proxy cache misses.", nil,
+		func() float64 { return float64(n.cache.Stats().Misses) })
+	r.CounterFunc("nakika_cache_evictions_total", "Proxy cache evictions per tier.", metrics.Labels{"tier": "memory"},
+		func() float64 { return float64(n.cache.Stats().Evictions) })
+	r.CounterFunc("nakika_cache_evictions_total", "", metrics.Labels{"tier": "disk"},
+		func() float64 { return float64(n.cache.Stats().Disk.Evictions) })
+	r.GaugeFunc("nakika_cache_bytes", "Cached body bytes per tier.", metrics.Labels{"tier": "memory"},
+		func() float64 { return float64(n.cache.Stats().Bytes) })
+	r.GaugeFunc("nakika_cache_bytes", "", metrics.Labels{"tier": "disk"},
+		func() float64 { return float64(n.cache.Stats().Disk.Bytes) })
+
+	r.CounterFunc("nakika_store_wal_appends_total", "Records appended to the hard-state WAL.", nil,
+		func() float64 { return float64(n.StoreStats().Appends) })
+	r.CounterFunc("nakika_store_fsync_batches_total", "Fsyncs issued by the WAL (group commit batches records per sync).", nil,
+		func() float64 { return float64(n.StoreStats().Syncs) })
+	r.CounterFunc("nakika_store_fence_rejects_total", "Writes refused at the store because their token fell below the durable fence floor.", nil,
+		func() float64 { return float64(n.StoreStats().FenceRejects) })
+	r.CounterFunc("nakika_store_compactions_total", "Completed snapshot/truncate cycles.", nil,
+		func() float64 { return float64(n.StoreStats().Compactions) })
+	r.GaugeFunc("nakika_store_wal_bytes", "Size of the active WAL file.", nil,
+		func() float64 { return float64(n.StoreStats().WALBytes) })
+
+	r.CounterFunc("nakika_replication_forwarded_ops_total", "Mutations routed to another acting owner.", nil, cv(&n.repForwarded))
+	r.CounterFunc("nakika_replication_pushes_total", "Records peers accepted from this node's replication and repair pushes.", nil, cv(&n.repPushes))
+	r.CounterFunc("nakika_replication_failover_reads_total", "Reads served by a successor after the routed owner was found dead.", nil, cv(&n.repFailovers))
+	r.CounterFunc("nakika_replication_applied_total", "Records applied from peers that superseded the local copy.", nil, cv(&n.repApplied))
+
+	r.CounterFunc("nakika_offload_executed_total", "Requests run through this node's own pipeline.", nil, cv(&n.offExecuted))
+	r.CounterFunc("nakika_offload_forwarded_total", "Requests shed to a less-loaded replica.", nil, cv(&n.offFwdOut))
+	r.CounterFunc("nakika_offload_received_total", "Offloaded requests accepted from peers.", nil, cv(&n.offRecvIn))
+	r.CounterFunc("nakika_offload_fallbacks_total", "Forwards that failed in transit and ran locally.", nil, cv(&n.offFallback))
+	r.CounterFunc("nakika_offload_depth_cap_total", "Requests pinned to local execution by the forwarding-depth cap.", nil, cv(&n.offDepthCap))
+	r.CounterFunc("nakika_hedged_reads_total", "Replicated reads diverted to the next replica by the hedge budget.", nil, cv(&n.hedged))
+	r.CounterFunc("nakika_hedge_hits_total", "Hedged reads the hedge target answered.", nil, cv(&n.hedgeHits))
+
+	r.CounterFunc("nakika_lease_acquired_total", "Fresh lease grants (including handovers).", nil, cv(&n.leaseAcquired))
+	r.CounterFunc("nakika_lease_renewed_total", "Lease extensions keeping the token.", nil, cv(&n.leaseRenewed))
+	r.CounterFunc("nakika_lease_released_total", "Early lease releases.", nil, cv(&n.leaseReleased))
+	r.CounterFunc("nakika_lease_denied_total", "Acquires refused because a live holder held the lease.", nil, cv(&n.leaseDenied))
+	r.CounterFunc("nakika_lease_handovers_total", "Lease grants over a previous holder, split by recovery path.", metrics.Labels{"path": "crash"}, cv(&n.leaseCrashHO))
+	r.CounterFunc("nakika_lease_handovers_total", "", metrics.Labels{"path": "expiry"}, cv(&n.leaseExpiryHO))
+	r.CounterFunc("nakika_lease_fenced_writes_total", "Fenced puts acknowledged.", nil, cv(&n.leaseFenced))
+	r.CounterFunc("nakika_lease_fence_rejects_total", "Fenced puts refused because the holdership was deposed.", nil, cv(&n.leaseFenceRej))
+
+	r.GaugeFunc("nakika_load_score", "The node's load score (in-flight requests plus decayed recent work).", nil, n.LoadScore)
+
+	n.latency = r.NewHistogramSeries("nakika_request_seconds", "End-to-end request latency at this node.", nil, metrics.DefBuckets)
+	n.reg = r
+}

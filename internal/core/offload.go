@@ -196,6 +196,9 @@ func (n *Node) shedRequest(req *httpmsg.Request, depth int) (resp *httpmsg.Respo
 		Key:  req.SiteKey(),
 		Args: []string{strconv.Itoa(depth + 1), loadview.FormatScore(local)},
 		Body: body,
+		// The request's trace id travels with the forward, so the peer's
+		// execution sample shares it with the ingress node's.
+		Trace: req.TraceID,
 	})
 	if callErr != nil {
 		if transport.IsRemote(callErr) {
@@ -249,6 +252,9 @@ func (n *Node) serveOffloadRPC(from string, msg transport.Message) (transport.Me
 		if err != nil {
 			return transport.Message{}, err
 		}
+		// Adopt the sender's trace id (zero when the sender is untraced):
+		// this node's execution joins the same cross-node trace.
+		req.TraceID = msg.Trace
 		resp, who, err, shed := n.shedRequest(req, depth)
 		var trace *pipeline.Trace
 		if !shed {

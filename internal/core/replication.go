@@ -8,6 +8,7 @@ import (
 
 	"nakika/internal/overlay"
 	"nakika/internal/state"
+	"nakika/internal/trace"
 	"nakika/internal/transport"
 )
 
@@ -137,21 +138,21 @@ func (n *Node) resolveActingOwner(rk string, probe func(string) bool) (string, e
 // repPut routes one client put: executed locally when this node is the
 // acting owner, forwarded otherwise, failing over to successors while the
 // routed owner is unreachable.
-func (n *Node) repPut(site, key, value string) error {
-	return n.repForwardOp(site, key, msgRepPut, value, func() error {
+func (n *Node) repPut(act *trace.Act, site, key, value string) error {
+	return n.repForwardOp(act, site, key, msgRepPut, value, func() error {
 		return n.ownerPut(site, key, false, value)
 	})
 }
 
 // repDelete routes one client delete (a versioned tombstone write).
-func (n *Node) repDelete(site, key string) error {
-	return n.repForwardOp(site, key, msgRepDel, "", func() error {
+func (n *Node) repDelete(act *trace.Act, site, key string) error {
+	return n.repForwardOp(act, site, key, msgRepDel, "", func() error {
 		return n.ownerPut(site, key, true, "")
 	})
 }
 
 // repForwardOp is the shared owner-routing loop for mutations.
-func (n *Node) repForwardOp(site, key, msgType, value string, local func() error) error {
+func (n *Node) repForwardOp(act *trace.Act, site, key, msgType, value string, local func() error) error {
 	rk := state.ReplicaKey(site, key)
 	body := encodeRepForward(repForward{Site: site, Key: key, Value: value})
 	avoid := make(map[string]bool)
@@ -164,7 +165,7 @@ func (n *Node) repForwardOp(site, key, msgType, value string, local func() error
 		if owner == n.cfg.Name {
 			return local()
 		}
-		_, err = n.call(owner, transport.Message{Type: msgType, Body: body})
+		_, err = n.callT(act, owner, transport.Message{Type: msgType, Body: body})
 		if err == nil {
 			n.repForwarded.Add(1)
 			return nil
@@ -257,10 +258,10 @@ func (n *Node) replicate(rec state.Rec) (acks, attempts int, staleVer uint64) {
 // the next replica. With a hedge budget configured (Config.HedgeAfter),
 // a read whose owner is expected to be slow is hedged to the next replica
 // first — see hedgeRead.
-func (n *Node) repGet(site, key string) (string, bool) {
+func (n *Node) repGet(act *trace.Act, site, key string) (string, bool) {
 	rk := state.ReplicaKey(site, key)
 	body := encodeRepForward(repForward{Site: site, Key: key})
-	if value, ok, answered := n.hedgeRead(rk, site, key, body); answered {
+	if value, ok, answered := n.hedgeRead(act, rk, site, key, body); answered {
 		return value, ok
 	}
 	avoid := make(map[string]bool)
@@ -272,7 +273,7 @@ func (n *Node) repGet(site, key string) (string, bool) {
 		if owner == n.cfg.Name {
 			return n.localVersionedGet(site, key)
 		}
-		reply, err := n.call(owner, transport.Message{Type: msgRepGet, Body: body})
+		reply, err := n.callT(act, owner, transport.Message{Type: msgRepGet, Body: body})
 		if err == nil {
 			if len(avoid) > 0 {
 				n.repFailovers.Add(1)
@@ -312,7 +313,7 @@ func (n *Node) repGet(site, key string) (string, bool) {
 // recovered owner's estimate from the maintenance loops so reads return
 // to the owner instead of hedging forever. answered reports whether the
 // hedge produced an authoritative result.
-func (n *Node) hedgeRead(rk, site, key string, body []byte) (value string, ok, answered bool) {
+func (n *Node) hedgeRead(act *trace.Act, rk, site, key string, body []byte) (value string, ok, answered bool) {
 	if n.cfg.HedgeAfter <= 0 {
 		return "", false, false
 	}
@@ -329,6 +330,10 @@ func (n *Node) hedgeRead(rk, site, key string, body []byte) (value string, ok, a
 		return "", false, false
 	}
 	n.hedged.Add(1)
+	// The requesting pipeline's trace records the hedge fire and whether
+	// the hedge target's answer won (answered == the hedge was
+	// authoritative).
+	defer func() { act.RecordHedge(answered) }()
 	if alt == n.cfg.Name {
 		// This node is the next replica: serve its local copy.
 		if v, ok := n.localVersionedGet(site, key); ok {
@@ -337,7 +342,7 @@ func (n *Node) hedgeRead(rk, site, key string, body []byte) (value string, ok, a
 		}
 		return "", false, false
 	}
-	reply, err := n.call(alt, transport.Message{Type: msgRepGet, Body: body})
+	reply, err := n.callT(act, alt, transport.Message{Type: msgRepGet, Body: body})
 	if err != nil || len(reply.Args) == 0 || reply.Args[0] != "hit" {
 		return "", false, false
 	}
@@ -355,7 +360,7 @@ func (n *Node) hedgeRead(rk, site, key string, body []byte) (value string, ok, a
 // keeps the host API contract that State.keys() agrees with State.get():
 // keys span the ring, so enumeration must too. The scatter is O(members)
 // per call; site key sets and rings are small at this system's scale.
-func (n *Node) repKeys(site string) []string {
+func (n *Node) repKeys(act *trace.Act, site string) []string {
 	set := make(map[string]struct{})
 	for _, k := range n.store.KeysVersioned(site) {
 		set[k] = struct{}{}
@@ -364,7 +369,7 @@ func (n *Node) repKeys(site string) []string {
 		if peer == n.cfg.Name {
 			continue
 		}
-		reply, err := n.call(peer, transport.Message{Type: msgRepKeys, Key: site})
+		reply, err := n.callT(act, peer, transport.Message{Type: msgRepKeys, Key: site})
 		if err != nil {
 			continue
 		}
@@ -489,7 +494,7 @@ func (n *Node) retryPendingDeletes() {
 		if !ok {
 			continue
 		}
-		if err := n.repDelete(it.site, it.key); err == nil {
+		if err := n.repDelete(nil, it.site, it.key); err == nil {
 			n.delMu.Lock()
 			delete(n.pendingDel, rk)
 			n.delMu.Unlock()

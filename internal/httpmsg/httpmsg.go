@@ -41,6 +41,10 @@ type Request struct {
 	terminated *Response
 	// Redirected records whether a script rewrote the URL.
 	Redirected bool
+	// TraceID is the request's cross-node trace id (zero: untraced). The
+	// ingress node mints it; offload forwards carry it so both sides of a
+	// forwarded request record the same id.
+	TraceID uint64
 	// urlBuf is the inline URL storage SetURLCopy points URL at, so pooled
 	// requests carry their URL without a per-request url.URL allocation.
 	urlBuf url.URL
@@ -115,6 +119,7 @@ func (r *Request) Clone() *Request {
 		ClientIP:   r.ClientIP,
 		Received:   r.Received,
 		Redirected: r.Redirected,
+		TraceID:    r.TraceID,
 	}
 	if r.URL != nil {
 		u := *r.URL

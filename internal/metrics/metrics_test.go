@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nakika_test_total", "test counter", Labels{"tier": "mem"})
+	g := r.NewGauge("nakika_test_gauge", "test gauge", nil)
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 || g.Value() != 5 {
+		t.Fatalf("counter=%d gauge=%d, want 5 and 5", c.Value(), g.Value())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE nakika_test_total counter",
+		`nakika_test_total{tier="mem"} 5`,
+		"nakika_test_gauge 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ParseExposition(out); err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramSeries("nakika_req_seconds", "latency", Labels{"node": "n0"}, []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.555", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`nakika_req_seconds_bucket{node="n0",le="0.01"} 1`,
+		`nakika_req_seconds_bucket{node="n0",le="0.1"} 2`,
+		`nakika_req_seconds_bucket{node="n0",le="1"} 3`,
+		`nakika_req_seconds_bucket{node="n0",le="+Inf"} 4`,
+		`nakika_req_seconds_count{node="n0"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	names, err := ParseExposition(out)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if !names["nakika_req_seconds"] {
+		t.Fatalf("histogram family name not reduced from suffixes: %v", names)
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	if err := a.Merge(NewHistogram([]float64{1, 3})); err == nil {
+		t.Fatal("merge of mismatched bounds succeeded")
+	}
+	if err := a.Merge(NewHistogram([]float64{1})); err == nil {
+		t.Fatal("merge of mismatched bucket count succeeded")
+	}
+}
+
+// TestRegistryConcurrentIncrements is the registry race test: counters,
+// gauges, and a histogram hammered from many goroutines while scrapes
+// render concurrently. Run under -race in CI.
+func TestRegistryConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c", nil)
+	g := r.NewGauge("g", "g", nil)
+	h := r.NewHistogramSeries("h_seconds", "h", nil, DefBuckets)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	if c.Value() != workers*per || g.Value() != workers*per {
+		t.Fatalf("counter=%d gauge=%d, want %d", c.Value(), g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count=%d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestHistogramConcurrentMerge races observers on shard histograms with
+// merges into an aggregate, asserting no observation is lost or torn.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	const shards, per = 4, 4000
+	agg := NewHistogram(DefBuckets)
+	parts := make([]*Histogram, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		parts[s] = NewHistogram(DefBuckets)
+		wg.Add(1)
+		go func(h *Histogram) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.002)
+			}
+		}(parts[s])
+	}
+	// Merge a snapshot of each shard mid-flight (races Observe on
+	// purpose), then once more after quiescence for the exact total.
+	for _, p := range parts {
+		if err := agg.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	final := NewHistogram(DefBuckets)
+	for _, p := range parts {
+		if err := final.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if final.Count() != shards*per {
+		t.Fatalf("merged count = %d, want %d", final.Count(), shards*per)
+	}
+	if math.Abs(final.Sum()-float64(shards*per)*0.002) > 1e-6 {
+		t.Fatalf("merged sum = %g", final.Sum())
+	}
+}

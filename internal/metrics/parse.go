@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition validates Prometheus text exposition format and
+// returns the set of series names present (bucket/sum/count suffixes
+// reduced to their histogram family name). It is the validator the e2e
+// tier runs against a live node's /metrics output: any malformed line
+// is an error, so a broken renderer fails the scrape test instead of
+// silently shipping garbage.
+func ParseExposition(text string) (map[string]bool, error) {
+	names := make(map[string]bool)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", ln+1, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := splitSeries(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		val := strings.TrimSpace(rest)
+		// Timestamps are permitted after the value.
+		if i := strings.IndexByte(val, ' '); i >= 0 {
+			if _, err := strconv.ParseInt(strings.TrimSpace(val[i+1:]), 10, 64); err != nil {
+				return nil, fmt.Errorf("line %d: bad timestamp in %q", ln+1, line)
+			}
+			val = val[:i]
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil && val != "+Inf" && val != "-Inf" && val != "NaN" {
+			return nil, fmt.Errorf("line %d: bad value %q", ln+1, val)
+		}
+		names[name] = true
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				names[base] = true
+			}
+		}
+	}
+	return names, nil
+}
+
+// splitSeries splits `name{labels} value` into the series name and the
+// remainder after the label block, validating label syntax.
+func splitSeries(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed series line %q", line)
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if line[i] == ' ' {
+		return name, line[i+1:], nil
+	}
+	// Scan the label block, honoring quoted values with escapes.
+	j := i + 1
+	for j < len(line) && line[j] != '}' {
+		if line[j] == '"' {
+			j++
+			for j < len(line) && line[j] != '"' {
+				if line[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(line) {
+				return "", "", fmt.Errorf("unterminated label value in %q", line)
+			}
+		}
+		j++
+	}
+	if j >= len(line) {
+		return "", "", fmt.Errorf("unterminated label block in %q", line)
+	}
+	return name, line[j+1:], nil
+}
+
+func validName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -12,6 +12,7 @@ import (
 	"nakika/internal/policy"
 	"nakika/internal/resource"
 	"nakika/internal/script"
+	nktrace "nakika/internal/trace"
 	"nakika/internal/vocab"
 )
 
@@ -67,6 +68,14 @@ type StageTrace struct {
 
 // Trace summarizes a pipeline execution.
 type Trace struct {
+	// Act is the request's activity record: its cross-node trace id, the
+	// span timings of every handler run and the origin fetch, and the
+	// hedged-read / lease / fenced-write activity the host layer stamped
+	// while this request's handlers ran. It lives inline in the Trace
+	// allocation; the executor hands &Act to handler contexts so host
+	// vocabularies can record onto it.
+	Act nktrace.Act
+
 	Stages       []StageTrace
 	Generated    bool
 	FromCache    bool
@@ -103,6 +112,7 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 	start := time.Now()
 	trace := &Trace{}
 	trace.Stages = trace.stagesBuf[:0]
+	trace.Act.ID = req.TraceID
 	site := req.SiteKey()
 
 	// Admission control by the resource manager: throttled sites see a
@@ -175,7 +185,9 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 
 		if pol != nil && pol.OnRequest != nil {
 			st.RanRequest = true
-			resp, err := e.runOnRequest(stage, pol, site, &killed, req)
+			spanStart := time.Since(start)
+			resp, err := e.runOnRequest(stage, pol, site, &killed, trace, req)
+			trace.Act.AddSpan(scriptURL, spanStart, time.Since(start)-spanStart)
 			if err != nil {
 				if errors.Is(err, script.ErrTerminated) || errors.Is(err, script.ErrStepLimit) || errors.Is(err, script.ErrMemoryLimit) {
 					terminated = true
@@ -216,7 +228,9 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 		if e.FetchOrigin == nil {
 			return nil, trace, fmt.Errorf("pipeline: no origin fetcher configured")
 		}
+		spanStart := time.Since(start)
 		resp, err := e.FetchOrigin(req)
+		trace.Act.AddSpan("origin", spanStart, time.Since(start)-spanStart)
 		if err != nil {
 			resp = httpmsg.NewTextResponse(http.StatusBadGateway, "origin fetch failed: "+err.Error()+"\n")
 		}
@@ -242,7 +256,10 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 				trace.Stages[j].RanResponse = true
 			}
 		}
-		if err := e.runOnResponse(ex.stage, ex.pol, site, &killed, req, response); err != nil {
+		spanStart := time.Since(start)
+		err := e.runOnResponse(ex.stage, ex.pol, site, &killed, trace, req, response)
+		trace.Act.AddSpan(ex.script, spanStart, time.Since(start)-spanStart)
+		if err != nil {
 			if errors.Is(err, script.ErrTerminated) || errors.Is(err, script.ErrStepLimit) || errors.Is(err, script.ErrMemoryLimit) {
 				trace.Terminated = true
 				trace.Elapsed = time.Since(start)
@@ -284,10 +301,12 @@ func (e *Executor) withHandlerRun(stage *Stage, site string, killed *atomic.Bool
 
 // runOnRequest executes a policy's onRequest handler against req and returns
 // the response it produced, if any.
-func (e *Executor) runOnRequest(stage *Stage, pol *policy.Policy, site string, killed *atomic.Bool, req *httpmsg.Request) (*httpmsg.Response, error) {
+func (e *Executor) runOnRequest(stage *Stage, pol *policy.Policy, site string, killed *atomic.Bool, trace *Trace, req *httpmsg.Request) (*httpmsg.Response, error) {
 	var produced *httpmsg.Response
 	err := e.withHandlerRun(stage, site, killed, func(run *Run) error {
 		ctx := run.Ctx
+		ctx.Act = &trace.Act
+		defer func() { ctx.Act = nil }()
 		vocab.BindRequest(ctx, req)
 		// Bind a fresh response the handler may choose to fill from scratch.
 		generated := vocab.NewGeneratedResponse()
@@ -321,9 +340,11 @@ func (e *Executor) runOnRequest(stage *Stage, pol *policy.Policy, site string, k
 }
 
 // runOnResponse executes a policy's onResponse handler against resp.
-func (e *Executor) runOnResponse(stage *Stage, pol *policy.Policy, site string, killed *atomic.Bool, req *httpmsg.Request, resp *httpmsg.Response) error {
+func (e *Executor) runOnResponse(stage *Stage, pol *policy.Policy, site string, killed *atomic.Bool, trace *Trace, req *httpmsg.Request, resp *httpmsg.Response) error {
 	return e.withHandlerRun(stage, site, killed, func(run *Run) error {
 		ctx := run.Ctx
+		ctx.Act = &trace.Act
+		defer func() { ctx.Act = nil }()
 		vocab.BindRequest(ctx, req)
 		vocab.BindResponse(ctx, resp)
 		beforeSteps, beforeHeap := ctx.Steps(), ctx.HeapBytes()

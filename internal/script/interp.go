@@ -113,7 +113,14 @@ type Stats struct {
 // executions to amortize creation cost.
 type Context struct {
 	Globals *Env
-	limits  Limits
+
+	// Act is opaque per-handler-run data the embedder attaches before
+	// running an event handler and clears after (the pipeline stores the
+	// request's *trace.Act here so host vocabularies can stamp activity
+	// onto the right request). Scripts cannot observe it.
+	Act any
+
+	limits Limits
 
 	steps      int64
 	heapBytes  int64
@@ -143,6 +150,7 @@ func (ctx *Context) Reset() {
 	ctx.terminated.Store(false)
 	ctx.steps = 0
 	ctx.heapBytes = 0
+	ctx.Act = nil
 }
 
 // Terminate requests that the running (or next) evaluation stop with

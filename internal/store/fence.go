@@ -132,6 +132,7 @@ func (l *Log) RaiseFence(site, guard, holder string, token uint64) error {
 		return ErrClosed
 	}
 	if !l.t.fenceAdmits(site, guard, holder, token) {
+		l.fenceRejs++
 		l.mu.Unlock()
 		return ErrFencedStale
 	}
@@ -143,6 +144,7 @@ func (l *Log) RaiseFence(site, guard, holder string, token uint64) error {
 	l.t.raiseFence(site, guard, holder, token)
 	wal := l.wal
 	seq, err := wal.Reserve(encodeFence(site, guard, holder, token))
+	l.appends++
 	l.mu.Unlock()
 	if err != nil {
 		return err
@@ -166,6 +168,7 @@ func (l *Log) FencedPut(site, key, value, guard, holder string, token uint64) er
 		return ErrClosed
 	}
 	if !l.t.fenceAdmits(site, guard, holder, token) {
+		l.fenceRejs++
 		l.mu.Unlock()
 		return ErrFencedStale
 	}
@@ -176,6 +179,7 @@ func (l *Log) FencedPut(site, key, value, guard, holder string, token uint64) er
 	l.t.raiseFence(site, guard, holder, token)
 	wal := l.wal
 	seq, err := wal.Reserve(encodeFencedPut(site, key, value, guard, holder, token))
+	l.appends++
 	l.mu.Unlock()
 	if err != nil {
 		return err

@@ -34,6 +34,12 @@ type LogStats struct {
 	Syncs int64
 	// Compactions counts completed snapshot/truncate cycles.
 	Compactions int64
+	// Appends counts records reserved in the WAL across the engine's
+	// lifetime (puts, deletes, fence raises, fenced puts).
+	Appends int64
+	// FenceRejects counts writes refused because their (token, holder)
+	// pair fell below a guard's durable fence floor.
+	FenceRejects int64
 }
 
 // Log is the persistent KV engine: every mutation is appended to a CRC-
@@ -60,6 +66,8 @@ type Log struct {
 	replayed    int
 	compactions int64
 	priorSyncs  int64 // syncs from WALs already rolled away
+	appends     int64
+	fenceRejs   int64
 }
 
 func walName(seq uint64) string  { return fmt.Sprintf("wal-%08d.log", seq) }
@@ -222,6 +230,7 @@ func (l *Log) Put(site, key, value string) error {
 	}
 	wal := l.wal
 	seq, err := wal.Reserve(encodePut(site, key, value))
+	l.appends++
 	l.mu.Unlock()
 	if err != nil {
 		return err
@@ -256,6 +265,7 @@ func (l *Log) Delete(site, key string) error {
 	l.t.del(site, key)
 	wal := l.wal
 	seq, err := wal.Reserve(encodeDelete(site, key))
+	l.appends++
 	l.mu.Unlock()
 	if err != nil {
 		return err
@@ -337,11 +347,13 @@ func (l *Log) Stats() LogStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return LogStats{
-		Replayed:    l.replayed,
-		ActiveSeq:   l.walSeq,
-		WALBytes:    l.wal.Size(),
-		Syncs:       l.priorSyncs + l.wal.Syncs(),
-		Compactions: l.compactions,
+		Replayed:     l.replayed,
+		ActiveSeq:    l.walSeq,
+		WALBytes:     l.wal.Size(),
+		Syncs:        l.priorSyncs + l.wal.Syncs(),
+		Compactions:  l.compactions,
+		Appends:      l.appends,
+		FenceRejects: l.fenceRejs,
 	}
 }
 

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// maxSampleURL bounds the URL bytes copied into a Sample. The copy is
+// inline (no allocation) because pooled request objects reuse their URL
+// backing store the moment the request is released; the bound is sized
+// so a Sample stays within one small allocation size class — the
+// throughput gate tracks hot-path bytes/op, and the Sample is the one
+// allocation tracing adds per request.
+const maxSampleURL = 64
+
+// Sample is one finished request, recorded into the ring. A Sample is
+// immutable once recorded, so ring readers may hold it without
+// synchronization. The span slice aliases the request's Act buffer —
+// safe because the trace that owns the Act is never reused.
+type Sample struct {
+	TraceID uint64
+	Node    string
+	Method  string
+
+	urlBuf [maxSampleURL]byte
+	urlLen uint8
+
+	Start   time.Time
+	Elapsed time.Duration
+
+	Spans        []Span
+	SpansDropped int
+
+	Status       int
+	Generated    bool
+	FromCache    bool
+	Terminated   bool
+	RejectedBusy bool
+	Offloaded    bool
+	OffloadPeer  string
+
+	HedgedReads   int32
+	HedgeWins     int32
+	LeaseAcquires int32
+	LeaseDenials  int32
+	LeaseRenewals int32
+	LeaseReleases int32
+	FencedWrites  int32
+	FenceRejects  int32
+	FenceToken    uint64
+}
+
+// SetURL copies the request URL's host and path into the sample's
+// inline buffer (no allocation, no concatenation), truncating past
+// maxSampleURL bytes.
+func (s *Sample) SetURL(host, path string) {
+	n := copy(s.urlBuf[:], host)
+	n += copy(s.urlBuf[n:], path)
+	s.urlLen = uint8(n)
+}
+
+// URL returns the recorded (possibly truncated) request URL. It
+// allocates, so it is for dump paths only.
+func (s *Sample) URL() string { return string(s.urlBuf[:s.urlLen]) }
+
+// FillFromAct copies an Act's recorded activity into the sample,
+// aliasing its span buffer.
+func (s *Sample) FillFromAct(a *Act) {
+	if a == nil {
+		return
+	}
+	s.TraceID = a.ID
+	s.Spans = a.Spans[:a.NSpans]
+	s.SpansDropped = a.SpansDropped
+	s.HedgedReads = a.HedgedReads
+	s.HedgeWins = a.HedgeWins
+	s.LeaseAcquires = a.LeaseAcquires
+	s.LeaseDenials = a.LeaseDenials
+	s.LeaseRenewals = a.LeaseRenewals
+	s.LeaseReleases = a.LeaseReleases
+	s.FencedWrites = a.FencedWrites
+	s.FenceRejects = a.FenceRejects
+	s.FenceToken = a.FenceToken
+}
+
+// Ring is a fixed-size lock-free buffer of the most recent Samples.
+// Writers claim slots with a single atomic add and publish with an
+// atomic pointer store; readers snapshot with atomic loads. No locks,
+// no blocking, safe under the race detector.
+type Ring struct {
+	slots []atomic.Pointer[Sample]
+	next  atomic.Uint64
+}
+
+// DefaultRingSize is the per-node sample capacity when none is
+// configured.
+const DefaultRingSize = 256
+
+// NewRing returns a ring holding up to n samples (DefaultRingSize if
+// n <= 0).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{slots: make([]atomic.Pointer[Sample], n)}
+}
+
+// Record publishes a finished sample, overwriting the oldest once the
+// ring is full. The sample must not be mutated after Record.
+func (r *Ring) Record(s *Sample) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+// Len returns how many samples the ring currently holds.
+func (r *Ring) Len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the current samples, unordered.
+func (r *Ring) Snapshot() []*Sample {
+	out := make([]*Sample, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Slowest returns up to n recent samples ordered by descending elapsed
+// time — the admin surface's "what has been slow lately" dump.
+func (r *Ring) Slowest(n int) []*Sample {
+	out := r.Snapshot()
+	sort.Slice(out, func(i, j int) bool { return out[i].Elapsed > out[j].Elapsed })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

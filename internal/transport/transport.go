@@ -33,6 +33,11 @@ type Message struct {
 	Key  string
 	Args []string
 	Body []byte
+	// Trace is the originating request's cross-node trace id; zero means
+	// untraced. It rides every transport (the wire codec appends it only
+	// when set, so untraced traffic is byte-identical to the pre-trace
+	// protocol, and peers still running it ignore the trailing field).
+	Trace uint64
 }
 
 // Handler serves one incoming message and returns the reply.

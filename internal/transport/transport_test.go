@@ -68,6 +68,8 @@ func TestWireCodecRoundTrip(t *testing.T) {
 		{},
 		{Type: "ov.find_successor", Key: "abc123", Args: []string{"one", "", "three"}, Body: []byte("payload")},
 		{Type: strings.Repeat("t", 300), Key: strings.Repeat("k", 1000), Body: make([]byte, 100_000)},
+		{Type: "off.exec", Key: "req", Body: []byte("b"), Trace: 0xdeadbeefcafe},
+		{Type: "lease.acquire", Trace: 1},
 	}
 	for i, msg := range cases {
 		from, to, got, err := decodeRequest(encodeRequest("alice", "bob", msg))
@@ -75,7 +77,7 @@ func TestWireCodecRoundTrip(t *testing.T) {
 			t.Fatalf("case %d: %v", i, err)
 		}
 		if from != "alice" || to != "bob" || got.Type != msg.Type || got.Key != msg.Key ||
-			len(got.Args) != len(msg.Args) || string(got.Body) != string(msg.Body) {
+			len(got.Args) != len(msg.Args) || string(got.Body) != string(msg.Body) || got.Trace != msg.Trace {
 			t.Errorf("case %d: round trip mismatch", i)
 		}
 		rep, err := decodeReply(encodeReply(msg, nil))
@@ -94,6 +96,22 @@ func TestWireCodecRoundTrip(t *testing.T) {
 	for _, raw := range [][]byte{nil, {0}, {1}, {0, 0xff, 0xff}, {2, 9, 9, 9}} {
 		decodeReply(raw)
 		decodeRequest(raw)
+	}
+}
+
+// TestWireTraceIsOptionalTrailingField pins the compatibility contract:
+// an untraced frame is byte-identical to the pre-trace encoding, and a
+// pre-trace frame decodes with Trace zero.
+func TestWireTraceIsOptionalTrailingField(t *testing.T) {
+	msg := Message{Type: "rep.get", Key: "k", Body: []byte("b")}
+	plain := encodeRequest("a", "b", msg)
+	msg.Trace = 7
+	traced := encodeRequest("a", "b", msg)
+	if len(traced) <= len(plain) || string(traced[:len(plain)]) != string(plain) {
+		t.Fatalf("traced frame is not plain frame + trailing field (%d vs %d bytes)", len(traced), len(plain))
+	}
+	if _, _, got, err := decodeRequest(plain); err != nil || got.Trace != 0 {
+		t.Fatalf("pre-trace frame: trace = %d, err = %v, want 0 and nil", got.Trace, err)
 	}
 }
 

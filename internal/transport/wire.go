@@ -77,6 +77,12 @@ func appendRequest(buf []byte, from, to string, msg Message) []byte {
 		buf = appendString(buf, a)
 	}
 	buf = appendBytes(buf, msg.Body)
+	// The trace id is a trailing optional field: absent when zero, so
+	// untraced frames stay byte-identical to the pre-trace protocol, and
+	// decoders that predate it (which stop after the body) skip it.
+	if msg.Trace != 0 {
+		buf = binary.AppendUvarint(buf, msg.Trace)
+	}
 	return buf
 }
 
@@ -122,6 +128,13 @@ func decodeRequest(payload []byte) (from, to string, msg Message, err error) {
 	}
 	if len(body) > 0 {
 		msg.Body = append([]byte(nil), body...)
+	}
+	// Optional trailing trace id (see appendRequest). A malformed tail is
+	// ignored rather than rejected: the request itself decoded fine.
+	if r.off < len(payload) {
+		if tr, terr := r.uvarint(); terr == nil {
+			msg.Trace = tr
+		}
 	}
 	return
 }

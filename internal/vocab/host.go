@@ -15,6 +15,7 @@ import (
 
 	"nakika/internal/httpmsg"
 	"nakika/internal/script"
+	"nakika/internal/trace"
 )
 
 // Host is the interface the edge node provides to vocabularies. All methods
@@ -39,11 +40,15 @@ type Host interface {
 	Usage(site, resource string) float64
 	// Log records a message in the site's edge-side access log.
 	Log(site, message string)
-	// Hard state operations, partitioned by site.
-	StateGet(site, key string) (string, bool)
-	StatePut(site, key, value string) error
-	StateDelete(site, key string)
-	StateKeys(site string) []string
+	// Hard state operations, partitioned by site. The leading act is the
+	// requesting pipeline's activity record (nil when no request is being
+	// traced): the host stamps hedged reads, RPC fan-out, and lease
+	// outcomes onto it, and propagates act.ID over any RPC the operation
+	// fans out into.
+	StateGet(act *trace.Act, site, key string) (string, bool)
+	StatePut(act *trace.Act, site, key, value string) error
+	StateDelete(act *trace.Act, site, key string)
+	StateKeys(act *trace.Act, site string) []string
 	// Propagate sends a replication message to the site's update channel on
 	// other nodes via the reliable messaging layer.
 	Propagate(site, message string) error
@@ -52,10 +57,10 @@ type Host interface {
 	// lease for this node (ttl <= 0 means the node default) and returns
 	// the holdership's fencing token; FencedStatePut writes hard state
 	// under that token, rejected once a newer holdership has written.
-	LeaseAcquire(site, name string, ttl time.Duration) (uint64, bool)
-	LeaseRenew(site, name string, token uint64, ttl time.Duration) bool
-	LeaseRelease(site, name string, token uint64) bool
-	FencedStatePut(site, key, value, name string, token uint64) error
+	LeaseAcquire(act *trace.Act, site, name string, ttl time.Duration) (uint64, bool)
+	LeaseRenew(act *trace.Act, site, name string, token uint64, ttl time.Duration) bool
+	LeaseRelease(act *trace.Act, site, name string, token uint64) bool
+	FencedStatePut(act *trace.Act, site, key, value, name string, token uint64) error
 	// NodeName identifies this edge node (diagnostics, Via headers).
 	NodeName() string
 	// Now returns the current (possibly virtual) time.
@@ -92,37 +97,52 @@ func (NopHost) Usage(site, resource string) float64 { return 0 }
 func (NopHost) Log(site, message string) {}
 
 // StateGet always misses.
-func (NopHost) StateGet(site, key string) (string, bool) { return "", false }
+func (NopHost) StateGet(act *trace.Act, site, key string) (string, bool) { return "", false }
 
 // StatePut discards the value.
-func (NopHost) StatePut(site, key, value string) error { return nil }
+func (NopHost) StatePut(act *trace.Act, site, key, value string) error { return nil }
 
 // StateDelete is a no-op.
-func (NopHost) StateDelete(site, key string) {}
+func (NopHost) StateDelete(act *trace.Act, site, key string) {}
 
 // StateKeys returns nothing.
-func (NopHost) StateKeys(site string) []string { return nil }
+func (NopHost) StateKeys(act *trace.Act, site string) []string { return nil }
 
 // Propagate discards the message.
 func (NopHost) Propagate(site, message string) error { return nil }
 
 // LeaseAcquire always grants token 1.
-func (NopHost) LeaseAcquire(site, name string, ttl time.Duration) (uint64, bool) { return 1, true }
+func (NopHost) LeaseAcquire(act *trace.Act, site, name string, ttl time.Duration) (uint64, bool) {
+	return 1, true
+}
 
 // LeaseRenew always succeeds.
-func (NopHost) LeaseRenew(site, name string, token uint64, ttl time.Duration) bool { return true }
+func (NopHost) LeaseRenew(act *trace.Act, site, name string, token uint64, ttl time.Duration) bool {
+	return true
+}
 
 // LeaseRelease always succeeds.
-func (NopHost) LeaseRelease(site, name string, token uint64) bool { return true }
+func (NopHost) LeaseRelease(act *trace.Act, site, name string, token uint64) bool { return true }
 
 // FencedStatePut discards the value.
-func (NopHost) FencedStatePut(site, key, value, name string, token uint64) error { return nil }
+func (NopHost) FencedStatePut(act *trace.Act, site, key, value, name string, token uint64) error {
+	return nil
+}
 
 // NodeName returns a placeholder name.
 func (NopHost) NodeName() string { return "nop-node" }
 
 // Now returns the wall-clock time.
 func (NopHost) Now() time.Time { return time.Now() }
+
+// actOf extracts the activity record the pipeline attached to the running
+// handler's context; nil during stage evaluation or untraced executions.
+// Host methods and the Act recorders are nil-safe, so natives pass the
+// result through unconditionally.
+func actOf(c *script.Context) *trace.Act {
+	a, _ := c.Act.(*trace.Act)
+	return a
+}
 
 // Registry collects the policy objects a stage script registers while it is
 // being evaluated (the register() call on script-level Policy objects).
@@ -272,6 +292,11 @@ func installFetch(ctx *script.Context, host Host) {
 		if err != nil {
 			return nil, script.ThrowString("Fetch.get: " + err.Error())
 		}
+		// Sub-fetches issued by a traced request carry its trace id, so
+		// cross-resource fan-out shows up under one id in the trace dump.
+		if act := actOf(c); act != nil {
+			req.TraceID = act.ID
+		}
 		if len(args) > 2 {
 			switch body := args[2].(type) {
 			case *script.ByteArray:
@@ -304,7 +329,7 @@ func installState(ctx *script.Context, host Host, site string) {
 		if len(args) == 0 {
 			return script.NullValue(), nil
 		}
-		v, ok := host.StateGet(site, script.ToString(args[0]))
+		v, ok := host.StateGet(actOf(c), site, script.ToString(args[0]))
 		if !ok {
 			return script.NullValue(), nil
 		}
@@ -314,20 +339,20 @@ func installState(ctx *script.Context, host Host, site string) {
 		if len(args) < 2 {
 			return script.Boolean(false), nil
 		}
-		if err := host.StatePut(site, script.ToString(args[0]), script.ToString(args[1])); err != nil {
+		if err := host.StatePut(actOf(c), site, script.ToString(args[0]), script.ToString(args[1])); err != nil {
 			return nil, script.ThrowString("State.put: " + err.Error())
 		}
 		return script.Boolean(true), nil
 	}})
 	state.Set("remove", &script.Native{Name: "State.remove", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
 		if len(args) > 0 {
-			host.StateDelete(site, script.ToString(args[0]))
+			host.StateDelete(actOf(c), site, script.ToString(args[0]))
 		}
 		return script.Undefined{}, nil
 	}})
 	state.Set("keys", &script.Native{Name: "State.keys", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
 		arr := script.NewArray()
-		for _, k := range host.StateKeys(site) {
+		for _, k := range host.StateKeys(actOf(c), site) {
 			arr.Elems = append(arr.Elems, script.Str(k))
 		}
 		return arr, nil
@@ -362,7 +387,7 @@ func installLease(ctx *script.Context, host Host, site string) {
 		if len(args) == 0 {
 			return nil, script.ThrowString("Lease.acquire: missing lease name")
 		}
-		token, ok := host.LeaseAcquire(site, script.ToString(args[0]), ttlArg(args, 1))
+		token, ok := host.LeaseAcquire(actOf(c), site, script.ToString(args[0]), ttlArg(args, 1))
 		if !ok {
 			return script.NullValue(), nil
 		}
@@ -373,13 +398,13 @@ func installLease(ctx *script.Context, host Host, site string) {
 			return script.Boolean(false), nil
 		}
 		name, token := script.ToString(args[0]), uint64(script.ToInt(args[1]))
-		return script.Boolean(host.LeaseRenew(site, name, token, ttlArg(args, 2))), nil
+		return script.Boolean(host.LeaseRenew(actOf(c), site, name, token, ttlArg(args, 2))), nil
 	}})
 	leaseObj.Set("release", &script.Native{Name: "Lease.release", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
 		if len(args) < 2 {
 			return script.Boolean(false), nil
 		}
-		return script.Boolean(host.LeaseRelease(site, script.ToString(args[0]), uint64(script.ToInt(args[1])))), nil
+		return script.Boolean(host.LeaseRelease(actOf(c), site, script.ToString(args[0]), uint64(script.ToInt(args[1])))), nil
 	}})
 	leaseObj.Set("put", &script.Native{Name: "Lease.put", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
 		if len(args) < 4 {
@@ -387,7 +412,7 @@ func installLease(ctx *script.Context, host Host, site string) {
 		}
 		key, value := script.ToString(args[0]), script.ToString(args[1])
 		name, token := script.ToString(args[2]), uint64(script.ToInt(args[3]))
-		if err := host.FencedStatePut(site, key, value, name, token); err != nil {
+		if err := host.FencedStatePut(actOf(c), site, key, value, name, token); err != nil {
 			return nil, script.ThrowString("Lease.put: " + err.Error())
 		}
 		return script.Boolean(true), nil

@@ -13,6 +13,7 @@ import (
 
 	"nakika/internal/httpmsg"
 	"nakika/internal/script"
+	"nakika/internal/trace"
 )
 
 // recordingHost is a Host that records interactions for assertions.
@@ -62,27 +63,27 @@ func (h *recordingHost) Log(site, message string) {
 	h.logs = append(h.logs, site+": "+message)
 }
 
-func (h *recordingHost) StateGet(site, key string) (string, bool) {
+func (h *recordingHost) StateGet(act *trace.Act, site, key string) (string, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	v, ok := h.state[site+"/"+key]
 	return v, ok
 }
 
-func (h *recordingHost) StatePut(site, key, value string) error {
+func (h *recordingHost) StatePut(act *trace.Act, site, key, value string) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.state[site+"/"+key] = value
 	return nil
 }
 
-func (h *recordingHost) StateDelete(site, key string) {
+func (h *recordingHost) StateDelete(act *trace.Act, site, key string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	delete(h.state, site+"/"+key)
 }
 
-func (h *recordingHost) StateKeys(site string) []string {
+func (h *recordingHost) StateKeys(act *trace.Act, site string) []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var out []string
@@ -231,7 +232,7 @@ type leaseHost struct {
 	puts   []string
 }
 
-func (h *leaseHost) LeaseAcquire(site, name string, ttl time.Duration) (uint64, bool) {
+func (h *leaseHost) LeaseAcquire(act *trace.Act, site, name string, ttl time.Duration) (uint64, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.tokens == nil {
@@ -244,13 +245,13 @@ func (h *leaseHost) LeaseAcquire(site, name string, ttl time.Duration) (uint64, 
 	return 1, true
 }
 
-func (h *leaseHost) LeaseRenew(site, name string, token uint64, ttl time.Duration) bool {
+func (h *leaseHost) LeaseRenew(act *trace.Act, site, name string, token uint64, ttl time.Duration) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.tokens[name] == token
 }
 
-func (h *leaseHost) LeaseRelease(site, name string, token uint64) bool {
+func (h *leaseHost) LeaseRelease(act *trace.Act, site, name string, token uint64) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.tokens[name] != token {
@@ -260,7 +261,7 @@ func (h *leaseHost) LeaseRelease(site, name string, token uint64) bool {
 	return true
 }
 
-func (h *leaseHost) FencedStatePut(site, key, value, name string, token uint64) error {
+func (h *leaseHost) FencedStatePut(act *trace.Act, site, key, value, name string, token uint64) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.tokens[name] != token {
@@ -676,7 +677,7 @@ func TestNopHost(t *testing.T) {
 	if !h.IsLocalClient("127.0.0.1") || h.IsLocalClient("203.0.113.8") {
 		t.Error("NopHost.IsLocalClient defaults wrong")
 	}
-	if _, ok := h.StateGet("s", "k"); ok {
+	if _, ok := h.StateGet(nil, "s", "k"); ok {
 		t.Error("NopHost state should miss")
 	}
 	if h.NodeName() == "" {
