@@ -178,6 +178,11 @@ func main() {
 				// budget, so reads stop hedging around a peer that has
 				// recovered (no-op with -hedge-after 0).
 				node.RefreshRTTs()
+				// Reconcile the pipeline with the replicated deployment
+				// records each tick: a node that missed a deploy nudge
+				// (crashed, partitioned, or just booted) converges as soon
+				// as replication or repair delivers the record.
+				node.SyncDeployments()
 				if tick%6 == 0 {
 					// Periodic anti-entropy: churn detection sees only what
 					// stabilization observes changing; a peer that died and

@@ -1,0 +1,308 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"nakika/internal/deploy"
+)
+
+// The live-deployment e2e scenario: a real 4-process TCP cluster serves a
+// sustained burst while service-script versions are published, superseded,
+// and rolled back through the admin API of whichever node is handy. Every
+// response must be internally consistent — its X-Na-Kika-Gen header and its
+// body must come from the same script version, with zero dropped requests —
+// because each request pins the deployment generation once, before any
+// stage runs, and unwinds on the same pinned stages. Bad bundles must be
+// rejected by validation before they can propagate anywhere.
+
+// proxyGetGen is proxyGet plus the response's deployment-generation header
+// ("" when the serving node had no live deployment for the site).
+func proxyGetGen(nodeAddr, originHost, pathAndQuery string) (status int, gen, body string, err error) {
+	req, err := http.NewRequest("GET", "http://"+nodeAddr+pathAndQuery, nil)
+	if err != nil {
+		return 0, "", "", err
+	}
+	req.Host = originHost
+	client := &http.Client{Timeout: 15 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", "", err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Na-Kika-Gen"), string(b), nil
+}
+
+// adminPostJSON posts a JSON payload to one admin endpoint of a node.
+func adminPostJSON(addr, path string, payload any) (int, string, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return 0, "", err
+	}
+	client := &http.Client{Timeout: 15 * time.Second}
+	resp, err := client.Post("http://"+addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, string(b), nil
+}
+
+// deployments fetches and decodes a node's /admin/deployments.
+func deployments(addr string) ([]deploy.Status, error) {
+	status, body, err := adminGet(addr, "/admin/deployments")
+	if err != nil {
+		return nil, err
+	}
+	if status != 200 {
+		return nil, fmt.Errorf("/admin/deployments status %d", status)
+	}
+	var out []deploy.Status
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		return nil, fmt.Errorf("deployments dump does not parse: %v", err)
+	}
+	return out, nil
+}
+
+// appliedGen reads the generation a node's pipeline currently serves for
+// site from its /admin/deployments (0 when the site has no deployment).
+func appliedGen(addr, site string) (uint64, error) {
+	sts, err := deployments(addr)
+	if err != nil {
+		return 0, err
+	}
+	for _, st := range sts {
+		if st.Site == site {
+			return st.Applied, nil
+		}
+	}
+	return 0, nil
+}
+
+// waitDeployed polls every node until its pipeline serves wantGen for site:
+// the publisher's broadcast lands immediately, and nodes that missed it
+// converge on the 5s maintenance tick's deployment sync.
+func waitDeployed(t *testing.T, c *clusterProcs, site string, wantGen uint64, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for i := range c.adminAddr {
+		for {
+			got, err := appliedGen(c.adminAddr[i], site)
+			if err == nil && got == wantGen {
+				break
+			}
+			if time.Now().After(end) {
+				t.Fatalf("edge-%d never applied gen %d for %s (last: gen %d, err %v; log:\n%s)",
+					i, wantGen, site, got, err, c.nodes[i].logTail(30))
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+}
+
+// genScript is a deployable service script whose generated body names its
+// version, so the version that served a request is readable off the wire.
+func genScript(marker string) string {
+	return fmt.Sprintf("onRequest = function () { return {status: 200, body: %q}; };", marker)
+}
+
+func TestLiveDeployRollbackMidBurstNoTornResponses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process e2e suite")
+	}
+	c := startCluster(t, 4)
+	nodes := len(c.nodes)
+	// The deployment site is the request host without the port — every
+	// proxied request in this scenario executes this site's pipeline.
+	const site = "127.0.0.1"
+	const burstPath = "/deploy/live-check"
+
+	// The burst: concurrent clients spread over all four nodes for the
+	// whole scenario, recording (generation header, status, body) of every
+	// response. A transport error is a dropped request and fails the test:
+	// deployment swaps must be invisible to in-flight traffic.
+	type sample struct {
+		node   int
+		gen    string
+		status int
+		body   string
+	}
+	var mu sync.Mutex
+	var samples []sample
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node := (w + i) % nodes
+				status, gen, body, err := proxyGetGen(c.httpAddr[node], c.originHost, burstPath)
+				if err != nil {
+					select {
+					case errc <- fmt.Errorf("dropped request via edge-%d: %v", node, err):
+					default:
+					}
+					return
+				}
+				mu.Lock()
+				samples = append(samples, sample{node: node, gen: gen, status: status, body: body})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	defer func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		wg.Wait()
+	}()
+
+	// Let the burst observe the undeployed cluster first (origin-served
+	// responses, no generation header).
+	time.Sleep(1 * time.Second)
+
+	// Publish v1 through edge-0's admin API, mid-burst.
+	status, body, err := adminPostJSON(c.adminAddr[0], "/admin/deploy",
+		map[string]any{"site": site, "script": genScript("edge-v1"), "note": "e2e v1"})
+	if err != nil || status != 200 {
+		t.Fatalf("deploy v1: status %d, err %v, body %s", status, err, body)
+	}
+	waitDeployed(t, c, site, 1, 30*time.Second)
+
+	// Supersede it with v2 through a different node's admin listener: any
+	// node can publish, the record replicates regardless of entry point.
+	time.Sleep(500 * time.Millisecond)
+	status, body, err = adminPostJSON(c.adminAddr[1], "/admin/deploy",
+		map[string]any{"site": site, "script": genScript("edge-v2"), "note": "e2e v2"})
+	if err != nil || status != 200 {
+		t.Fatalf("deploy v2: status %d, err %v, body %s", status, err, body)
+	}
+	waitDeployed(t, c, site, 2, 30*time.Second)
+
+	// Bad bundles are rejected by validation before they can propagate: a
+	// syntax error and a script referencing an unknown vocabulary name both
+	// 422, and the active generation stays 2 everywhere.
+	for _, bad := range []string{
+		"onRequest = function ( { nope",
+		"onRequest = function () { return frobnicate(); };",
+	} {
+		status, body, err = adminPostJSON(c.adminAddr[2], "/admin/deploy",
+			map[string]any{"site": site, "script": bad})
+		if err != nil || status != 422 {
+			t.Fatalf("bad bundle accepted: status %d, err %v, body %s", status, err, body)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		if got, err := appliedGen(c.adminAddr[i], site); err != nil || got != 2 {
+			t.Fatalf("edge-%d serves gen %d after rejected deploys (err %v), want 2", i, got, err)
+		}
+	}
+
+	// Roll back to v1 — a deploy of the retained prior version — through
+	// yet another node, mid-burst.
+	time.Sleep(500 * time.Millisecond)
+	status, body, err = adminPostJSON(c.adminAddr[3], "/admin/rollback",
+		map[string]any{"site": site, "gen": 1})
+	if err != nil || status != 200 {
+		t.Fatalf("rollback to gen 1: status %d, err %v, body %s", status, err, body)
+	}
+	waitDeployed(t, c, site, 1, 30*time.Second)
+	time.Sleep(500 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// Every recorded response must be internally consistent: the body the
+	// client saw and the generation header stamped on it come from the same
+	// script version. A "gen 1 header, v2 body" (or any other cross) is a
+	// torn deploy. Undeployed responses (no header) must be origin content.
+	counts := map[string]int{}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range samples {
+		switch s.gen {
+		case "":
+			if s.body == "edge-v1" || s.body == "edge-v2" {
+				t.Fatalf("undeployed response via edge-%d carries a script body %q with no generation header", s.node, s.body)
+			}
+			counts["origin"]++
+		case "1":
+			if s.status != 200 || s.body != "edge-v1" {
+				t.Fatalf("mixed-version response via edge-%d: gen 1 with status %d body %q", s.node, s.status, s.body)
+			}
+			counts["gen1"]++
+		case "2":
+			if s.status != 200 || s.body != "edge-v2" {
+				t.Fatalf("mixed-version response via edge-%d: gen 2 with status %d body %q", s.node, s.status, s.body)
+			}
+			counts["gen2"]++
+		default:
+			t.Fatalf("response via edge-%d carries unexpected generation %q", s.node, s.gen)
+		}
+	}
+	// The burst must actually have spanned all three regimes — before the
+	// first deploy, on v2, and (counted within gen1) after the rollback.
+	if counts["origin"] == 0 || counts["gen1"] == 0 || counts["gen2"] == 0 {
+		t.Fatalf("burst did not span the deployment lifecycle: %v over %d samples", counts, len(samples))
+	}
+
+	// After the rollback settles, every node serves v1 behavior again, and
+	// the deployment status records active=applied=1 with both versions
+	// retained.
+	for i := 0; i < nodes; i++ {
+		status, gen, body, err := proxyGetGen(c.httpAddr[i], c.originHost, burstPath)
+		if err != nil || status != 200 || gen != "1" || body != "edge-v1" {
+			t.Fatalf("edge-%d after rollback: status %d gen %q body %q err %v, want the v1 response", i, status, gen, body, err)
+		}
+		sts, err := deployments(c.adminAddr[i])
+		if err != nil {
+			t.Fatalf("edge-%d deployments: %v", i, err)
+		}
+		found := false
+		for _, st := range sts {
+			if st.Site != site {
+				continue
+			}
+			found = true
+			if st.Active != 1 || st.Applied != 1 {
+				t.Fatalf("edge-%d status for %s: active %d applied %d, want 1/1", i, site, st.Active, st.Applied)
+			}
+			if len(st.Retained) < 2 {
+				t.Fatalf("edge-%d retains %d versions of %s, want both", i, len(st.Retained), site)
+			}
+		}
+		if !found {
+			t.Fatalf("edge-%d /admin/deployments omits site %s: %+v", i, site, sts)
+		}
+	}
+}

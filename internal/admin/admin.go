@@ -9,12 +9,14 @@ package admin
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
 
+	"nakika/internal/deploy"
 	"nakika/internal/metrics"
 	"nakika/internal/trace"
 )
@@ -27,6 +29,34 @@ type Node interface {
 	Metrics() *metrics.Registry
 	Traces() *trace.Ring
 	LoadScore() float64
+}
+
+// Deployer is the optional deployment-plane surface. A Node that also
+// implements it (core.Node does) gets the /admin/deploy, /admin/rollback,
+// and /admin/deployments endpoints; any admin listener on the network can
+// publish — the record replicates to every node regardless of which one
+// accepted it.
+type Deployer interface {
+	Deploy(site, script, note string) (uint64, error)
+	Rollback(site string, gen uint64) error
+	Deployments() []deploy.Status
+}
+
+// maxBundleBytes bounds a deploy request body; service scripts are a few
+// kilobytes, so a megabyte of headroom is generous.
+const maxBundleBytes = 1 << 20
+
+// deployRequest is the POST /admin/deploy body.
+type deployRequest struct {
+	Site   string `json:"site"`
+	Script string `json:"script"`
+	Note   string `json:"note,omitempty"`
+}
+
+// rollbackRequest is the POST /admin/rollback body.
+type rollbackRequest struct {
+	Site string `json:"site"`
+	Gen  uint64 `json:"gen"`
 }
 
 // DefaultTraceDump bounds the /admin/traces response when no ?n= is
@@ -70,14 +100,96 @@ func NewHandler(node Node) http.Handler {
 		fmt.Fprintf(w, "load score: %.3f\n", node.LoadScore())
 		fmt.Fprintf(w, "goroutines: %d\n", runtime.NumGoroutine())
 		fmt.Fprintf(w, "go:         %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
-		fmt.Fprintf(w, "endpoints:  /metrics /admin/traces /admin/statusz /debug/pprof/\n")
+		fmt.Fprintf(w, "endpoints:  /metrics /admin/traces /admin/statusz /admin/deploy /admin/rollback /admin/deployments /debug/pprof/\n")
 	})
+	if dep, ok := node.(Deployer); ok {
+		registerDeployEndpoints(mux, dep)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// registerDeployEndpoints wires the deployment plane's admin API.
+func registerDeployEndpoints(mux *http.ServeMux, dep Deployer) {
+	mux.HandleFunc("/admin/deploy", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req deployRequest
+		if err := decodeJSONBody(w, r, &req); err != nil {
+			return
+		}
+		if req.Site == "" || req.Script == "" {
+			http.Error(w, "site and script are required", http.StatusBadRequest)
+			return
+		}
+		gen, err := dep.Deploy(req.Site, req.Script, req.Note)
+		if err != nil {
+			// Validation failures are the client's fault; anything past
+			// validation (storage, replication) is the server's.
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, map[string]any{"site": req.Site, "gen": gen})
+	})
+	mux.HandleFunc("/admin/rollback", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req rollbackRequest
+		if err := decodeJSONBody(w, r, &req); err != nil {
+			return
+		}
+		if req.Site == "" || req.Gen == 0 {
+			http.Error(w, "site and gen are required", http.StatusBadRequest)
+			return
+		}
+		if err := dep.Rollback(req.Site, req.Gen); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, map[string]any{"site": req.Site, "gen": req.Gen})
+	})
+	mux.HandleFunc("/admin/deployments", func(w http.ResponseWriter, r *http.Request) {
+		statuses := dep.Deployments()
+		if statuses == nil {
+			statuses = []deploy.Status{}
+		}
+		writeJSON(w, statuses)
+	})
+}
+
+// decodeJSONBody parses a bounded JSON request body, writing the HTTP
+// error itself so handlers just return on failure.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBundleBytes+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return err
+	}
+	if len(body) > maxBundleBytes {
+		err := fmt.Errorf("body exceeds %d bytes", maxBundleBytes)
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // TraceDump is the /admin/traces response shape.
@@ -108,6 +220,7 @@ type SampleJSON struct {
 
 	Offloaded   bool   `json:"offloaded,omitempty"`
 	OffloadPeer string `json:"offload_peer,omitempty"`
+	Generation  uint64 `json:"gen,omitempty"`
 
 	HedgedReads   int32  `json:"hedged_reads,omitempty"`
 	HedgeWins     int32  `json:"hedge_wins,omitempty"`
@@ -139,6 +252,7 @@ func dumpSamples(node string, samples []*trace.Sample) TraceDump {
 			RejectedBusy:  s.RejectedBusy,
 			Offloaded:     s.Offloaded,
 			OffloadPeer:   s.OffloadPeer,
+			Generation:    s.Generation,
 			HedgedReads:   s.HedgedReads,
 			HedgeWins:     s.HedgeWins,
 			LeaseAcquires: s.LeaseAcquires,

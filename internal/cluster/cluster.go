@@ -90,6 +90,17 @@ type Cluster struct {
 	// were marked in, so a pull that keeps failing surfaces in Err instead
 	// of retrying silently forever.
 	resync map[string]int64
+	// bundles are the named script bundles the fault DSL's deploy directive
+	// references; pendingDeploys are deploy directives recorded inside the
+	// event loop (where sending messages is forbidden) awaiting execution
+	// from StabilizeAll — the same deferred-work pattern as resync.
+	bundles        map[string]string
+	pendingDeploys []pendingDeploy
+}
+
+// pendingDeploy is one DSL deploy directive awaiting execution.
+type pendingDeploy struct {
+	node, site, bundle string
 }
 
 // resyncStallRounds is how many maintenance rounds a marked node may spend
@@ -272,6 +283,7 @@ func (c *Cluster) StabilizeAll(rounds int) {
 			}
 		}
 		c.resyncPending()
+		c.deployPending()
 		for _, name := range c.Ring.Nodes() {
 			if n := c.nodes[name]; n != nil && c.Live(name) {
 				n.RepairIfNeeded()
@@ -279,9 +291,84 @@ func (c *Cluster) StabilizeAll(rounds int) {
 				// budget, so a recovered peer stops being hedged around
 				// (no-op with hedging disabled).
 				n.RefreshRTTs()
+				// Reconcile the pipeline with the replicated deployment
+				// records — the harness's equivalent of the daemon's
+				// maintenance tick, so nodes that missed a deploy (crashed,
+				// partitioned) converge as repair restores their records.
+				n.SyncDeployments()
 			}
 		}
 	}
+}
+
+// DefineBundle registers a named script bundle that deploy directives (the
+// fault DSL's "at <t> deploy <node> <site> <bundle>") and Deploy refer to.
+func (c *Cluster) DefineBundle(name, script string) {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.bundles == nil {
+		c.bundles = make(map[string]string)
+	}
+	c.bundles[name] = script
+}
+
+// Deploy publishes the named bundle for site through the given node,
+// returning the generation assigned. It sends replication RPCs, so tests
+// call it between traffic phases, never from inside the event loop (the
+// DSL's deploy directive defers here via StabilizeAll).
+func (c *Cluster) Deploy(node, site, bundle string) (uint64, error) {
+	n := c.nodes[node]
+	if n == nil {
+		return 0, fmt.Errorf("cluster: unknown node %s", node)
+	}
+	c.errMu.Lock()
+	script, ok := c.bundles[bundle]
+	c.errMu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown bundle %q", bundle)
+	}
+	return n.Deploy(site, script, "bundle:"+bundle)
+}
+
+// deployPending executes deploy directives recorded by the fault DSL.
+// Failures land in Err: a scheduled deploy that silently never happened
+// would invalidate whatever invariant the scenario was checking.
+func (c *Cluster) deployPending() {
+	c.errMu.Lock()
+	pending := c.pendingDeploys
+	c.pendingDeploys = nil
+	c.errMu.Unlock()
+	for _, p := range pending {
+		if !c.Live(p.node) || c.nodes[p.node] == nil {
+			c.errMu.Lock()
+			c.errs = append(c.errs, fmt.Sprintf("deploy %s via %s: node unavailable", p.site, p.node))
+			c.errMu.Unlock()
+			continue
+		}
+		if _, err := c.Deploy(p.node, p.site, p.bundle); err != nil {
+			c.errMu.Lock()
+			c.errs = append(c.errs, fmt.Sprintf("deploy %s via %s: %v", p.site, p.node, err))
+			c.errMu.Unlock()
+		}
+	}
+}
+
+// CheckDeployConvergence verifies every live node's pipeline serves
+// wantGen for site; it returns the disagreements.
+func (c *Cluster) CheckDeployConvergence(site string, wantGen uint64) error {
+	var bad []string
+	for _, name := range c.names {
+		if !c.Live(name) {
+			continue
+		}
+		if got := c.nodes[name].AppliedGeneration(site); got != wantGen {
+			bad = append(bad, fmt.Sprintf("%s serves gen %d for %s, want %d", name, got, site, wantGen))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("cluster: deployment not converged:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // resyncPending runs the deferred handoff pulls; nodes whose pull fails

@@ -208,6 +208,14 @@ func runOffloadScenario(t *testing.T, seed int64) string {
 		t.Fatalf("hedged read p99 = %v, not bounded below the slow round trip %v", p99, 2*offSlowLatency)
 	}
 
+	// The scenario asserts on metrics and latencies; a fault action that
+	// failed quietly (stalled resync, unexecuted directive) would make
+	// those assertions vacuous, so surface harness errors before
+	// fingerprinting.
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster harness reported errors: %v", err)
+	}
+
 	// Fingerprint every deterministic observable.
 	var fp strings.Builder
 	fmt.Fprintf(&fp, "ingress=%s victim=%s reqP99=%d readP99=%d", ingress, victim, percentile(reqVirtual, 0.99), p99)

@@ -16,6 +16,7 @@ import (
 //	at <time> restart <node>
 //	at <time> latency <from> <to> <duration>
 //	at <time> drop <from> <to> <rate>
+//	at <time> deploy <node> <site> <bundle>      # bundle: see DefineBundle
 //
 // Times and durations use Go syntax ("50ms", "1.5s"). Nodes not named in
 // any partition group form their own side, so "partition node-3" isolates
@@ -23,7 +24,9 @@ import (
 // virtual clock past their timestamps — a partition scheduled between two
 // messages of a stampede genuinely lands mid-stampede. Actions are pure
 // fault-state changes (they never send messages), so they are safe to run
-// from inside the event loop.
+// from inside the event loop — except deploy, which needs replication
+// RPCs; its action only records the intent, and StabilizeAll executes it
+// (the same deferred-work pattern restart resync uses).
 
 // Event is one parsed schedule directive.
 type Event struct {
@@ -76,6 +79,10 @@ func ParseSchedule(src string) ([]Event, error) {
 			if _, err := strconv.ParseFloat(args[2], 64); err != nil {
 				return nil, fmt.Errorf("schedule line %d: bad rate %q", lineNo+1, args[2])
 			}
+		case "deploy":
+			if len(args) != 3 {
+				return nil, fmt.Errorf("schedule line %d: deploy takes <node> <site> <bundle>", lineNo+1)
+			}
 		default:
 			return nil, fmt.Errorf("schedule line %d: unknown op %q", lineNo+1, op)
 		}
@@ -105,6 +112,12 @@ func (c *Cluster) apply(ev Event) {
 	case "drop":
 		rate, _ := strconv.ParseFloat(ev.Args[2], 64)
 		c.Sim.SetDropRate(ev.Args[0], ev.Args[1], rate)
+	case "deploy":
+		// Publishing sends replication RPCs, which is forbidden inside the
+		// event loop; record the intent for StabilizeAll to execute.
+		c.errMu.Lock()
+		c.pendingDeploys = append(c.pendingDeploys, pendingDeploy{node: ev.Args[0], site: ev.Args[1], bundle: ev.Args[2]})
+		c.errMu.Unlock()
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -362,6 +363,24 @@ type Node struct {
 	leaseExpiryHO atomic.Int64
 	leaseFenced   atomic.Int64
 	leaseFenceRej atomic.Int64
+
+	// Live script deployment plane (see internal/core/deploy.go): the
+	// per-site table of compiled, swapped-in deployment stages; the set of
+	// sites whose per-site active-generation gauge has been registered; and
+	// the deploy outcome counters. deployMu guards only the table and gauge
+	// set (it sits on the request hot path); deployPubMu serializes this
+	// node's publish read-modify-write cycles; deployApplyMu serializes
+	// record-to-pipeline applies so a stale apply cannot land over a newer
+	// one.
+	deployMu      sync.Mutex
+	deployPubMu   sync.Mutex
+	deployApplyMu sync.Mutex
+	deployed      map[string]*deployActive
+	deployGauges  map[string]bool
+	deployApplied atomic.Int64
+	deployRej     atomic.Int64
+	deployRolled  atomic.Int64
+	deployCompErr atomic.Int64
 }
 
 // NewNode builds a node from cfg.
@@ -385,6 +404,7 @@ func NewNode(cfg Config) (*Node, error) {
 		replicas:   make(map[string]*state.Replica),
 		pendingPub: make(map[string]struct{}),
 		pendingDel: make(map[string]delIntent),
+		deployed:   make(map[string]*deployActive),
 	}
 	cacheCfg := cfg.Cache
 	if cfg.DataFS != nil {
@@ -420,6 +440,7 @@ func NewNode(cfg Config) (*Node, error) {
 		ClientWallURL:    cfg.ClientWallURL,
 		ServerWallURL:    cfg.ServerWallURL,
 		ClientHostLookup: cfg.ClientHostLookup,
+		SiteDeployment:   n.siteDeployment,
 	}
 	if cfg.EnableResources {
 		n.executor.Resources = n.res
@@ -491,6 +512,7 @@ func NewNode(cfg Config) (*Node, error) {
 		mux.Route("rep.", n.serveRepRPC)
 		mux.Route("off.", n.serveOffloadRPC)
 		mux.Route("lease.", n.serveLeaseRPC)
+		mux.Route("deploy.", n.serveDeployRPC)
 		n.tr.Register(cfg.Name, mux.Serve)
 	}
 	return n, nil
@@ -561,6 +583,12 @@ func (n *Node) Crash() {
 	}
 	n.cache.Clear()
 	n.cache.SetL2(nil)
+	// The deployment table is soft state: a real crashed process loses its
+	// compiled stages and rebuilds them from the replicated records on the
+	// way back up (SyncDeployments).
+	n.deployMu.Lock()
+	n.deployed = make(map[string]*deployActive)
+	n.deployMu.Unlock()
 	n.persistMu.Lock()
 	kv := n.kvLog
 	n.persistMu.Unlock()
@@ -745,6 +773,12 @@ func (n *Node) handleLocal(req *httpmsg.Request) (*httpmsg.Response, *pipeline.T
 			resp.Via = n.cfg.Name
 		}
 		resp.Header.Set("X-Na-Kika-Node", n.cfg.Name)
+		if trace.Generation != 0 {
+			// Tag the response with the one deployment generation its whole
+			// pipeline ran against, so clients (and the e2e harness) can
+			// verify no response mixes script versions across a deploy.
+			resp.Header.Set("X-Na-Kika-Gen", strconv.FormatUint(trace.Generation, 10))
+		}
 		n.log.Append(req.SiteKey(), state.FormatAccess(req.ClientIP, req.Method, req.URL.String(), resp.Status, len(resp.Body), time.Since(start)))
 	}
 	n.observe(req, resp, trace, start)

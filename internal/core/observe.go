@@ -102,6 +102,7 @@ func (n *Node) observe(req *httpmsg.Request, resp *httpmsg.Response, trace *pipe
 		s.RejectedBusy = trace.RejectedBusy
 		s.Offloaded = trace.Offloaded
 		s.OffloadPeer = trace.OffloadPeer
+		s.Generation = trace.Generation
 		s.FillFromAct(&trace.Act)
 		if s.TraceID == 0 {
 			s.TraceID = req.TraceID
@@ -184,6 +185,11 @@ func (n *Node) buildRegistry() {
 	r.CounterFunc("nakika_lease_handovers_total", "", metrics.Labels{"path": "expiry"}, cv(&n.leaseExpiryHO))
 	r.CounterFunc("nakika_lease_fenced_writes_total", "Fenced puts acknowledged.", nil, cv(&n.leaseFenced))
 	r.CounterFunc("nakika_lease_fence_rejects_total", "Fenced puts refused because the holdership was deposed.", nil, cv(&n.leaseFenceRej))
+
+	r.CounterFunc("nakika_deploys_total", "Script deployment operations on this node, by outcome.", metrics.Labels{"outcome": "applied"}, cv(&n.deployApplied))
+	r.CounterFunc("nakika_deploys_total", "", metrics.Labels{"outcome": "rejected"}, cv(&n.deployRej))
+	r.CounterFunc("nakika_deploys_total", "", metrics.Labels{"outcome": "rollback"}, cv(&n.deployRolled))
+	r.CounterFunc("nakika_deploys_total", "", metrics.Labels{"outcome": "compile_error"}, cv(&n.deployCompErr))
 
 	r.GaugeFunc("nakika_load_score", "The node's load score (in-flight requests plus decayed recent work).", nil, n.LoadScore)
 

@@ -1,0 +1,102 @@
+package deploy_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nakika/internal/deploy"
+	"nakika/internal/state"
+)
+
+func TestStateKeyIsInternal(t *testing.T) {
+	if !state.IsInternalKey(deploy.StateKey) {
+		t.Fatalf("deploy.StateKey %q must live in the internal key namespace", deploy.StateKey)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := deploy.State{
+		Active: 3,
+		Bundles: []deploy.Bundle{
+			{Gen: 2, Script: "onRequest = function() {};", Note: "v2"},
+			{Gen: 3, Script: "onResponse = function() {};", Note: ""},
+		},
+	}
+	got, err := deploy.Decode(deploy.Encode(st))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "x", "\x01garbage", "\x00", "\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"} {
+		if _, err := deploy.Decode(s); err == nil {
+			t.Fatalf("decode of %q unexpectedly succeeded", s)
+		}
+	}
+	// Trailing bytes after a well-formed record are malformed too.
+	if _, err := deploy.Decode(deploy.Encode(deploy.State{Active: 1}) + "x"); err == nil {
+		t.Fatal("decode with trailing bytes unexpectedly succeeded")
+	}
+}
+
+func TestSitesRoundTrip(t *testing.T) {
+	sites := []string{"b.org", "a.org", "c.net"}
+	got, err := deploy.DecodeSites(deploy.EncodeSites(sites))
+	if err != nil {
+		t.Fatalf("decode sites: %v", err)
+	}
+	want := []string{"a.org", "b.org", "c.net"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sites round trip: got %v want %v", got, want)
+	}
+	if _, err := deploy.DecodeSites("\x02nope"); err == nil {
+		t.Fatal("garbage index decoded")
+	}
+}
+
+func TestRetentionTrimsOldestButKeepsActive(t *testing.T) {
+	var st deploy.State
+	for i := 0; i < deploy.Retention+4; i++ {
+		gen := st.NextGen()
+		st.Add(deploy.Bundle{Gen: gen, Script: fmt.Sprintf("// v%d", gen)})
+		st.Active = gen
+	}
+	if len(st.Bundles) != deploy.Retention {
+		t.Fatalf("retained %d bundles, want %d", len(st.Bundles), deploy.Retention)
+	}
+	if _, ok := st.Find(1); ok {
+		t.Fatal("generation 1 should have been trimmed")
+	}
+	if _, ok := st.Find(st.Active); !ok {
+		t.Fatal("active generation must always be retained")
+	}
+
+	// A site serving an old rollback target keeps it across later deploys.
+	st2 := deploy.State{Active: 0}
+	for i := 0; i < deploy.Retention+4; i++ {
+		gen := st2.NextGen()
+		st2.Add(deploy.Bundle{Gen: gen, Script: "//"})
+		if gen == 2 {
+			st2.Active = 2 // pinned: a rollback target
+		}
+	}
+	if _, ok := st2.Find(2); !ok {
+		t.Fatal("pinned active generation 2 was trimmed")
+	}
+}
+
+func TestNextGenNeverRegresses(t *testing.T) {
+	st := deploy.State{Active: 5, Bundles: []deploy.Bundle{{Gen: 5}, {Gen: 9}}}
+	if got := st.NextGen(); got != 10 {
+		t.Fatalf("NextGen = %d, want 10", got)
+	}
+	empty := deploy.State{}
+	if got := empty.NextGen(); got != 1 {
+		t.Fatalf("NextGen on empty = %d, want 1", got)
+	}
+}

@@ -1,0 +1,37 @@
+package deploy_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nakika/internal/deploy"
+)
+
+// FuzzDeployBundleDecode throws arbitrary bytes at both deployment-plane
+// decoders: they must never panic, never allocate unboundedly, and any
+// value they accept must re-encode to something that decodes to the same
+// State (the record travels node-to-node, so accept implies round-trip).
+func FuzzDeployBundleDecode(f *testing.F) {
+	f.Add(deploy.Encode(deploy.State{Active: 2, Bundles: []deploy.Bundle{{Gen: 1, Script: "// a"}, {Gen: 2, Script: "// b", Note: "n"}}}))
+	f.Add(deploy.Encode(deploy.State{}))
+	f.Add(deploy.EncodeSites([]string{"a.org", "b.net"}))
+	f.Add("")
+	f.Add("\x00")
+	f.Add("\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")
+	f.Fuzz(func(t *testing.T, s string) {
+		if st, err := deploy.Decode(s); err == nil {
+			again, err := deploy.Decode(deploy.Encode(st))
+			if err != nil {
+				t.Fatalf("accepted state does not re-decode: %v", err)
+			}
+			if !reflect.DeepEqual(st, again) {
+				t.Fatalf("re-encode changed state:\n got %+v\nwant %+v", again, st)
+			}
+		}
+		if sites, err := deploy.DecodeSites(s); err == nil {
+			if _, err := deploy.DecodeSites(deploy.EncodeSites(sites)); err != nil {
+				t.Fatalf("accepted index does not re-decode: %v", err)
+			}
+		}
+	})
+}

@@ -54,6 +54,14 @@ type Executor struct {
 	// ClientHostLookup maps a client IP to a hostname for client predicates;
 	// nil means no hostname information.
 	ClientHostLookup func(ip string) string
+	// SiteDeployment, when non-nil, resolves a site to its live-deployed
+	// site-script stage and deployment generation. The executor consults it
+	// exactly once per request, before any stage runs: the whole pipeline —
+	// forward pass and backward unwind — executes against that one pinned
+	// stage even if a new generation is swapped in mid-request, so no
+	// response ever mixes script versions. A (nil, 0) return means no
+	// deployment for the site; the stage loads from the cache as usual.
+	SiteDeployment func(site string) (*Stage, uint64)
 }
 
 // StageTrace records one executed stage for diagnostics and benchmarks.
@@ -87,6 +95,11 @@ type Trace struct {
 	// names the node that did the work.
 	Offloaded   bool
 	OffloadPeer string
+
+	// Generation is the deployment generation of the site script this
+	// request executed against (0 when the site has no live deployment).
+	// It is pinned when the pipeline starts and never changes mid-request.
+	Generation uint64
 
 	// stagesBuf is the inline backing array for Stages: the standard
 	// three-stage pipeline records its traces inside the Trace allocation
@@ -147,11 +160,21 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 	// arrays — the standard three-stage pipeline never spills to the heap,
 	// and dynamically scheduled stages just grow past the array.
 	var forwardBuf [8]string
+	siteScriptURL := e.siteScriptURL(req)
 	forward := append(forwardBuf[:0],
 		e.serverWallURL(),
-		e.siteScriptURL(req),
+		siteScriptURL,
 		e.clientWallURL(),
 	)
+
+	// Pin the site's deployed stage (if any) for the life of this request.
+	// The backward unwind reuses the *Stage pointers captured on the forward
+	// pass, so resolving once here guarantees an atomic view of the
+	// deployment: a swap that lands mid-request affects only later requests.
+	var deployedStage *Stage
+	if e.SiteDeployment != nil {
+		deployedStage, trace.Generation = e.SiteDeployment(site)
+	}
 	type executedStage struct {
 		stage  *Stage
 		pol    *policy.Policy
@@ -172,7 +195,13 @@ func (e *Executor) Execute(req *httpmsg.Request) (*httpmsg.Response, *Trace, err
 		stagesRun++
 
 		st := StageTrace{ScriptURL: scriptURL}
-		stage, err := e.Loader.Load(scriptURL, site)
+		var stage *Stage
+		var err error
+		if deployedStage != nil && scriptURL == siteScriptURL {
+			stage = deployedStage
+		} else {
+			stage, err = e.Loader.Load(scriptURL, site)
+		}
 		if err != nil {
 			st.Err = err.Error()
 		}

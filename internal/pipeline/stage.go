@@ -8,6 +8,7 @@ package pipeline
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"nakika/internal/cache"
@@ -345,6 +346,53 @@ func (l *Loader) LoadSource(scriptURL, site, source string) (*Stage, error) {
 	}
 	l.stages.Put(scriptURL, st)
 	return st, nil
+}
+
+// Compile builds a stage directly from source text WITHOUT touching the
+// loader's URL-keyed caches. The deployment plane uses it to compile a
+// published bundle into the stage it atomically swaps in: the stage is owned
+// by the per-site deployment table, and cached stages for the same site's
+// regular nakika.js URL must not be replaced or evicted by a deploy.
+func (l *Loader) Compile(scriptURL, site, source string) (*Stage, error) {
+	return l.compile(scriptURL, site, source)
+}
+
+// Validate checks a script bundle before the deployment plane accepts it:
+// the script must parse, every free identifier must resolve against the
+// installed vocabulary, and a canary compile over no-op host operations must
+// evaluate without error or panic. Validation runs entirely against
+// vocab.NopHost, so a malicious or broken registration-time script cannot
+// touch the node's real cache, state, or leases — and a panic rejects the
+// bundle instead of crashing the node.
+func Validate(site, source string, limits script.Limits) (err error) {
+	prog, err := script.Parse(source, "deploy://"+site+"/"+SiteScriptName)
+	if err != nil {
+		return fmt.Errorf("pipeline: validate %s: %w", site, err)
+	}
+	vctx, _ := vocab.ValidationContext(site, limits)
+	allowed := make(map[string]bool)
+	for _, name := range vctx.GlobalNames() {
+		allowed[name] = true
+	}
+	var unknown []string
+	for _, name := range script.FreeIdents(prog) {
+		if !allowed[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		return fmt.Errorf("pipeline: validate %s: script references unknown identifiers: %s", site, strings.Join(unknown, ", "))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: validate %s: canary compile panicked: %v", site, r)
+		}
+	}()
+	canary := NewLoader(vocab.NopHost{}, limits)
+	if _, cerr := canary.compile("deploy://"+site+"/"+SiteScriptName, site, source); cerr != nil {
+		return fmt.Errorf("pipeline: validate %s: %w", site, cerr)
+	}
+	return nil
 }
 
 func (l *Loader) compile(scriptURL, site, source string) (*Stage, error) {

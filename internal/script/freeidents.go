@@ -1,0 +1,378 @@
+package script
+
+import "sort"
+
+// FreeIdents returns the names a program references but never binds — the
+// identifiers that must resolve against the host-installed vocabulary when
+// the script runs. The deployment plane's validator checks them against the
+// installed vocabulary before a bundle is accepted, so a script referring
+// to a misspelled or nonexistent vocabulary object is rejected at publish
+// time instead of throwing inside a handler on a live node.
+//
+// Binding rules mirror the interpreter's scoping closely enough for a
+// vocabulary check: var declarations, function declarations, function
+// literal names and parameters, for-in loop variables, and catch parameters
+// bind; and a plain assignment to a bare identifier binds it too (that is
+// how scripts create globals like `onRequest = function () { ... }`). All
+// declarations inside one function body are treated as hoisted to that
+// body, matching var semantics. The result is sorted and deduplicated.
+func FreeIdents(p *Program) []string {
+	w := &freeWalker{free: map[string]bool{}}
+	// Assignment targets bind program-wide: `x = 1` anywhere creates the
+	// global x in this dialect, so collect them before walking references.
+	assigns := map[string]bool{}
+	for _, s := range p.Body {
+		collectAssignTargets(s, assigns)
+	}
+	scope := newScope(nil)
+	for name := range assigns {
+		scope.names[name] = true
+	}
+	declareStmts(p.Body, scope)
+	for _, s := range p.Body {
+		w.stmt(s, scope)
+	}
+	out := make([]string, 0, len(w.free))
+	for name := range w.free {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type identScope struct {
+	names  map[string]bool
+	parent *identScope
+}
+
+func newScope(parent *identScope) *identScope {
+	return &identScope{names: map[string]bool{}, parent: parent}
+}
+
+func (s *identScope) bound(name string) bool {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sc.names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+type freeWalker struct {
+	free map[string]bool
+}
+
+// declareStmts hoists every binding statement in one function (or program)
+// body into scope: var names, function declarations, for-in declarations,
+// and catch parameters, recursing through nested statements but not past
+// function-literal boundaries (those open their own scope).
+func declareStmts(body []Stmt, scope *identScope) {
+	for _, s := range body {
+		declareStmt(s, scope)
+	}
+}
+
+func declareStmt(s Stmt, scope *identScope) {
+	switch st := s.(type) {
+	case *VarStmt:
+		for _, name := range st.Names {
+			scope.names[name] = true
+		}
+	case *FunctionDecl:
+		scope.names[st.Name] = true
+	case *BlockStmt:
+		declareStmts(st.Body, scope)
+	case *IfStmt:
+		declareStmt(st.Then, scope)
+		if st.Else != nil {
+			declareStmt(st.Else, scope)
+		}
+	case *WhileStmt:
+		declareStmt(st.Body, scope)
+	case *DoWhileStmt:
+		declareStmt(st.Body, scope)
+	case *ForStmt:
+		if st.Init != nil {
+			declareStmt(st.Init, scope)
+		}
+		declareStmt(st.Body, scope)
+	case *ForInStmt:
+		scope.names[st.Name] = true
+		declareStmt(st.Body, scope)
+	case *TryStmt:
+		declareStmts(st.Block.Body, scope)
+		if st.Catch != nil {
+			if st.Param != "" {
+				scope.names[st.Param] = true
+			}
+			declareStmts(st.Catch.Body, scope)
+		}
+		if st.Finally != nil {
+			declareStmts(st.Finally.Body, scope)
+		}
+	case *SwitchStmt:
+		for _, c := range st.Cases {
+			declareStmts(c.Body, scope)
+		}
+	}
+}
+
+// collectAssignTargets records bare identifiers assigned anywhere in the
+// statement tree, including inside function literals.
+func collectAssignTargets(n Node, out map[string]bool) {
+	switch t := n.(type) {
+	case *AssignExpr:
+		if id, ok := t.X.(*Ident); ok {
+			out[id.Name] = true
+		}
+		collectAssignTargets(t.X, out)
+		collectAssignTargets(t.Y, out)
+	case *VarStmt:
+		for _, v := range t.Values {
+			if v != nil {
+				collectAssignTargets(v, out)
+			}
+		}
+	case *ExprStmt:
+		collectAssignTargets(t.X, out)
+	case *BlockStmt:
+		for _, s := range t.Body {
+			collectAssignTargets(s, out)
+		}
+	case *IfStmt:
+		collectAssignTargets(t.Cond, out)
+		collectAssignTargets(t.Then, out)
+		if t.Else != nil {
+			collectAssignTargets(t.Else, out)
+		}
+	case *WhileStmt:
+		collectAssignTargets(t.Cond, out)
+		collectAssignTargets(t.Body, out)
+	case *DoWhileStmt:
+		collectAssignTargets(t.Cond, out)
+		collectAssignTargets(t.Body, out)
+	case *ForStmt:
+		if t.Init != nil {
+			collectAssignTargets(t.Init, out)
+		}
+		if t.Cond != nil {
+			collectAssignTargets(t.Cond, out)
+		}
+		if t.Post != nil {
+			collectAssignTargets(t.Post, out)
+		}
+		collectAssignTargets(t.Body, out)
+	case *ForInStmt:
+		collectAssignTargets(t.Object, out)
+		collectAssignTargets(t.Body, out)
+	case *ReturnStmt:
+		if t.X != nil {
+			collectAssignTargets(t.X, out)
+		}
+	case *ThrowStmt:
+		collectAssignTargets(t.X, out)
+	case *TryStmt:
+		collectAssignTargets(t.Block, out)
+		if t.Catch != nil {
+			collectAssignTargets(t.Catch, out)
+		}
+		if t.Finally != nil {
+			collectAssignTargets(t.Finally, out)
+		}
+	case *FunctionDecl:
+		collectAssignTargets(t.Fn.Body, out)
+	case *SwitchStmt:
+		collectAssignTargets(t.Disc, out)
+		for _, c := range t.Cases {
+			if c.Test != nil {
+				collectAssignTargets(c.Test, out)
+			}
+			for _, s := range c.Body {
+				collectAssignTargets(s, out)
+			}
+		}
+	case *ArrayLit:
+		for _, e := range t.Elems {
+			collectAssignTargets(e, out)
+		}
+	case *ObjectLit:
+		for _, v := range t.Values {
+			collectAssignTargets(v, out)
+		}
+	case *FunctionLit:
+		collectAssignTargets(t.Body, out)
+	case *UnaryExpr:
+		collectAssignTargets(t.X, out)
+	case *UpdateExpr:
+		collectAssignTargets(t.X, out)
+	case *BinaryExpr:
+		collectAssignTargets(t.X, out)
+		collectAssignTargets(t.Y, out)
+	case *CondExpr:
+		collectAssignTargets(t.Cond, out)
+		collectAssignTargets(t.Then, out)
+		collectAssignTargets(t.Else, out)
+	case *CallExpr:
+		collectAssignTargets(t.Fn, out)
+		for _, a := range t.Args {
+			collectAssignTargets(a, out)
+		}
+	case *NewExpr:
+		collectAssignTargets(t.Fn, out)
+		for _, a := range t.Args {
+			collectAssignTargets(a, out)
+		}
+	case *MemberExpr:
+		collectAssignTargets(t.X, out)
+	case *IndexExpr:
+		collectAssignTargets(t.X, out)
+		collectAssignTargets(t.Index, out)
+	case *SequenceExpr:
+		for _, e := range t.Exprs {
+			collectAssignTargets(e, out)
+		}
+	}
+}
+
+func (w *freeWalker) stmt(s Stmt, scope *identScope) {
+	switch st := s.(type) {
+	case *VarStmt:
+		for _, v := range st.Values {
+			if v != nil {
+				w.expr(v, scope)
+			}
+		}
+	case *ExprStmt:
+		w.expr(st.X, scope)
+	case *BlockStmt:
+		for _, b := range st.Body {
+			w.stmt(b, scope)
+		}
+	case *IfStmt:
+		w.expr(st.Cond, scope)
+		w.stmt(st.Then, scope)
+		if st.Else != nil {
+			w.stmt(st.Else, scope)
+		}
+	case *WhileStmt:
+		w.expr(st.Cond, scope)
+		w.stmt(st.Body, scope)
+	case *DoWhileStmt:
+		w.stmt(st.Body, scope)
+		w.expr(st.Cond, scope)
+	case *ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, scope)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, scope)
+		}
+		if st.Post != nil {
+			w.expr(st.Post, scope)
+		}
+		w.stmt(st.Body, scope)
+	case *ForInStmt:
+		w.expr(st.Object, scope)
+		w.stmt(st.Body, scope)
+	case *ReturnStmt:
+		if st.X != nil {
+			w.expr(st.X, scope)
+		}
+	case *ThrowStmt:
+		w.expr(st.X, scope)
+	case *TryStmt:
+		w.stmt(st.Block, scope)
+		if st.Catch != nil {
+			w.stmt(st.Catch, scope)
+		}
+		if st.Finally != nil {
+			w.stmt(st.Finally, scope)
+		}
+	case *FunctionDecl:
+		w.function(st.Fn, scope)
+	case *SwitchStmt:
+		w.expr(st.Disc, scope)
+		for _, c := range st.Cases {
+			if c.Test != nil {
+				w.expr(c.Test, scope)
+			}
+			for _, b := range c.Body {
+				w.stmt(b, scope)
+			}
+		}
+	}
+}
+
+func (w *freeWalker) expr(e Expr, scope *identScope) {
+	switch ex := e.(type) {
+	case *Ident:
+		if !scope.bound(ex.Name) {
+			w.free[ex.Name] = true
+		}
+	case *ArrayLit:
+		for _, el := range ex.Elems {
+			w.expr(el, scope)
+		}
+	case *ObjectLit:
+		for _, v := range ex.Values {
+			w.expr(v, scope)
+		}
+	case *FunctionLit:
+		w.function(ex, scope)
+	case *UnaryExpr:
+		w.expr(ex.X, scope)
+	case *UpdateExpr:
+		w.expr(ex.X, scope)
+	case *BinaryExpr:
+		w.expr(ex.X, scope)
+		w.expr(ex.Y, scope)
+	case *AssignExpr:
+		// A bare-identifier target is a binding, not a reference; member
+		// and index targets reference their base object normally.
+		if _, isIdent := ex.X.(*Ident); !isIdent {
+			w.expr(ex.X, scope)
+		}
+		w.expr(ex.Y, scope)
+	case *CondExpr:
+		w.expr(ex.Cond, scope)
+		w.expr(ex.Then, scope)
+		w.expr(ex.Else, scope)
+	case *CallExpr:
+		w.expr(ex.Fn, scope)
+		for _, a := range ex.Args {
+			w.expr(a, scope)
+		}
+	case *NewExpr:
+		w.expr(ex.Fn, scope)
+		for _, a := range ex.Args {
+			w.expr(a, scope)
+		}
+	case *MemberExpr:
+		w.expr(ex.X, scope)
+	case *IndexExpr:
+		w.expr(ex.X, scope)
+		w.expr(ex.Index, scope)
+	case *SequenceExpr:
+		for _, el := range ex.Exprs {
+			w.expr(el, scope)
+		}
+	}
+}
+
+// function walks a function literal in a fresh scope seeded with its
+// parameters, its own name (for recursion), "arguments", and every binding
+// hoisted from its body.
+func (w *freeWalker) function(fn *FunctionLit, parent *identScope) {
+	scope := newScope(parent)
+	if fn.Name != "" {
+		scope.names[fn.Name] = true
+	}
+	for _, p := range fn.Params {
+		scope.names[p] = true
+	}
+	scope.names["arguments"] = true
+	declareStmts(fn.Body.Body, scope)
+	for _, s := range fn.Body.Body {
+		w.stmt(s, scope)
+	}
+}

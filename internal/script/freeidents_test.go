@@ -1,0 +1,72 @@
+package script
+
+import (
+	"reflect"
+	"testing"
+)
+
+func freeOf(t *testing.T, src string) []string {
+	t.Helper()
+	prog, err := Parse(src, "test.js")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return FreeIdents(prog)
+}
+
+func TestFreeIdentsBasics(t *testing.T) {
+	got := freeOf(t, `
+		var a = 1;
+		function f(x) { return x + a + Cache.get("k"); }
+		onRequest = function () {
+			var b = f(2);
+			return Mystery(b);
+		};
+	`)
+	want := []string{"Cache", "Mystery"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FreeIdents = %v, want %v", got, want)
+	}
+}
+
+func TestFreeIdentsScoping(t *testing.T) {
+	got := freeOf(t, `
+		function outer() {
+			var local = 1;
+			function inner() { return local + outer() + Free; }
+			try { inner(); } catch (e) { Log.write("s", e); }
+			for (var k in Obj) { use(k); }
+		}
+	`)
+	want := []string{"Free", "Log", "Obj", "use"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FreeIdents = %v, want %v", got, want)
+	}
+}
+
+func TestFreeIdentsAssignmentBinds(t *testing.T) {
+	// Assigning a bare identifier creates a global in this dialect, so it
+	// must not be reported free — but member writes reference their base.
+	got := freeOf(t, `
+		counter = 0;
+		onResponse = function () { counter = counter + 1; Response.setHeader("X-N", counter); };
+		Settings.mode = "on";
+	`)
+	want := []string{"Response", "Settings"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FreeIdents = %v, want %v", got, want)
+	}
+}
+
+func TestFreeIdentsHoisting(t *testing.T) {
+	// A var used before its statement is still bound (hoisted), as is a
+	// function declared later in the body.
+	got := freeOf(t, `
+		function f() { return later() + v; }
+		function later() { return 1; }
+		var v = 2;
+	`)
+	if len(got) != 0 {
+		t.Fatalf("FreeIdents = %v, want none", got)
+	}
+}

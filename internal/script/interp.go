@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync/atomic"
 )
@@ -211,6 +212,19 @@ func (ctx *Context) DefineGlobal(name string, v Value) { ctx.Globals.Define(name
 
 // Global returns a global binding.
 func (ctx *Context) Global(name string) (Value, bool) { return ctx.Globals.Get(name) }
+
+// GlobalNames returns every name bound in the context's global environment
+// (builtins plus whatever DefineGlobal installed), sorted. The deployment
+// validator uses it as the allowlist a bundle's FreeIdents must resolve
+// against.
+func (ctx *Context) GlobalNames() []string {
+	names := make([]string, 0, len(ctx.Globals.vars))
+	for name := range ctx.Globals.vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // ---------------------------------------------------------------------------
 // Program and function execution

@@ -49,6 +49,10 @@ type Sample struct {
 	FencedWrites  int32
 	FenceRejects  int32
 	FenceToken    uint64
+
+	// Generation is the deployment generation of the site script the
+	// request executed against; 0 when the site had no live deployment.
+	Generation uint64
 }
 
 // SetURL copies the request URL's host and path into the sample's

@@ -210,6 +210,30 @@ func Install(ctx *script.Context, host Host, site string) {
 	installXML(ctx)
 }
 
+// ValidationContext builds the throwaway context the deployment plane
+// validates script bundles in: every vocabulary a stage context gets,
+// bound to a NopHost, plus the handler-time Request/Response globals bound
+// to placeholder messages. Its GlobalNames are exactly the vocabulary a
+// published script may reference, so a bundle's free identifiers can be
+// checked against it; and evaluating registration-time code in it reaches
+// only no-op host operations, so a canary compile cannot touch the node's
+// real cache, state, or leases.
+func ValidationContext(site string, limits script.Limits) (*script.Context, *Registry) {
+	ctx := script.NewContext(limits)
+	reg := &Registry{}
+	InstallPolicyConstructor(ctx, reg)
+	Install(ctx, NopHost{}, site)
+	BindRequest(ctx, httpmsg.MustRequest("GET", "http://"+site+"/"))
+	BindResponse(ctx, NewGeneratedResponse())
+	// The implicit-policy globals scripts assign (onRequest = ...) are
+	// assignment-bound, not references, but scripts may also read them
+	// back; predefine them so such reads pass the vocabulary check.
+	ctx.DefineGlobal("onRequest", script.Undefined{})
+	ctx.DefineGlobal("onResponse", script.Undefined{})
+	ctx.DefineGlobal("nextStages", script.Undefined{})
+	return ctx, reg
+}
+
 func installSystem(ctx *script.Context, host Host, site string) {
 	sys := script.NewObject()
 	sys.ClassName = "System"
