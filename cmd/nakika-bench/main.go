@@ -13,7 +13,7 @@
 //
 // Experiments: table2, breakdown, capacity, rescontrol, simm-local, figure7,
 // specweb, extensions, persist, replication, offload, lease, throughput,
-// metrics, all.
+// metrics, largeobject, all.
 //
 // With -baseline, the freshly written BENCH_*.json files are compared
 // against the committed baselines after the run: any tracked metric more
@@ -44,7 +44,7 @@ func main() {
 		return
 	}
 
-	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, replication, offload, lease, throughput, metrics, all)")
+	experiment := flag.String("experiment", "all", "experiment to run (table2, breakdown, capacity, rescontrol, simm-local, figure7, specweb, extensions, persist, replication, offload, lease, throughput, metrics, largeobject, all)")
 	iterations := flag.Int("iterations", 10, "iterations per micro-benchmark measurement")
 	duration := flag.Duration("duration", 30*time.Second, "virtual duration for the wide-area simulations")
 	loadDuration := flag.Duration("load-duration", 2*time.Second, "wall-clock duration for capacity and resource-control load tests")
@@ -300,6 +300,15 @@ func main() {
 			return nil, err
 		}
 		fmt.Print(bench.FormatMetricsCost(r))
+		return r, nil
+	})
+
+	run("largeobject", func() (interface{}, error) {
+		r, err := bench.RunLargeObject(*loadDuration)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatLargeObject(r))
 		return r, nil
 	})
 

@@ -5,6 +5,7 @@
 //
 //	nakika-origin -app simm -listen :9090
 //	nakika-origin -app specweb -listen :9091
+//	nakika-origin -app largefile -listen :9092 -size 67108864 -throttle 8388608
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"log"
 	"net/http"
 
+	"nakika/internal/apps/largefile"
 	"nakika/internal/apps/simm"
 	"nakika/internal/apps/specweb"
 	"nakika/internal/core"
@@ -19,10 +21,20 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "simm", "application to serve: simm or specweb")
+	app := flag.String("app", "simm", "application to serve: simm, specweb, or largefile")
 	listen := flag.String("listen", ":9090", "address to listen on")
 	host := flag.String("host", "", "origin host name the site script should reference (default: the app's default host)")
+	size := flag.Int64("size", 64<<20, "largefile: object size in bytes")
+	throttle := flag.Int64("throttle", 0, "largefile: origin write rate cap in bytes/sec (0 unlimited)")
 	flag.Parse()
+
+	// The largefile app streams and throttles its body, so it serves raw
+	// HTTP instead of going through the buffered fetcher adapter below.
+	if *app == "largefile" {
+		origin := largefile.NewOrigin(largefile.Config{Host: *host, Size: *size, ThrottleBytesPerSec: *throttle})
+		log.Printf("nakika-origin: serving largefile (%d bytes) on %s", origin.Config().Size, *listen)
+		log.Fatal(http.ListenAndServe(*listen, origin))
+	}
 
 	var fetcher core.Fetcher
 	var siteScript string

@@ -56,19 +56,25 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "default time-to-live of distributed leases taken without an explicit TTL (Lease.acquire)")
 	adminAddr := flag.String("admin", "", "admin listener address serving /metrics, /admin/traces, /admin/statusz, and /debug/pprof; empty disables the listener")
 	noObserve := flag.Bool("no-observe", false, "disable the observability plane (metrics registry, request tracing, trace-id propagation)")
+	largeThreshold := flag.Int64("large-threshold", 1<<20, "response size in bytes at which bodies are chunked into the content-addressed large-object tier and served as streams; 0 disables the tier")
+	segmentSize := flag.Int64("segment-size", 256<<10, "segment size of the large-object tier")
+	largeCapacity := flag.Int64("large-capacity", 512<<20, "byte capacity of the large-object segment slab (LRU beyond it)")
 	flag.Parse()
 
 	cfg := nakika.Config{
-		Name:              *name,
-		Region:            *region,
-		ClientWallURL:     *clientWall,
-		ServerWallURL:     *serverWall,
-		ReplicationFactor: *replication,
-		OffloadThreshold:  *offloadThreshold,
-		HedgeAfter:        *hedgeAfter,
-		LeaseTTL:          *leaseTTL,
-		NoObserve:         *noObserve,
-		EnableResources:   *enableRes,
+		Name:                 *name,
+		Region:               *region,
+		ClientWallURL:        *clientWall,
+		ServerWallURL:        *serverWall,
+		ReplicationFactor:    *replication,
+		OffloadThreshold:     *offloadThreshold,
+		HedgeAfter:           *hedgeAfter,
+		LeaseTTL:             *leaseTTL,
+		NoObserve:            *noObserve,
+		EnableResources:      *enableRes,
+		LargeObjectThreshold: *largeThreshold,
+		LargeObjectSegment:   *segmentSize,
+		LargeObjectCapacity:  *largeCapacity,
 		Resources: resource.Config{
 			Capacity: map[resource.Kind]float64{
 				resource.CPU:    *cpuCapacity,

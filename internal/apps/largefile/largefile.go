@@ -1,0 +1,175 @@
+// Package largefile is the synthetic origin used to evaluate the chunked
+// large-object tier: it serves one deterministic multi-megabyte object with
+// HTTP Range support, counts full-body versus range fetches (so tests can
+// assert that warm ranges never refetch the body), and can throttle its
+// writes so time-to-first-byte measurements can prove the edge streams the
+// object instead of buffering it.
+package largefile
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"nakika/internal/httpmsg"
+)
+
+// Config configures the origin.
+type Config struct {
+	// Host is the origin's host name as edge nodes address it.
+	Host string
+	// Size is the object's byte length; zero means 64 MiB.
+	Size int64
+	// ThrottleBytesPerSec caps the origin's write rate; zero is unlimited.
+	// A throttled origin takes measurably long to finish sending, which is
+	// what lets the e2e harness assert the edge's first byte arrives before
+	// the origin's last one.
+	ThrottleBytesPerSec int64
+}
+
+// Origin serves the large object over real HTTP.
+type Origin struct {
+	cfg Config
+
+	fullHits  atomic.Int64
+	rangeHits atomic.Int64
+}
+
+// NewOrigin builds an origin from cfg, applying defaults.
+func NewOrigin(cfg Config) *Origin {
+	if cfg.Host == "" {
+		cfg.Host = "big.example.org"
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 64 << 20
+	}
+	return &Origin{cfg: cfg}
+}
+
+// Config returns the resolved configuration.
+func (o *Origin) Config() Config { return o.cfg }
+
+// Fill writes the object's deterministic content for absolute offset off
+// into buf. Both the origin and its verifiers derive bytes from the offset
+// alone, so any byte range can be checked without holding the whole object.
+func Fill(buf []byte, off int64) {
+	for i := range buf {
+		p := off + int64(i)
+		x := uint64(p)*2654435761 + uint64(p>>13)
+		buf[i] = byte('A' + x%23)
+	}
+}
+
+// Stats is the counter snapshot served at /stats.
+type Stats struct {
+	FullFetches  int64 `json:"full_fetches"`
+	RangeFetches int64 `json:"range_fetches"`
+}
+
+// Stats returns the current counters.
+func (o *Origin) Stats() Stats {
+	return Stats{FullFetches: o.fullHits.Load(), RangeFetches: o.rangeHits.Load()}
+}
+
+// writeChunkSize is the unit of throttled body writes.
+const writeChunkSize = 64 << 10
+
+// ServeHTTP serves /blob (the object, with single-range support), /stats
+// (fetch counters as JSON), and /nakika.js (a header-only edge script, so
+// the pipeline runs without ever touching the body).
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/blob":
+		o.serveBlob(w, r)
+	case "/stats":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(o.Stats())
+	case "/nakika.js":
+		w.Header().Set("Content-Type", "application/javascript")
+		w.Header().Set("Cache-Control", "max-age=300")
+		fmt.Fprint(w, EdgeScript(o.cfg.Host))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (o *Origin) serveBlob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	total := o.cfg.Size
+	from, to := int64(0), total
+	status := http.StatusOK
+	if spec := r.Header.Get("Range"); spec != "" {
+		var err error
+		from, to, err = httpmsg.ParseRange(spec, total)
+		switch err {
+		case nil:
+			status = http.StatusPartialContent
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", from, to-1, total))
+		case httpmsg.ErrNotRange:
+			// Malformed spec: ignore it and serve the full body (RFC 7233).
+		default:
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", total))
+			http.Error(w, "range not satisfiable", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+	}
+	if status == http.StatusOK {
+		o.fullHits.Add(1)
+	} else {
+		o.rangeHits.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "max-age=600")
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("Content-Length", fmt.Sprint(to-from))
+	w.WriteHeader(status)
+	if r.Method == http.MethodHead {
+		return
+	}
+
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, writeChunkSize)
+	start := time.Now()
+	written := int64(0)
+	for off := from; off < to; {
+		n := int64(len(buf))
+		if off+n > to {
+			n = to - off
+		}
+		Fill(buf[:n], off)
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		off += n
+		written += n
+		if rate := o.cfg.ThrottleBytesPerSec; rate > 0 {
+			// Sleep off any lead over the configured rate.
+			ahead := time.Duration(written)*time.Second/time.Duration(rate) - time.Since(start)
+			if ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+}
+
+// EdgeScript returns the site's nakika.js: a header-only response transform
+// (it tags the response, never reads the body), so the edge pipeline runs on
+// every fetch while the body keeps streaming segment by segment.
+func EdgeScript(originHost string) string {
+	return `
+var p = new Policy();
+p.url = [ "` + originHost + `/blob" ];
+p.onResponse = function() {
+	Response.setHeader("X-Largefile-Edge", "1");
+};
+p.register();
+`
+}

@@ -1,0 +1,85 @@
+package largefile
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestServeBlobFullAndRange(t *testing.T) {
+	o := NewOrigin(Config{Size: 100_000})
+	srv := httptest.NewServer(o)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(full) != 100_000 {
+		t.Fatalf("full fetch: %d, %d bytes", resp.StatusCode, len(full))
+	}
+	want := make([]byte, 100_000)
+	Fill(want, 0)
+	for i := range full {
+		if full[i] != want[i] {
+			t.Fatalf("byte %d = %q, want %q", i, full[i], want[i])
+		}
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/blob", nil)
+	req.Header.Set("Range", "bytes=5000-5999")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range status = %d", resp.StatusCode)
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != "bytes 5000-5999/100000" {
+		t.Errorf("Content-Range = %q", cr)
+	}
+	wantPart := make([]byte, 1000)
+	Fill(wantPart, 5000)
+	if string(part) != string(wantPart) {
+		t.Error("range body mismatch against offset-based Fill")
+	}
+
+	req, _ = http.NewRequest("GET", srv.URL+"/blob", nil)
+	req.Header.Set("Range", "bytes=200000-")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Errorf("unsatisfiable range status = %d", resp.StatusCode)
+	}
+
+	st := o.Stats()
+	if st.FullFetches != 1 || st.RangeFetches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHeadHasNoBody(t *testing.T) {
+	o := NewOrigin(Config{Size: 10_000})
+	srv := httptest.NewServer(o)
+	defer srv.Close()
+	resp, err := http.Head(srv.URL + "/blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != 0 {
+		t.Errorf("HEAD returned %d body bytes", len(body))
+	}
+	if resp.ContentLength != 10_000 {
+		t.Errorf("HEAD Content-Length = %d", resp.ContentLength)
+	}
+}

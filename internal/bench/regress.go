@@ -121,6 +121,23 @@ func TrackedMetrics(experiment string, data json.RawMessage) (map[string]float64
 			"disabled_allocs_per_op": r.Disabled.AllocsPerOp,
 			"disabled_bytes_per_op":  r.Disabled.BytesPerOp,
 		}, nil
+	case "largeobject":
+		// The fetch counters are exact: the experiment replays a fixed
+		// request sequence single-threaded, so these counts are properties
+		// of the tier's algorithms (single-flight ingest, residency checks,
+		// LRU slot reuse) and gate hard. The "warm" counters are stored as
+		// count+1 because their correct value is zero origin fetches and a
+		// zero baseline cannot be ratioed.
+		var r LargeObjectResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"cold_origin_full_fetches":        float64(r.ColdOriginFullFetches),
+			"warm_origin_fetches_plus1":       float64(r.WarmOriginFetchesPlus1),
+			"warm_range_origin_fetches_plus1": float64(r.WarmRangeOriginFetchesPlus1),
+			"evicted_range_refetches":         float64(r.EvictedRangeRefetches),
+		}, nil
 	default:
 		return nil, nil
 	}
@@ -149,6 +166,15 @@ func SoftMetrics(experiment string, data json.RawMessage) (map[string]float64, e
 		return map[string]float64{
 			"enabled_req_per_sec":  r.Enabled.ReqPerSec,
 			"disabled_req_per_sec": r.Disabled.ReqPerSec,
+		}, nil
+	case "largeobject":
+		var r LargeObjectResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"cold_mb_per_sec": r.ColdMBPerSec,
+			"warm_mb_per_sec": r.WarmMBPerSec,
 		}, nil
 	default:
 		return nil, nil

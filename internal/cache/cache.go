@@ -18,6 +18,7 @@ package cache
 
 import (
 	"container/list"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -272,8 +273,10 @@ func (c *Cache) GetNegative(key string) bool {
 // Put stores a response under key if it is cacheable, using the response's
 // freshness information or the default TTL. The stored clone is taken before
 // the shard lock is acquired. It returns whether the response was stored.
+// Streamed bodies never enter the whole-body cache — the large-object tier
+// owns them (storing one here would pin a lazy view, not bytes).
 func (c *Cache) Put(key string, resp *httpmsg.Response) bool {
-	if resp == nil || !resp.Cacheable() {
+	if resp == nil || resp.Stream != nil || !resp.Cacheable() {
 		return false
 	}
 	now := c.cfg.Clock()
@@ -282,6 +285,32 @@ func (c *Cache) Put(key string, resp *httpmsg.Response) bool {
 		ttl = c.cfg.DefaultTTL
 	}
 	return c.putEntry(key, resp.Clone(), now.Add(ttl), false)
+}
+
+// Refresh revalidates the stored entry for key against a 304 Not Modified:
+// the entry's expiry is extended by the 304's freshness information (or the
+// default TTL). The 304 itself is never stored — it has no body, so storing
+// it would later serve an empty page; it only renews the 200 it validates.
+// Returns whether a stored entry was refreshed.
+func (c *Cache) Refresh(key string, resp *httpmsg.Response) bool {
+	if resp == nil || resp.Status != http.StatusNotModified {
+		return false
+	}
+	now := c.cfg.Clock()
+	ttl := resp.FreshFor(now)
+	if ttl <= 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok || e.negative || e.resp == nil {
+		return false
+	}
+	e.expires = now.Add(ttl)
+	sh.lru.MoveToFront(e.elem)
+	return true
 }
 
 // PutNegative records that key is known to be absent (for example a site

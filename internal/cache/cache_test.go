@@ -1,7 +1,9 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -306,4 +308,71 @@ func TestPropertyNeverExceedsLimits(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// Test304NeverBecomesServedBody pins the revalidation contract: a 304 Not
+// Modified must never be stored as content (it has no body — a later hit
+// would serve an empty page). It refreshes the stored 200 instead.
+func Test304NeverBecomesServedBody(t *testing.T) {
+	clock := newFakeClock()
+	c := New(Config{DefaultTTL: 60 * time.Second, Clock: clock.Now})
+	key := "GET http://example.org/page"
+
+	// A bare 304 with no stored 200 behind it must not enter the cache.
+	notModified := httpmsg.NewResponse(304)
+	notModified.Header.Set("Etag", `"v1"`)
+	if c.Put(key, notModified) {
+		t.Fatal("304 stored as content")
+	}
+	if got := c.Get(key); got != nil {
+		t.Fatalf("cache served a body for a 304: %q", got.Body)
+	}
+	if c.Refresh(key, notModified) {
+		t.Fatal("Refresh with no stored entry reported success")
+	}
+
+	// Store the real 200, let it expire, revalidate with the 304: the entry
+	// comes back fresh and still serves the original body.
+	c.Put(key, okResponse("real content"))
+	clock.Advance(61 * time.Second)
+	if got := c.Get(key); got != nil {
+		t.Fatal("entry should have expired")
+	}
+	c.Put(key, okResponse("real content"))
+	clock.Advance(30 * time.Second)
+	if !c.Refresh(key, notModified) {
+		t.Fatal("Refresh failed on a stored entry")
+	}
+	clock.Advance(45 * time.Second) // past the original expiry, inside the refreshed one
+	got := c.Get(key)
+	if got == nil || string(got.Body) != "real content" {
+		t.Fatalf("refreshed entry lost: %v", got)
+	}
+	if got.Status != 200 {
+		t.Fatalf("served status %d, want the stored 200", got.Status)
+	}
+
+	// Refresh must reject anything that is not a 304.
+	if c.Refresh(key, okResponse("x")) {
+		t.Fatal("Refresh accepted a 200")
+	}
+}
+
+// TestStreamedResponseNotStored pins that lazy large-object views stay out
+// of the whole-body cache.
+func TestStreamedResponseNotStored(t *testing.T) {
+	c := New(Config{})
+	resp := okResponse("tiny")
+	resp.Stream = fakeStream{}
+	resp.Body = nil
+	if c.Put("k", resp) {
+		t.Fatal("streamed response stored in whole-body cache")
+	}
+}
+
+type fakeStream struct{}
+
+func (fakeStream) TotalLen() int64 { return 1 << 30 }
+func (fakeStream) Range(from, to int64) (io.ReadCloser, error) {
+	return nil, errors.New("not readable")
 }

@@ -1,0 +1,684 @@
+package core
+
+import (
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/largeobject"
+	"nakika/internal/state"
+	"nakika/internal/store"
+	"nakika/internal/transport"
+)
+
+// This file wires the chunked large-object tier (internal/largeobject) into
+// the node: responses above Config.LargeObjectThreshold are split into
+// content-addressed segments held in a disk slab, served back as lazy
+// BodyStreams (so header-only scripts and Range requests never buffer the
+// body), and advertised cluster-wide through one replicated hard-state index
+// record per object. Segment *bodies* stay node-local soft state; only the
+// small index (manifest + per-holder residency bitmaps) replicates.
+
+// lobSite is the internal hard-state site that holds large-object index
+// records, mirroring deploy.IndexSite for the deployment plane.
+const lobSite = "nk:lob"
+
+// lobStateKey returns the replicated-state key of cacheKey's index record.
+// The "\x00nk:" prefix puts it in the reserved internal namespace, so
+// scripts can neither read nor clobber it (state.IsInternalKey).
+func lobStateKey(cacheKey string) string { return "\x00nk:lob:" + cacheKey }
+
+// msgLobSeg is the peer RPC that fetches one segment body by cache key and
+// segment ordinal. The reply is "hit" plus the raw segment bytes, or "miss".
+const msgLobSeg = "lob.seg"
+
+// Large-object defaults: segment size balances slab slot waste against
+// per-segment overhead; capacity bounds the slab's disk footprint.
+const (
+	defaultLobSegment  = 256 << 10
+	defaultLobCapacity = 512 << 20
+)
+
+// LargeObjectStats snapshots the tier plus the node's large-object counters.
+type LargeObjectStats struct {
+	Tier largeobject.Stats
+	// StreamedServes counts responses served as lazy segment streams;
+	// WholeIngests counts buffered bodies chunked into the tier after the
+	// fact, StreamIngests cold fetches chunked as they arrived from the
+	// origin. Adopted counts manifests learned from a replica's index
+	// record; SegPeerFetches/SegOriginFetches count individual segment
+	// bodies pulled from peers and from the origin (Range refetch).
+	StreamedServes   int64
+	WholeIngests     int64
+	StreamIngests    int64
+	Adopted          int64
+	SegPeerFetches   int64
+	SegOriginFetches int64
+}
+
+// LargeObject returns the node's large-object telemetry (zero when the tier
+// is disabled).
+func (n *Node) LargeObject() LargeObjectStats {
+	st := LargeObjectStats{
+		StreamedServes:   n.lobStreamed.Load(),
+		WholeIngests:     n.lobWhole.Load(),
+		StreamIngests:    n.lobStreamIng.Load(),
+		Adopted:          n.lobAdopted.Load(),
+		SegPeerFetches:   n.lobSegPeer.Load(),
+		SegOriginFetches: n.lobSegOrigin.Load(),
+	}
+	if t := n.lobTier(); t != nil {
+		st.Tier = t.Stats()
+	}
+	return st
+}
+
+// lobEnabled reports whether the node runs a large-object tier.
+func (n *Node) lobEnabled() bool { return n.cfg.LargeObjectThreshold > 0 }
+
+// openLob opens the tier: on the data filesystem under lob/ when the node
+// persists, else on a private in-memory filesystem (segments and manifests
+// then die with the process, like the memory cache).
+func (n *Node) openLob() error {
+	if !n.lobEnabled() {
+		return nil
+	}
+	segSize := n.cfg.LargeObjectSegment
+	if segSize <= 0 {
+		segSize = defaultLobSegment
+	}
+	capacity := n.cfg.LargeObjectCapacity
+	if capacity <= 0 {
+		capacity = defaultLobCapacity
+	}
+	var fs store.FS
+	if n.cfg.DataFS != nil {
+		fs = store.Sub(n.cfg.DataFS, "lob")
+	} else {
+		fs = store.NewMemFS()
+	}
+	t, err := largeobject.OpenTier(fs, segSize, capacity)
+	if err != nil {
+		return fmt.Errorf("core: open large-object tier: %w", err)
+	}
+	n.lobMu.Lock()
+	n.lob = t
+	n.lobMu.Unlock()
+	return nil
+}
+
+// lobTier returns the current tier handle (nil when disabled or crashed).
+func (n *Node) lobTier() *largeobject.Tier {
+	n.lobMu.Lock()
+	defer n.lobMu.Unlock()
+	return n.lob
+}
+
+// ---------------------------------------------------------------------------
+// Serving: manifest -> lazy streamed response
+// ---------------------------------------------------------------------------
+
+// lobServe builds a streamed response for key if the tier holds a manifest
+// for it. Missing segments resolve lazily as the client reads: slab, then a
+// holder from the replicated index, then an origin Range refetch — each
+// verified against the manifest's content address.
+func (n *Node) lobServe(key string) *httpmsg.Response {
+	t := n.lobTier()
+	if t == nil {
+		return nil
+	}
+	m, ok := t.Manifest(key)
+	if !ok {
+		return nil
+	}
+	n.lobStreamed.Add(1)
+	resp := httpmsg.NewResponse(m.Status)
+	for k, vs := range m.Header {
+		resp.Header[k] = append([]string(nil), vs...)
+	}
+	resp.Fetched = m.Fetched
+	resp.FromCache = true
+	resp.SetStream(t.NewStream(m, n.lobFetcher(key)))
+	return resp
+}
+
+// lobAdopt learns key's manifest from the replicated index record (written
+// by whichever node ingested the object) and serves it as a stream. This is
+// how a node that never saw the object — or lost its soft state in a crash —
+// serves a range without refetching the whole body.
+func (n *Node) lobAdopt(key string) *httpmsg.Response {
+	t := n.lobTier()
+	if t == nil {
+		return nil
+	}
+	idx, ok := n.lobIndexGet(key)
+	if !ok || idx.Manifest == nil || !idx.Manifest.Complete() {
+		return nil
+	}
+	if err := t.PutManifest(idx.Manifest); err != nil {
+		return nil
+	}
+	n.lobAdopted.Add(1)
+	return n.lobServe(key)
+}
+
+// maybeIngestLob chunks an already-buffered 200 into the tier when it
+// crosses the size threshold, so subsequent requests stream it segment by
+// segment. The caller still returns the buffered response it has in hand.
+func (n *Node) maybeIngestLob(key string, resp *httpmsg.Response) bool {
+	t := n.lobTier()
+	if t == nil || resp.Status != http.StatusOK || resp.Stream != nil {
+		return false
+	}
+	if int64(len(resp.Body)) < n.cfg.LargeObjectThreshold {
+		return false
+	}
+	if !strings.HasPrefix(key, http.MethodGet+" ") {
+		return false
+	}
+	m, err := t.IngestBody(key, resp.Status, resp.Header, resp.Fetched, resp.Body)
+	if err != nil {
+		return false
+	}
+	n.lobWhole.Add(1)
+	n.publishLob(key, m)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Pull-through streaming ingest
+// ---------------------------------------------------------------------------
+
+// StreamHead describes a streaming origin response before its body has been
+// consumed: status, headers, and the declared content length (-1 unknown).
+type StreamHead struct {
+	Status int
+	Header http.Header
+	Length int64
+}
+
+// StreamFetcher is the optional upstream interface that exposes a response
+// body as a stream instead of buffering it. When the upstream supports it,
+// a cold fetch of a large object is ingested segment by segment while the
+// first client reads — first byte reaches the client before the origin
+// finishes sending (cut-through, Section 2's bucket brigade at object
+// granularity). Fetchers that only implement Do still work; large objects
+// are then chunked after the buffered fetch completes.
+type StreamFetcher interface {
+	DoStream(req *httpmsg.Request) (StreamHead, io.ReadCloser, error)
+}
+
+// DoStream implements StreamFetcher for the real HTTP client.
+func (f *HTTPFetcher) DoStream(req *httpmsg.Request) (StreamHead, io.ReadCloser, error) {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	hr, err := req.ToHTTPRequest()
+	if err != nil {
+		return StreamHead{}, nil, err
+	}
+	hresp, err := client.Do(hr)
+	if err != nil {
+		return StreamHead{}, nil, err
+	}
+	head := StreamHead{Status: hresp.StatusCode, Header: hresp.Header.Clone(), Length: hresp.ContentLength}
+	return head, hresp.Body, nil
+}
+
+// lobIngest tracks one in-flight streaming ingest so concurrent readers of
+// the same object can wait for the segment they need instead of refetching.
+type lobIngest struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	appended int
+	done     bool
+	err      error
+}
+
+func newLobIngest() *lobIngest {
+	ing := &lobIngest{}
+	ing.cond = sync.NewCond(&ing.mu)
+	return ing
+}
+
+func (ing *lobIngest) advance(appended int) {
+	ing.mu.Lock()
+	ing.appended = appended
+	ing.mu.Unlock()
+	ing.cond.Broadcast()
+}
+
+func (ing *lobIngest) finish(err error) {
+	ing.mu.Lock()
+	ing.done = true
+	ing.err = err
+	ing.mu.Unlock()
+	ing.cond.Broadcast()
+}
+
+// waitFor blocks until segment ord has been appended or the ingest ended,
+// returning the ingest error (nil when ord is available or the ingest
+// completed, in which case the segment id is in the manifest).
+func (ing *lobIngest) waitFor(ord int) error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	for ing.appended <= ord && !ing.done {
+		ing.cond.Wait()
+	}
+	return ing.err
+}
+
+// lobIngestFor returns the in-flight ingest for key, if any.
+func (n *Node) lobIngestFor(key string) *lobIngest {
+	n.lobIngMu.Lock()
+	defer n.lobIngMu.Unlock()
+	return n.lobIngests[key]
+}
+
+// lobStreamOrigin performs a cold origin fetch through the streaming
+// interface. It either takes over the fetch entirely (handled=true: the
+// returned response streams the object while a background goroutine ingests
+// it) or buffers small/non-200 responses into an ordinary response for the
+// normal miss path. handled=false means the caller should fetch itself.
+func (n *Node) lobStreamOrigin(key string, req *httpmsg.Request) (*httpmsg.Response, bool, error) {
+	t := n.lobTier()
+	if t == nil || req.Method != http.MethodGet {
+		return nil, false, nil
+	}
+	sf, ok := n.cfg.Upstream.(StreamFetcher)
+	if !ok {
+		return nil, false, nil
+	}
+	head, body, err := sf.DoStream(req)
+	if err != nil {
+		return nil, true, err
+	}
+	if head.Status != http.StatusOK || head.Length < n.cfg.LargeObjectThreshold {
+		// Small object (or redirect/error/unknown length): buffer it and let
+		// the ordinary miss path cache and classify it.
+		defer body.Close()
+		data, err := io.ReadAll(body)
+		if err != nil {
+			return nil, true, fmt.Errorf("core: read origin body: %w", err)
+		}
+		resp := httpmsg.NewResponse(head.Status)
+		if h := head.Header.Clone(); h != nil {
+			resp.Header = h
+		}
+		resp.Body = data
+		resp.Fetched = time.Now()
+		return resp, true, nil
+	}
+
+	// Large object: install the (incomplete, memory-only) manifest, start
+	// the background ingest, and hand the client a stream that rides it.
+	m := &largeobject.Manifest{
+		Key:      key,
+		Status:   head.Status,
+		Header:   head.Header.Clone(),
+		TotalLen: head.Length,
+		SegSize:  t.SegSize(),
+		Fetched:  time.Now(),
+	}
+	if err := t.PutManifest(m); err != nil {
+		body.Close()
+		return nil, true, err
+	}
+	ing := newLobIngest()
+	n.lobIngMu.Lock()
+	if n.lobIngests == nil {
+		n.lobIngests = make(map[string]*lobIngest)
+	}
+	n.lobIngests[key] = ing
+	n.lobIngMu.Unlock()
+	n.lobStreamIng.Add(1)
+	go n.lobIngestLoop(t, key, m, ing, body)
+
+	resp := httpmsg.NewResponse(m.Status)
+	resp.Header = m.Header.Clone()
+	resp.Fetched = m.Fetched
+	resp.SetStream(t.NewStream(m, n.lobFetcher(key)))
+	return resp, true, nil
+}
+
+// lobIngestLoop chunks the origin body into the tier. Segment ids become
+// visible to concurrent streams through AppendSegment; the ingest tracker
+// wakes readers blocked on a not-yet-arrived segment. A short or failed body
+// aborts the ingest and drops the manifest — readers see the error, and the
+// next request refetches.
+func (n *Node) lobIngestLoop(t *largeobject.Tier, key string, m *largeobject.Manifest, ing *lobIngest, body io.ReadCloser) {
+	defer body.Close()
+	defer func() {
+		n.lobIngMu.Lock()
+		delete(n.lobIngests, key)
+		n.lobIngMu.Unlock()
+	}()
+	buf := make([]byte, t.SegSize())
+	numSegs := m.NumSegments()
+	for ord := 0; ord < numSegs; ord++ {
+		from, to := m.SegmentSpan(ord)
+		chunk := buf[:to-from]
+		if _, err := io.ReadFull(body, chunk); err != nil {
+			t.DeleteManifest(key)
+			ing.finish(fmt.Errorf("core: ingest %q segment %d: %w", key, ord, err))
+			return
+		}
+		id := largeobject.HashSegment(chunk)
+		if err := t.PutSegment(id, chunk); err != nil {
+			t.DeleteManifest(key)
+			ing.finish(err)
+			return
+		}
+		if _, err := t.AppendSegment(key, ord, id); err != nil {
+			ing.finish(err)
+			return
+		}
+		ing.advance(ord + 1)
+	}
+	ing.finish(nil)
+	if final, ok := t.Manifest(key); ok {
+		n.publishLob(key, final)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Segment resolution: slab -> in-flight ingest -> peer -> origin Range
+// ---------------------------------------------------------------------------
+
+// lobFetcher returns the tier stream's resolver for key's missing segments.
+// The slab was already consulted by the stream; here the order is: wait on
+// an in-flight ingest, then a holder from the replicated index, then an
+// origin Range refetch — each coalesced per (key, ordinal) so a thundering
+// herd of readers costs one fetch per segment.
+func (n *Node) lobFetcher(key string) largeobject.Fetcher {
+	return func(m *largeobject.Manifest, ord int) ([]byte, error) {
+		if ing := n.lobIngestFor(key); ing != nil {
+			if err := ing.waitFor(ord); err != nil {
+				return nil, err
+			}
+			// The ingest appended ord (or finished): its id is in the
+			// current manifest and the body should be in the slab. Fall
+			// through to the shared path if it was already evicted.
+			if t := n.lobTier(); t != nil {
+				if cur, ok := t.Manifest(key); ok && ord < len(cur.Segments) {
+					if data, ok := t.GetSegment(cur.Segments[ord]); ok {
+						return data, nil
+					}
+				}
+			}
+		}
+		return n.segFlights.Do(key+"#"+strconv.Itoa(ord), func() ([]byte, error) {
+			return n.lobFetchSegment(key, ord)
+		})
+	}
+}
+
+// lobFetchSegment is the single-flight leader path for one missing segment.
+func (n *Node) lobFetchSegment(key string, ord int) ([]byte, error) {
+	t := n.lobTier()
+	if t == nil {
+		return nil, fmt.Errorf("core: large-object tier unavailable")
+	}
+	m, ok := t.Manifest(key)
+	if !ok {
+		return nil, fmt.Errorf("core: no manifest for %q", key)
+	}
+	var want largeobject.SegID
+	haveID := ord < len(m.Segments)
+	if haveID {
+		want = m.Segments[ord]
+		// Re-check the slab: another reader may have resolved this ordinal
+		// between the stream's miss and this flight winning the slot.
+		if data, ok := t.GetSegment(want); ok {
+			return data, nil
+		}
+	}
+	from, to := m.SegmentSpan(ord)
+
+	// Holders advertised in the replicated index, in sorted order for
+	// determinism. Only segments the holder claims resident are asked for.
+	if haveID && n.tr != nil {
+		if idx, ok := n.lobIndexGet(key); ok {
+			holders := make([]string, 0, len(idx.Holders))
+			for h := range idx.Holders {
+				if h != n.cfg.Name && idx.Holders[h].Has(ord) {
+					holders = append(holders, h)
+				}
+			}
+			sort.Strings(holders)
+			for _, h := range holders {
+				reply, err := n.call(h, transport.Message{Type: msgLobSeg, Key: key, Args: []string{strconv.Itoa(ord)}})
+				if err != nil || len(reply.Args) == 0 || reply.Args[0] != "hit" {
+					continue
+				}
+				if largeobject.HashSegment(reply.Body) != want {
+					continue // corrupt or stale peer copy; try the next
+				}
+				n.lobSegPeer.Add(1)
+				t.PutSegment(want, reply.Body)
+				n.lobMaybeAnnounce(t, key)
+				return reply.Body, nil
+			}
+		}
+	}
+
+	// Origin Range refetch. The cache key is "METHOD URL" (CacheKey), so
+	// the URL is recoverable without keeping the original request around.
+	_, url, ok := strings.Cut(m.Key, " ")
+	if !ok {
+		return nil, fmt.Errorf("core: malformed manifest key %q", m.Key)
+	}
+	req, err := httpmsg.NewRequest(http.MethodGet, url)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", from, to-1))
+	n.originFetches.Add(1)
+	n.lobSegOrigin.Add(1)
+	resp, err := n.cfg.Upstream.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var data []byte
+	switch resp.Status {
+	case http.StatusPartialContent:
+		data = resp.Body
+	case http.StatusOK:
+		// Origin ignored the Range header: slice the span out of the full
+		// body (a correct 200 must carry the whole object).
+		if int64(len(resp.Body)) != m.TotalLen {
+			return nil, fmt.Errorf("core: origin sent %d bytes for %d-byte object", len(resp.Body), m.TotalLen)
+		}
+		data = resp.Body[from:to]
+	default:
+		return nil, fmt.Errorf("core: origin range fetch returned %d", resp.Status)
+	}
+	if int64(len(data)) != to-from {
+		return nil, fmt.Errorf("core: origin range fetch: got %d bytes, want %d", len(data), to-from)
+	}
+	if haveID && largeobject.HashSegment(data) != want {
+		return nil, fmt.Errorf("core: segment %d of %q failed content verification", ord, key)
+	}
+	id := want
+	if !haveID {
+		id = largeobject.HashSegment(data)
+	}
+	t.PutSegment(id, data)
+	n.lobMaybeAnnounce(t, key)
+	return data, nil
+}
+
+// serveLobRPC answers peers' segment fetches. Bodies are served only for
+// ordinals whose id the local manifest already records — an in-flight ingest
+// exposes exactly the segments it has durably chunked.
+func (n *Node) serveLobRPC(from string, msg transport.Message) (transport.Message, error) {
+	switch msg.Type {
+	case msgLobSeg:
+		t := n.lobTier()
+		if t == nil {
+			return transport.Message{Args: []string{"miss"}}, nil
+		}
+		m, ok := t.Manifest(msg.Key)
+		if !ok || len(msg.Args) == 0 {
+			return transport.Message{Args: []string{"miss"}}, nil
+		}
+		ord, err := strconv.Atoi(msg.Args[0])
+		if err != nil || ord < 0 || ord >= len(m.Segments) {
+			return transport.Message{Args: []string{"miss"}}, nil
+		}
+		data, ok := t.GetSegment(m.Segments[ord])
+		if !ok {
+			return transport.Message{Args: []string{"miss"}}, nil
+		}
+		return transport.Message{Args: []string{"hit"}, Body: data}, nil
+	default:
+		return transport.Message{}, fmt.Errorf("core: unknown lob message %q", msg.Type)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replicated segment index (one hard-state record per object)
+// ---------------------------------------------------------------------------
+
+// lobIndexGet reads key's index record through the replicated read path
+// (owner-routed with failover) when replication is on, locally otherwise —
+// the same contract as deploy records.
+func (n *Node) lobIndexGet(key string) (*largeobject.Index, bool) {
+	var raw string
+	var ok bool
+	if n.repEnabled() {
+		raw, ok = n.repGet(nil, lobSite, lobStateKey(key))
+	} else {
+		var deleted bool
+		_, _, deleted, raw, ok = n.store.GetVersioned(lobSite, lobStateKey(key))
+		ok = ok && !deleted
+	}
+	if !ok {
+		return nil, false
+	}
+	dec, err := base64.StdEncoding.DecodeString(raw)
+	if err != nil {
+		return nil, false
+	}
+	idx, err := largeobject.DecodeIndex(dec)
+	if err != nil {
+		return nil, false
+	}
+	return idx, true
+}
+
+// lobIndexPut writes key's index record through the replicated owner write
+// path (durable on the owner plus its successors) when replication is on.
+func (n *Node) lobIndexPut(key string, idx *largeobject.Index) error {
+	value := base64.StdEncoding.EncodeToString(largeobject.EncodeIndex(idx))
+	if n.repEnabled() {
+		return n.repPut(nil, lobSite, lobStateKey(key), value)
+	}
+	n.repApplyMu.Lock()
+	defer n.repApplyMu.Unlock()
+	ver, _, _, _, _ := n.store.GetVersioned(lobSite, lobStateKey(key))
+	_, err := n.store.PutVersioned(state.Rec{
+		Site: lobSite, Key: lobStateKey(key), Ver: ver + 1, Origin: n.cfg.Name,
+		Value: value,
+	})
+	return err
+}
+
+// publishLob merges this node into key's replicated index record: installs
+// the manifest (first writer wins; the content address makes all complete
+// manifests for a key interchangeable) and records the local residency
+// bitmap. The read-modify-write is serialized per node by lobPubMu; losing
+// a cross-node race costs only staler holder hints, which readers treat as
+// best-effort anyway. Failures are non-fatal — the object still serves
+// locally, and the next announcement retries.
+func (n *Node) publishLob(key string, m *largeobject.Manifest) {
+	t := n.lobTier()
+	if t == nil || m == nil || !m.Complete() {
+		return
+	}
+	n.lobPubMu.Lock()
+	defer n.lobPubMu.Unlock()
+	idx, ok := n.lobIndexGet(key)
+	if !ok || idx.Manifest == nil || !idx.Manifest.Complete() {
+		if !ok {
+			idx = &largeobject.Index{}
+		}
+		idx.Manifest = m.Clone()
+	}
+	if idx.Holders == nil {
+		idx.Holders = make(map[string]largeobject.BitSet)
+	}
+	idx.Holders[n.cfg.Name] = t.Resident(m)
+	_ = n.lobIndexPut(key, idx)
+}
+
+// lobMaybeAnnounce refreshes this node's holder bitmap in the index once it
+// holds a full copy of the object. Announcing per segment fetch would turn
+// every read into a replicated write; a complete copy is the one residency
+// transition worth advertising (it makes this node a full peer source).
+func (n *Node) lobMaybeAnnounce(t *largeobject.Tier, key string) {
+	m, ok := t.Manifest(key)
+	if !ok || !m.Complete() {
+		return
+	}
+	if t.Resident(m).Count() == m.NumSegments() {
+		n.publishLob(key, m)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-segment single-flight ([]byte results, unlike the response flights)
+// ---------------------------------------------------------------------------
+
+type segFlightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*segFlightCall
+}
+
+type segFlightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Do coalesces concurrent fetches of one (key, ordinal). All callers share
+// the returned bytes; segment buffers are read-only by contract (readers
+// copy out of them), so no per-waiter clone is needed.
+func (g *segFlightGroup) Do(key string, fn func() ([]byte, error)) ([]byte, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*segFlightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.data, c.err
+	}
+	c := &segFlightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = errFlightPanic
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+			panic(r)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.data, c.err = fn()
+	return c.data, c.err
+}

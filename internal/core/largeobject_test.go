@@ -1,0 +1,393 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/overlay"
+	"nakika/internal/store"
+)
+
+// lobBody builds the deterministic large-object payload the tests serve.
+func lobBody(n int) []byte {
+	body := make([]byte, n)
+	for i := range body {
+		body[i] = byte('a' + (i/7+i/4093)%23)
+	}
+	return body
+}
+
+// rangeOrigin serves one large object with HTTP Range support, counting full
+// and range fetches separately.
+type rangeOrigin struct {
+	url  string
+	body []byte
+
+	mu         sync.Mutex
+	fullHits   int
+	rangeHits  int
+	streamHits int
+}
+
+func (o *rangeOrigin) counts() (full, ranged, streamed int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fullHits, o.rangeHits, o.streamHits
+}
+
+func (o *rangeOrigin) Do(req *httpmsg.Request) (*httpmsg.Response, error) {
+	if req.URL.String() != o.url {
+		return httpmsg.NewTextResponse(404, "not found"), nil
+	}
+	if spec := req.Header.Get("Range"); spec != "" {
+		from, to, err := httpmsg.ParseRange(spec, int64(len(o.body)))
+		if err != nil {
+			return httpmsg.NewRangeNotSatisfiable(int64(len(o.body))), nil
+		}
+		o.mu.Lock()
+		o.rangeHits++
+		o.mu.Unlock()
+		resp := httpmsg.NewResponse(http.StatusPartialContent)
+		resp.Header.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", from, to-1, len(o.body)))
+		resp.Body = append([]byte(nil), o.body[from:to]...)
+		return resp, nil
+	}
+	o.mu.Lock()
+	o.fullHits++
+	o.mu.Unlock()
+	resp := httpmsg.NewResponse(200)
+	resp.SetMaxAge(600)
+	resp.Body = append([]byte(nil), o.body...)
+	return resp, nil
+}
+
+// streamRangeOrigin additionally implements StreamFetcher, so cold fetches
+// take the pull-through ingest path.
+type streamRangeOrigin struct{ rangeOrigin }
+
+func (o *streamRangeOrigin) DoStream(req *httpmsg.Request) (StreamHead, io.ReadCloser, error) {
+	if req.URL.String() != o.url || req.Header.Get("Range") != "" {
+		resp, err := o.Do(req)
+		if err != nil {
+			return StreamHead{}, nil, err
+		}
+		return StreamHead{Status: resp.Status, Header: resp.Header.Clone(), Length: int64(len(resp.Body))},
+			io.NopCloser(bytes.NewReader(resp.Body)), nil
+	}
+	o.mu.Lock()
+	o.streamHits++
+	o.mu.Unlock()
+	h := make(http.Header)
+	h.Set("Cache-Control", "max-age=600")
+	return StreamHead{Status: 200, Header: h, Length: int64(len(o.body))},
+		io.NopCloser(bytes.NewReader(o.body)), nil
+}
+
+func lobConfig(segSize, threshold int64) func(*Config) {
+	return func(cfg *Config) {
+		cfg.LargeObjectThreshold = threshold
+		cfg.LargeObjectSegment = segSize
+		cfg.LargeObjectCapacity = 1 << 20
+	}
+}
+
+func readStream(t *testing.T, resp *httpmsg.Response, from, to int64) []byte {
+	t.Helper()
+	rc, err := resp.Stream.Range(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLargeObjectIngestAndStream: a buffered fetch above the threshold is
+// chunked into the tier, and subsequent requests stream it — including lazy
+// 206s that read only the requested span — with no further origin traffic.
+func TestLargeObjectIngestAndStream(t *testing.T) {
+	body := lobBody(40_000)
+	origin := &rangeOrigin{url: "http://big.example.org/blob", body: body}
+	n := newTestNodeUpstream(t, "edge-1", origin, lobConfig(4096, 10_000))
+
+	resp, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !bytes.Equal(resp.Body, body) {
+		t.Fatalf("cold fetch: status %d, %d body bytes", resp.Status, len(resp.Body))
+	}
+
+	// Warm: served from the tier as a stream.
+	resp, trace, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stream == nil {
+		t.Fatal("warm response is not streamed")
+	}
+	if resp.TotalLen() != int64(len(body)) {
+		t.Fatalf("TotalLen = %d, want %d", resp.TotalLen(), len(body))
+	}
+	if !trace.Streamed || trace.Segments != 10 || trace.SegmentsResident != 10 {
+		t.Errorf("trace = streamed %v, %d/%d segments", trace.Streamed, trace.SegmentsResident, trace.Segments)
+	}
+	if got := readStream(t, resp, 0, resp.TotalLen()); !bytes.Equal(got, body) {
+		t.Fatal("streamed body differs from origin body")
+	}
+
+	// Warm range: the 206 narrows lazily and reads only resident segments.
+	req := httpmsg.MustRequest("GET", "http://big.example.org/blob")
+	req.Header.Set("Range", "bytes=5000-9191")
+	resp, _, err = n.Handle(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranged := httpmsg.ApplyRange(req, resp)
+	if ranged.Status != http.StatusPartialContent {
+		t.Fatalf("range status = %d", ranged.Status)
+	}
+	if cr := ranged.Header.Get("Content-Range"); cr != "bytes 5000-9191/40000" {
+		t.Errorf("Content-Range = %q", cr)
+	}
+	if err := ranged.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ranged.Body, body[5000:9192]) {
+		t.Fatal("range body differs")
+	}
+
+	full, rng, _ := origin.counts()
+	if full != 1 || rng != 0 {
+		t.Errorf("origin hits = %d full, %d range; want 1, 0", full, rng)
+	}
+	st := n.LargeObject()
+	if st.WholeIngests != 1 || st.StreamedServes < 2 || st.SegOriginFetches != 0 {
+		t.Errorf("lob stats = %+v", st)
+	}
+}
+
+// TestLargeObjectStreamingColdFetch: with a stream-capable upstream the cold
+// fetch itself is a lazy stream ingested segment by segment, and a second
+// request needs no origin traffic.
+func TestLargeObjectStreamingColdFetch(t *testing.T) {
+	body := lobBody(50_000)
+	origin := &streamRangeOrigin{rangeOrigin{url: "http://big.example.org/vid", body: body}}
+	n := newTestNodeUpstream(t, "edge-1", origin, lobConfig(4096, 10_000))
+
+	resp, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/vid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stream == nil {
+		t.Fatal("cold fetch did not stream")
+	}
+	if got := readStream(t, resp, 0, resp.TotalLen()); !bytes.Equal(got, body) {
+		t.Fatal("cold streamed body differs")
+	}
+	resp, _, err = n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/vid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readStream(t, resp, 0, resp.TotalLen()); !bytes.Equal(got, body) {
+		t.Fatal("warm streamed body differs")
+	}
+	full, rng, streamed := origin.counts()
+	if full != 0 || streamed != 1 || rng != 0 {
+		t.Errorf("origin hits = %d full, %d streamed, %d range; want 0, 1, 0", full, streamed, rng)
+	}
+	if st := n.LargeObject(); st.StreamIngests != 1 {
+		t.Errorf("stream ingests = %d, want 1", st.StreamIngests)
+	}
+}
+
+// TestLargeObjectPeerSegments: node B, which never fetched the object,
+// adopts its manifest from the replicated index record and pulls segment
+// bodies from node A over the lob RPC — the origin is touched exactly once
+// cluster-wide.
+func TestLargeObjectPeerSegments(t *testing.T) {
+	body := lobBody(30_000)
+	origin := &rangeOrigin{url: "http://big.example.org/iso", body: body}
+	ring := overlay.NewRing()
+	mutate := func(cfg *Config) {
+		lobConfig(4096, 10_000)(cfg)
+		cfg.Ring = ring
+	}
+	a := newTestNodeUpstream(t, "edge-a", origin, mutate)
+	b := newTestNodeUpstream(t, "edge-b", origin, mutate)
+
+	if _, _, err := a.Handle(httpmsg.MustRequest("GET", "http://big.example.org/iso")); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := b.Handle(httpmsg.MustRequest("GET", "http://big.example.org/iso"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stream == nil {
+		t.Fatal("adopted response is not streamed")
+	}
+	if got := readStream(t, resp, 0, resp.TotalLen()); !bytes.Equal(got, body) {
+		t.Fatal("adopted body differs")
+	}
+	full, rng, _ := origin.counts()
+	if full != 1 || rng != 0 {
+		t.Errorf("origin hits = %d full, %d range; want 1, 0", full, rng)
+	}
+	bs := b.LargeObject()
+	if bs.Adopted != 1 || bs.SegPeerFetches == 0 {
+		t.Errorf("b lob stats = %+v", bs)
+	}
+	// B now holds a full copy and has announced itself; its residency must
+	// be in the index record.
+	idx, ok := b.lobIndexGet("GET http://big.example.org/iso")
+	if !ok {
+		t.Fatal("index record missing")
+	}
+	if got := idx.Holders["edge-b"].Count(); got != 8 {
+		t.Errorf("edge-b resident segments in index = %d, want 8", got)
+	}
+}
+
+// TestLargeObjectSurvivesCrash: persisted manifests and slot files are
+// rescanned on recovery, so the object serves again without origin traffic.
+func TestLargeObjectSurvivesCrash(t *testing.T) {
+	body := lobBody(30_000)
+	origin := &rangeOrigin{url: "http://big.example.org/db", body: body}
+	fs := store.NewMemFS()
+	n := newTestNodeUpstream(t, "edge-1", origin, func(cfg *Config) {
+		lobConfig(4096, 10_000)(cfg)
+		cfg.DataFS = fs
+	})
+	if _, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/db")); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash()
+	if err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stream == nil {
+		t.Fatal("recovered response is not streamed")
+	}
+	if got := readStream(t, resp, 0, resp.TotalLen()); !bytes.Equal(got, body) {
+		t.Fatal("recovered body differs")
+	}
+	if full, rng, _ := origin.counts(); full != 1 || rng != 0 {
+		t.Errorf("origin hits = %d full, %d range; want 1, 0", full, rng)
+	}
+}
+
+// TestLargeObjectEvictedSegmentsRefetchByRange: a slab too small for the
+// object evicts segments; readers transparently refill them with origin
+// Range fetches — never a second full-body fetch.
+func TestLargeObjectEvictedSegmentsRefetchByRange(t *testing.T) {
+	body := lobBody(60_000)
+	origin := &rangeOrigin{url: "http://big.example.org/huge", body: body}
+	n := newTestNodeUpstream(t, "edge-1", origin, func(cfg *Config) {
+		cfg.LargeObjectThreshold = 10_000
+		cfg.LargeObjectSegment = 4096
+		cfg.LargeObjectCapacity = 5 * 4096 // 5 slots for a 15-segment object
+	})
+	if _, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/huge")); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/huge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readStream(t, resp, 0, resp.TotalLen()); !bytes.Equal(got, body) {
+		t.Fatal("body differs after eviction refill")
+	}
+	full, rng, _ := origin.counts()
+	if full != 1 {
+		t.Errorf("full origin hits = %d, want 1", full)
+	}
+	if rng == 0 {
+		t.Error("expected range refetches for evicted segments")
+	}
+}
+
+// TestLargeObjectConcurrentRangeReaders hammers one object with concurrent
+// random range reads through the node while eviction churns the slab — the
+// nightly -race soak runs this with the race detector.
+func TestLargeObjectConcurrentRangeReaders(t *testing.T) {
+	body := lobBody(48_000)
+	origin := &rangeOrigin{url: "http://big.example.org/soak", body: body}
+	n := newTestNodeUpstream(t, "edge-1", origin, func(cfg *Config) {
+		cfg.LargeObjectThreshold = 10_000
+		cfg.LargeObjectSegment = 4096
+		cfg.LargeObjectCapacity = 6 * 4096
+	})
+	if _, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/soak")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 15; i++ {
+				from := rng.Int63n(int64(len(body)) - 1)
+				to := from + 1 + rng.Int63n(int64(len(body))-from-1)
+				req := httpmsg.MustRequest("GET", "http://big.example.org/soak")
+				req.Header.Set("Range", "bytes="+strconv.FormatInt(from, 10)+"-"+strconv.FormatInt(to-1, 10))
+				resp, _, err := n.Handle(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ranged := httpmsg.ApplyRange(req, resp)
+				if err := ranged.Materialize(); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(ranged.Body, body[from:to]) {
+					errs <- fmt.Errorf("range [%d,%d) differs", from, to)
+					return
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if full, _, _ := origin.counts(); full != 1 {
+		t.Errorf("full origin hits = %d, want 1", full)
+	}
+}
+
+// newTestNodeUpstream is newTestNode for upstreams that are not memOrigins.
+func newTestNodeUpstream(t *testing.T, name string, upstream Fetcher, mutate func(*Config)) *Node {
+	t.Helper()
+	cfg := Config{
+		Name:          name,
+		Region:        "us-east",
+		Upstream:      upstream,
+		LocalNetworks: []string{"10.0.0.0/8"},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -16,6 +16,7 @@ import (
 
 	"nakika/internal/cache"
 	"nakika/internal/httpmsg"
+	"nakika/internal/largeobject"
 	"nakika/internal/loadview"
 	"nakika/internal/metrics"
 	"nakika/internal/overlay"
@@ -167,6 +168,17 @@ type Config struct {
 	DataFS store.FS
 	// Persist tunes the storage engine; zero values mean defaults.
 	Persist PersistConfig
+	// LargeObjectThreshold, when positive, enables the chunked large-object
+	// tier: 200 responses at least this many bytes long are split into
+	// fixed-size content-addressed segments held in a disk slab and served
+	// as lazy body streams (Range requests and header-only scripts never
+	// buffer the body). Zero disables the tier, the seed behaviour.
+	LargeObjectThreshold int64
+	// LargeObjectSegment is the tier's segment size; zero means 256 KiB.
+	LargeObjectSegment int64
+	// LargeObjectCapacity bounds the segment slab's byte footprint; zero
+	// means 512 MiB. Segments beyond it evict LRU.
+	LargeObjectCapacity int64
 	// ClientHostLookup resolves client IPs to hostnames for client
 	// predicates.
 	ClientHostLookup func(ip string) string
@@ -381,6 +393,24 @@ type Node struct {
 	deployRej     atomic.Int64
 	deployRolled  atomic.Int64
 	deployCompErr atomic.Int64
+
+	// Chunked large-object tier (see internal/core/largeobject.go): the
+	// tier handle (nil when disabled or crashed), the in-flight streaming
+	// ingests keyed by cache key, the per-(key,segment) fetch flights, the
+	// lock serializing this node's index read-modify-write cycles, and the
+	// tier counters.
+	lobMu        sync.Mutex
+	lob          *largeobject.Tier
+	lobIngMu     sync.Mutex
+	lobIngests   map[string]*lobIngest
+	lobPubMu     sync.Mutex
+	segFlights   segFlightGroup
+	lobStreamed  atomic.Int64
+	lobWhole     atomic.Int64
+	lobStreamIng atomic.Int64
+	lobAdopted   atomic.Int64
+	lobSegPeer   atomic.Int64
+	lobSegOrigin atomic.Int64
 }
 
 // NewNode builds a node from cfg.
@@ -419,6 +449,9 @@ func NewNode(cfg Config) (*Node, error) {
 		n.store = state.NewStore(cfg.StateQuota)
 	}
 	n.cache = cache.New(cacheCfg)
+	if err := n.openLob(); err != nil {
+		return nil, err
+	}
 	for _, cidr := range cfg.LocalNetworks {
 		_, ipnet, err := net.ParseCIDR(cidr)
 		if err != nil {
@@ -513,6 +546,7 @@ func NewNode(cfg Config) (*Node, error) {
 		mux.Route("off.", n.serveOffloadRPC)
 		mux.Route("lease.", n.serveLeaseRPC)
 		mux.Route("deploy.", n.serveDeployRPC)
+		mux.Route("lob.", n.serveLobRPC)
 		n.tr.Register(cfg.Name, mux.Serve)
 	}
 	return n, nil
@@ -589,6 +623,19 @@ func (n *Node) Crash() {
 	n.deployMu.Lock()
 	n.deployed = make(map[string]*deployActive)
 	n.deployMu.Unlock()
+	// The large-object tier handle is abandoned mid-flight too: the
+	// manifest table and ingest trackers die with the process, while
+	// persisted manifests and slot files stay on the data filesystem for
+	// Recover to rescan (torn slots fail their checksum and are reclaimed).
+	n.lobMu.Lock()
+	n.lob = nil
+	n.lobMu.Unlock()
+	n.lobIngMu.Lock()
+	for _, ing := range n.lobIngests {
+		ing.finish(fmt.Errorf("core: node crashed"))
+	}
+	n.lobIngests = nil
+	n.lobIngMu.Unlock()
 	n.persistMu.Lock()
 	kv := n.kvLog
 	n.persistMu.Unlock()
@@ -614,7 +661,10 @@ func (n *Node) Crash() {
 // behaviour.
 func (n *Node) Recover() error {
 	if n.cfg.DataFS == nil {
-		return nil
+		// The large-object tier still reopens (on a fresh in-memory
+		// filesystem): an in-memory node comes back with the tier enabled
+		// but empty, like its memory cache.
+		return n.openLob()
 	}
 	kv, disk, err := n.openStorage()
 	if err != nil {
@@ -625,7 +675,7 @@ func (n *Node) Recover() error {
 	n.persistMu.Unlock()
 	n.store.SetBackend(kv)
 	n.cache.SetL2(disk)
-	return nil
+	return n.openLob()
 }
 
 // Name returns the node's name.
@@ -779,7 +829,13 @@ func (n *Node) handleLocal(req *httpmsg.Request) (*httpmsg.Response, *pipeline.T
 			// verify no response mixes script versions across a deploy.
 			resp.Header.Set("X-Na-Kika-Gen", strconv.FormatUint(trace.Generation, 10))
 		}
-		n.log.Append(req.SiteKey(), state.FormatAccess(req.ClientIP, req.Method, req.URL.String(), resp.Status, len(resp.Body), time.Since(start)))
+		if resp.Stream != nil {
+			trace.Streamed = true
+			if p, ok := resp.Stream.(interface{ Progress() (int, int) }); ok {
+				trace.Segments, trace.SegmentsResident = p.Progress()
+			}
+		}
+		n.log.Append(req.SiteKey(), state.FormatAccess(req.ClientIP, req.Method, req.URL.String(), resp.Status, int(resp.TotalLen()), time.Since(start)))
 	}
 	n.observe(req, resp, trace, start)
 	return resp, trace, nil
@@ -805,7 +861,13 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if err := resp.WriteTo(w); err != nil {
+	// Range narrowing happens at the very edge, after every script saw the
+	// full 200: a satisfiable Range on a GET/HEAD becomes a 206 (lazy — a
+	// streamed body only reads the requested segments), an unsatisfiable
+	// one a 416. WriteToMethod suppresses the body on HEAD and on bodyless
+	// statuses (1xx/204/304) per RFC 7230 §3.3.3.
+	resp = httpmsg.ApplyRange(req, resp)
+	if err := resp.WriteToMethod(w, req.Method); err != nil {
 		n.errors.Add(1)
 	}
 	if trace != nil && !trace.RanHandlers() {
@@ -831,6 +893,13 @@ func (n *Node) fetchWithCache(req *httpmsg.Request) (*httpmsg.Response, error) {
 		n.cacheHits.Add(1)
 		return resp, nil
 	}
+	// Large objects live in the chunked tier, not the response cache: a
+	// resident manifest serves a lazy stream whose segments resolve from
+	// the slab, a peer, or an origin Range refetch as the client reads.
+	if resp := n.lobServe(key); resp != nil {
+		n.cacheHits.Add(1)
+		return resp, nil
+	}
 	resp, shared, err := n.flights.Do(key, func() (*httpmsg.Response, error) {
 		return n.fetchMiss(key, req)
 	})
@@ -847,6 +916,18 @@ func (n *Node) fetchMiss(key string, req *httpmsg.Request) (*httpmsg.Response, e
 	// between this caller's miss and its flight winning the slot.
 	if resp := n.cache.Get(key); resp != nil {
 		n.cacheHits.Add(1)
+		return resp, nil
+	}
+	if resp := n.lobServe(key); resp != nil {
+		n.cacheHits.Add(1)
+		return resp, nil
+	}
+	// A replica's index record may carry the object's manifest even though
+	// this node has never seen a byte of it: adopt the manifest and stream,
+	// pulling segments from the advertised holders (or the origin, by
+	// Range) instead of refetching the whole body.
+	if resp := n.lobAdopt(key); resp != nil {
+		n.peerHits.Add(1)
 		return resp, nil
 	}
 	// Cooperative cache: ask the overlay who has a copy and fetch it from
@@ -870,9 +951,33 @@ func (n *Node) fetchMiss(key string, req *httpmsg.Request) (*httpmsg.Response, e
 	}
 
 	n.originFetches.Add(1)
-	resp, err := n.cfg.Upstream.Do(req)
+	// Cold fetch: through the streaming path when the upstream supports it
+	// and the tier is on — a large 200 is then chunked into segments as it
+	// arrives, with the first byte reaching the client before the origin
+	// finishes sending. Otherwise the ordinary buffered fetch.
+	resp, handled, err := n.lobStreamOrigin(key, req)
+	if !handled {
+		resp, err = n.cfg.Upstream.Do(req)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if resp.Stream != nil {
+		// Streaming ingest in progress; the index record publishes when it
+		// completes. Nothing to cache — the tier owns the object.
+		return resp, nil
+	}
+	if resp.Status == http.StatusNotModified {
+		// A 304 is never cached as a body: it revalidates the stored 200,
+		// extending its freshness (the validator semantics the conditional
+		// request asked for).
+		n.cache.Refresh(key, resp)
+		return resp, nil
+	}
+	if n.maybeIngestLob(key, resp) {
+		// Chunked into the tier; later requests stream it. This response
+		// already has the body in memory, so return it as-is.
+		return resp, nil
 	}
 	if resp.Cacheable() {
 		if n.cache.Put(key, resp) && resp.Status == http.StatusOK {

@@ -128,8 +128,16 @@ func ReadResponse(r *wire.Reader) (*Response, error) {
 }
 
 // EncodeResponse renders resp as a self-describing payload (magic byte
-// first) suitable for a transport Message body.
+// first) suitable for a transport Message body. A streamed body is
+// materialized first — the wire format carries complete instances; if the
+// stream cannot be read the peer gets a bodyless 502 rather than a truncated
+// instance.
 func EncodeResponse(resp *Response) []byte {
+	if resp.Stream != nil {
+		if err := resp.Materialize(); err != nil {
+			resp = NewTextResponse(http.StatusBadGateway, "upstream stream failed\n")
+		}
+	}
 	buf := make([]byte, 0, 64+len(resp.Body)+8*len(resp.Header))
 	buf = append(buf, wire.Magic)
 	return AppendResponse(buf, resp)

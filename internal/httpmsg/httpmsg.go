@@ -11,6 +11,7 @@
 package httpmsg
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -220,6 +221,15 @@ type Response struct {
 	Via string
 	// Fetched is when the response was obtained from its source.
 	Fetched time.Time
+	// Stream, when non-nil, provides the body as lazily resolved byte
+	// ranges instead of Body (which stays nil while streaming). The chunked
+	// large-object tier serves multi-MB instances this way so they are
+	// never buffered whole; scripts that need the bytes call Materialize.
+	Stream BodyStream
+	// rangeFrom/rangeTo bound the active byte range [rangeFrom, rangeTo)
+	// when ranged is set. ApplyRange produces ranged (206) responses.
+	rangeFrom, rangeTo int64
+	ranged             bool
 }
 
 // NewResponse returns an empty response with the given status.
@@ -249,8 +259,11 @@ func NewHTMLResponse(status int, body string) *Response {
 }
 
 // SetBody replaces the response body and keeps Content-Length consistent.
+// Any body stream is dropped: after SetBody the response is whole-body again.
 func (r *Response) SetBody(b []byte) {
 	r.Body = b
+	r.Stream = nil
+	r.ranged = false
 	r.Header.Set("Content-Length", strconv.Itoa(len(b)))
 }
 
@@ -266,7 +279,9 @@ func (r *Response) ContentType() string {
 	return strings.TrimSpace(ct)
 }
 
-// Clone returns a deep copy of the response.
+// Clone returns a deep copy of the response. A body stream is shared, not
+// copied: streams are read-only views over the segment tier, so sharing is
+// safe, and deep-copying one would defeat the point of streaming.
 func (r *Response) Clone() *Response {
 	cp := &Response{
 		Status:    r.Status,
@@ -275,6 +290,10 @@ func (r *Response) Clone() *Response {
 		FromCache: r.FromCache,
 		Via:       r.Via,
 		Fetched:   r.Fetched,
+		Stream:    r.Stream,
+		rangeFrom: r.rangeFrom,
+		rangeTo:   r.rangeTo,
+		ranged:    r.ranged,
 	}
 	if r.Body != nil {
 		cp.Body = append([]byte(nil), r.Body...)
@@ -290,8 +309,11 @@ func (r *Response) Size() int { return len(r.Body) }
 // ---------------------------------------------------------------------------
 
 // Cacheable reports whether the response may be stored by a shared cache.
+// 304 Not Modified is deliberately not cacheable as content: it carries no
+// body, so storing it would later serve an empty page. A 304 instead
+// revalidates the stored 200 entry (see cache.Refresh).
 func (r *Response) Cacheable() bool {
-	if r.Status != http.StatusOK && r.Status != http.StatusNotModified &&
+	if r.Status != http.StatusOK &&
 		r.Status != http.StatusMovedPermanently && r.Status != http.StatusNotFound {
 		return false
 	}
@@ -407,35 +429,96 @@ func fillFromHTTPRequest(req *Request, hr *http.Request, maxBody int64) error {
 	return nil
 }
 
-// WriteTo writes the response to a net/http ResponseWriter.
+// WriteTo writes the response to a net/http ResponseWriter, assuming a GET
+// request. Callers that know the request method should use WriteToMethod so
+// HEAD replies omit the body.
 func (r *Response) WriteTo(w http.ResponseWriter) error {
+	return r.WriteToMethod(w, http.MethodGet)
+}
+
+// bodyless reports whether the status code forbids a message body
+// (RFC 7230 §3.3.3): 1xx, 204 and 304.
+func bodyless(status int) bool {
+	return (status >= 100 && status < 200) ||
+		status == http.StatusNoContent || status == http.StatusNotModified
+}
+
+// WriteToMethod writes the response to a net/http ResponseWriter for a reply
+// to the given request method.
+//
+//   - 204, 304 and 1xx replies carry no body and no synthesized
+//     Content-Length: a 304 keeps whatever validator headers (including a
+//     Content-Length describing the selected representation) it arrived with,
+//     rather than advertising a zero-length body.
+//   - HEAD replies send the headers — with Content-Length describing the
+//     body that a GET would have returned — but no body.
+//   - Everything else sends Content-Length plus the body; streamed bodies
+//     are copied through in chunks and flushed so the first byte reaches the
+//     client before the stream finishes.
+func (r *Response) WriteToMethod(w http.ResponseWriter, method string) error {
 	for k, vs := range r.Header {
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
 	}
-	w.Header().Set("Content-Length", strconv.Itoa(len(r.Body)))
+	if bodyless(r.Status) {
+		// No body, and no invented Content-Length: for a 304 the carried
+		// headers describe the validated representation, not this message.
+		w.WriteHeader(r.Status)
+		return nil
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(r.BodyLen(), 10))
 	w.WriteHeader(r.Status)
-	_, err := w.Write(r.Body)
-	return err
+	if method == http.MethodHead {
+		return nil
+	}
+	if r.Stream == nil {
+		_, err := w.Write(r.Body)
+		return err
+	}
+	from, to := r.rangeSpan()
+	rc, err := r.Stream.Range(from, to)
+	if err != nil {
+		return fmt.Errorf("httpmsg: open body stream: %w", err)
+	}
+	defer rc.Close()
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 64*1024)
+	for {
+		n, rerr := rc.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return werr
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return fmt.Errorf("httpmsg: read body stream: %w", rerr)
+		}
+	}
 }
 
 // ToHTTPRequest converts a pipeline request to an outbound net/http request
 // for fetching from the origin.
 func (r *Request) ToHTTPRequest() (*http.Request, error) {
-	var body *strings.Reader
-	if r.Body != nil {
-		body = strings.NewReader(string(r.Body))
-	} else {
-		body = strings.NewReader("")
+	var body io.Reader
+	if len(r.Body) > 0 {
+		body = bytes.NewReader(r.Body)
 	}
 	hr, err := http.NewRequest(r.Method, r.URL.String(), body)
 	if err != nil {
 		return nil, fmt.Errorf("httpmsg: build outbound request: %w", err)
 	}
+	connNamed := connectionTokens(r.Header)
 	for k, vs := range r.Header {
-		// Hop-by-hop headers must not be forwarded.
-		if isHopByHop(k) {
+		// Hop-by-hop headers must not be forwarded (RFC 7230 §6.1) — both
+		// the static set and anything the Connection header names.
+		if isHopByHop(k) || connNamed[textproto.CanonicalMIMEHeaderKey(k)] {
 			continue
 		}
 		for _, v := range vs {
@@ -443,6 +526,26 @@ func (r *Request) ToHTTPRequest() (*http.Request, error) {
 		}
 	}
 	return hr, nil
+}
+
+// connectionTokens returns the set of header names (canonicalized) listed in
+// the Connection header; those headers are hop-by-hop for this message even
+// though they are not in the static RFC list.
+func connectionTokens(h http.Header) map[string]bool {
+	var named map[string]bool
+	for _, line := range h.Values("Connection") {
+		for _, tok := range strings.Split(line, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			if named == nil {
+				named = make(map[string]bool, 2)
+			}
+			named[textproto.CanonicalMIMEHeaderKey(tok)] = true
+		}
+	}
+	return named
 }
 
 // FromHTTPResponse converts a net/http response into a pipeline Response,

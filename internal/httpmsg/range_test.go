@@ -1,0 +1,328 @@
+package httpmsg
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// memStream is a BodyStream over an in-memory byte slice, for tests.
+type memStream struct{ data []byte }
+
+func (m *memStream) TotalLen() int64 { return int64(len(m.data)) }
+func (m *memStream) Range(from, to int64) (io.ReadCloser, error) {
+	if from < 0 || to > int64(len(m.data)) || from > to {
+		return nil, errors.New("memStream: range out of bounds")
+	}
+	return io.NopCloser(bytes.NewReader(m.data[from:to])), nil
+}
+
+func TestWriteToMethodTable(t *testing.T) {
+	body := []byte("hello, range world")
+	cases := []struct {
+		name       string
+		status     int
+		method     string
+		body       []byte
+		rangeHdr   string // applied via ApplyRange when non-empty
+		carriedLen string // pre-set Content-Length header on the response
+		wantStatus int
+		wantBody   string
+		wantLen    string // expected Content-Length on the wire ("" = absent)
+	}{
+		{
+			name: "GET 200", status: 200, method: "GET", body: body,
+			wantStatus: 200, wantBody: string(body), wantLen: "18",
+		},
+		{
+			name: "HEAD 200 has length no body", status: 200, method: "HEAD", body: body,
+			wantStatus: 200, wantBody: "", wantLen: "18",
+		},
+		{
+			name: "204 no body no length", status: 204, method: "GET", body: nil,
+			wantStatus: 204, wantBody: "", wantLen: "",
+		},
+		{
+			name: "204 ignores stray body", status: 204, method: "GET", body: []byte("junk"),
+			wantStatus: 204, wantBody: "", wantLen: "",
+		},
+		{
+			name: "304 no body keeps validator length", status: 304, method: "GET", body: nil,
+			carriedLen: "18", wantStatus: 304, wantBody: "", wantLen: "18",
+		},
+		{
+			name: "304 does not invent zero length", status: 304, method: "GET", body: nil,
+			wantStatus: 304, wantBody: "", wantLen: "",
+		},
+		{
+			name: "GET 200 with Range", status: 200, method: "GET", body: body,
+			rangeHdr: "bytes=7-11", wantStatus: 206, wantBody: "range", wantLen: "5",
+		},
+		{
+			name: "HEAD 200 with Range", status: 200, method: "HEAD", body: body,
+			rangeHdr: "bytes=7-11", wantStatus: 206, wantBody: "", wantLen: "5",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := NewResponse(c.status)
+			if c.body != nil {
+				resp.Body = c.body
+			}
+			if c.carriedLen != "" {
+				resp.Header.Set("Content-Length", c.carriedLen)
+			}
+			req := MustRequest(c.method, "http://example.org/x")
+			if c.rangeHdr != "" {
+				req.Header.Set("Range", c.rangeHdr)
+			}
+			out := ApplyRange(req, resp)
+			rec := httptest.NewRecorder()
+			if err := out.WriteToMethod(rec, c.method); err != nil {
+				t.Fatalf("WriteToMethod: %v", err)
+			}
+			if rec.Code != c.wantStatus {
+				t.Errorf("status = %d, want %d", rec.Code, c.wantStatus)
+			}
+			if got := rec.Body.String(); got != c.wantBody {
+				t.Errorf("body = %q, want %q", got, c.wantBody)
+			}
+			if got := rec.Header().Get("Content-Length"); got != c.wantLen {
+				t.Errorf("Content-Length = %q, want %q", got, c.wantLen)
+			}
+			if c.wantStatus == 206 {
+				if cr := rec.Header().Get("Content-Range"); cr != "bytes 7-11/18" {
+					t.Errorf("Content-Range = %q", cr)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteToMethodStreamed(t *testing.T) {
+	data := bytes.Repeat([]byte("0123456789abcdef"), 64)
+	resp := NewResponse(200)
+	resp.SetStream(&memStream{data: data})
+	rec := httptest.NewRecorder()
+	if err := resp.WriteToMethod(rec, "GET"); err != nil {
+		t.Fatalf("WriteToMethod: %v", err)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), data) {
+		t.Fatal("streamed body mismatch")
+	}
+	if got := rec.Header().Get("Content-Length"); got != "1024" {
+		t.Errorf("Content-Length = %q", got)
+	}
+
+	// HEAD over a stream must not resolve any bytes.
+	resp2 := NewResponse(200)
+	resp2.SetStream(&memStream{data: data})
+	rec2 := httptest.NewRecorder()
+	if err := resp2.WriteToMethod(rec2, "HEAD"); err != nil {
+		t.Fatalf("WriteToMethod HEAD: %v", err)
+	}
+	if rec2.Body.Len() != 0 {
+		t.Error("HEAD reply carried a body")
+	}
+	if got := rec2.Header().Get("Content-Length"); got != "1024" {
+		t.Errorf("HEAD Content-Length = %q", got)
+	}
+}
+
+func TestApplyRangeStreamedStaysLazy(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 4096)
+	copy(data[100:], "needle")
+	resp := NewResponse(200)
+	resp.SetStream(&memStream{data: data})
+	req := MustRequest("GET", "http://example.org/big")
+	req.Header.Set("Range", "bytes=100-105")
+	out := ApplyRange(req, resp)
+	if out.Status != 206 || out.Stream == nil || out.Body != nil {
+		t.Fatalf("want lazy 206, got status=%d stream=%v", out.Status, out.Stream != nil)
+	}
+	if out.BodyLen() != 6 || out.TotalLen() != 4096 {
+		t.Fatalf("BodyLen=%d TotalLen=%d", out.BodyLen(), out.TotalLen())
+	}
+	if err := out.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Body) != "needle" {
+		t.Fatalf("materialized range = %q", out.Body)
+	}
+}
+
+func TestApplyRangeUnsatisfiable(t *testing.T) {
+	resp := NewTextResponse(200, "short")
+	req := MustRequest("GET", "http://example.org/x")
+	req.Header.Set("Range", "bytes=99-")
+	out := ApplyRange(req, resp)
+	if out.Status != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("status = %d, want 416", out.Status)
+	}
+	if cr := out.Header.Get("Content-Range"); cr != "bytes */5" {
+		t.Errorf("Content-Range = %q", cr)
+	}
+}
+
+func TestApplyRangeIgnoresMalformedAndNonGET(t *testing.T) {
+	resp := NewTextResponse(200, "full body here")
+	for _, c := range []struct{ method, hdr string }{
+		{"GET", "bytes=5-2"},     // inverted
+		{"GET", "bytes=0-1,3-4"}, // multi-range
+		{"GET", "chapters=1-2"},  // wrong unit
+		{"GET", "bytes=garbage"}, // malformed
+		{"POST", "bytes=0-3"},    // wrong method
+		{"GET", ""},              // absent
+	} {
+		req := MustRequest(c.method, "http://example.org/x")
+		if c.hdr != "" {
+			req.Header.Set("Range", c.hdr)
+		}
+		out := ApplyRange(req, resp)
+		if out != resp {
+			t.Errorf("method=%s range=%q: expected pass-through, got status %d", c.method, c.hdr, out.Status)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		spec     string
+		total    int64
+		from, to int64
+		err      error
+	}{
+		{"bytes=0-0", 10, 0, 1, nil},
+		{"bytes=2-5", 10, 2, 6, nil},
+		{"bytes=2-99", 10, 2, 10, nil}, // end clamps
+		{"bytes=3-", 10, 3, 10, nil},
+		{"bytes=-4", 10, 6, 10, nil},
+		{"bytes=-99", 10, 0, 10, nil}, // suffix clamps
+		{"bytes=10-", 10, 0, 0, ErrRangeUnsatisfiable},
+		{"bytes=10-12", 10, 0, 0, ErrRangeUnsatisfiable},
+		{"bytes=-0", 10, 0, 0, ErrRangeUnsatisfiable},
+		{"bytes=0-", 0, 0, 0, ErrRangeUnsatisfiable},
+		{"bytes=5-2", 10, 0, 0, ErrNotRange},
+		{"bytes=0-1,3-4", 10, 0, 0, ErrNotRange},
+		{"items=0-1", 10, 0, 0, ErrNotRange},
+		{"bytes=", 10, 0, 0, ErrNotRange},
+		{"bytes=-", 10, 0, 0, ErrNotRange},
+		{"bytes=a-b", 10, 0, 0, ErrNotRange},
+	}
+	for _, c := range cases {
+		from, to, err := ParseRange(c.spec, c.total)
+		if !errors.Is(err, c.err) {
+			t.Errorf("ParseRange(%q, %d) err = %v, want %v", c.spec, c.total, err, c.err)
+			continue
+		}
+		if err == nil && (from != c.from || to != c.to) {
+			t.Errorf("ParseRange(%q, %d) = [%d,%d), want [%d,%d)", c.spec, c.total, from, to, c.from, c.to)
+		}
+	}
+}
+
+func TestCacheableRejects304(t *testing.T) {
+	r := NewResponse(http.StatusNotModified)
+	if r.Cacheable() {
+		t.Fatal("304 must not be cacheable as content")
+	}
+}
+
+func TestToHTTPRequestStripsConnectionTokens(t *testing.T) {
+	req := MustRequest("GET", "http://example.org/x")
+	req.Header.Set("Connection", "x-internal-token, close")
+	req.Header.Set("X-Internal-Token", "secret")
+	req.Header.Set("X-Forwarded-Ok", "yes")
+	req.Header.Set("Keep-Alive", "timeout=5")
+	hr, err := req.ToHTTPRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hr.Header.Get("X-Internal-Token"); got != "" {
+		t.Errorf("Connection-named header forwarded: %q", got)
+	}
+	if hr.Header.Get("Connection") != "" || hr.Header.Get("Keep-Alive") != "" {
+		t.Error("static hop-by-hop headers forwarded")
+	}
+	if hr.Header.Get("X-Forwarded-Ok") != "yes" {
+		t.Error("end-to-end header dropped")
+	}
+}
+
+func TestToHTTPRequestBody(t *testing.T) {
+	// Bodyless request: no reader at all, so net/http sends no
+	// Content-Length: 0 / chunked framing on GETs.
+	get := MustRequest("GET", "http://example.org/x")
+	hr, err := get.ToHTTPRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Body != nil {
+		t.Error("bodyless request got a body reader")
+	}
+
+	post := MustRequest("POST", "http://example.org/x")
+	post.Body = []byte("payload")
+	hr, err = post.ToHTTPRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.ContentLength != 7 {
+		t.Errorf("ContentLength = %d", hr.ContentLength)
+	}
+	b, _ := io.ReadAll(hr.Body)
+	if string(b) != "payload" {
+		t.Errorf("body = %q", b)
+	}
+}
+
+func TestSetBodyDropsStream(t *testing.T) {
+	resp := NewResponse(200)
+	resp.SetStream(&memStream{data: []byte("streamed")})
+	resp.SetBody([]byte("solid"))
+	if resp.Stream != nil || resp.TotalLen() != 5 {
+		t.Fatal("SetBody left the stream attached")
+	}
+}
+
+func TestEncodeResponseMaterializesStream(t *testing.T) {
+	resp := NewResponse(200)
+	resp.SetStream(&memStream{data: []byte("wire bytes")})
+	payload := EncodeResponse(resp)
+	dec, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dec.Body) != "wire bytes" {
+		t.Fatalf("decoded body = %q", dec.Body)
+	}
+}
+
+func FuzzRangeParse(f *testing.F) {
+	f.Add("bytes=0-99", int64(1000))
+	f.Add("bytes=-5", int64(10))
+	f.Add("bytes=7-", int64(3))
+	f.Add("bytes=1-2,4-5", int64(100))
+	f.Add("chars=0-1", int64(5))
+	f.Add(strings.Repeat("bytes=", 3), int64(1))
+	f.Fuzz(func(t *testing.T, spec string, total int64) {
+		if total < 0 {
+			total = -total
+		}
+		from, to, err := ParseRange(spec, total)
+		if err != nil {
+			if !errors.Is(err, ErrNotRange) && !errors.Is(err, ErrRangeUnsatisfiable) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		// Any accepted range must be a non-empty span inside the instance.
+		if from < 0 || to > total || from >= to {
+			t.Fatalf("ParseRange(%q, %d) = [%d,%d): out of bounds", spec, total, from, to)
+		}
+	})
+}

@@ -1,0 +1,401 @@
+package largeobject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"nakika/internal/store"
+)
+
+func testBody(n int) []byte {
+	b := make([]byte, n)
+	r := rand.New(rand.NewSource(42))
+	r.Read(b)
+	return b
+}
+
+func TestManifestCodecRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Key:      "GET http://example.org/big.bin",
+		Status:   200,
+		Header:   http.Header{"Etag": {`"v1"`}, "Content-Type": {"application/octet-stream"}},
+		TotalLen: 2_500_000,
+		SegSize:  1 << 20,
+		Fetched:  time.Unix(0, 1754600000000000000),
+	}
+	for i := 0; i < m.NumSegments(); i++ {
+		m.Segments = append(m.Segments, HashSegment([]byte{byte(i)}))
+	}
+	if !m.Complete() {
+		t.Fatal("manifest should be complete")
+	}
+	dec, err := DecodeManifest(EncodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Key != m.Key || dec.TotalLen != m.TotalLen || dec.SegSize != m.SegSize ||
+		len(dec.Segments) != len(m.Segments) || dec.Segments[2] != m.Segments[2] ||
+		dec.Header.Get("Etag") != `"v1"` || !dec.Fetched.Equal(m.Fetched) {
+		t.Fatalf("round trip mismatch: %+v", dec)
+	}
+}
+
+func TestManifestGeometry(t *testing.T) {
+	m := &Manifest{TotalLen: 10, SegSize: 4}
+	if n := m.NumSegments(); n != 3 {
+		t.Fatalf("NumSegments = %d", n)
+	}
+	if from, to := m.SegmentSpan(2); from != 8 || to != 10 {
+		t.Fatalf("SegmentSpan(2) = [%d,%d)", from, to)
+	}
+}
+
+func TestManifestDecodeRejectsGarbage(t *testing.T) {
+	good := EncodeManifest(&Manifest{Key: "k", Status: 200, TotalLen: 8, SegSize: 4,
+		Segments: []SegID{HashSegment([]byte("a")), HashSegment([]byte("b"))}})
+	for i := range good {
+		if _, err := DecodeManifest(good[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// More segment ids than the geometry allows must be rejected.
+	bad := &Manifest{Key: "k", Status: 200, TotalLen: 4, SegSize: 4,
+		Segments: []SegID{{1}, {2}, {3}}}
+	if _, err := DecodeManifest(EncodeManifest(bad)); err == nil {
+		t.Fatal("oversized segment list accepted")
+	}
+}
+
+func TestIndexCodecRoundTripDeterministic(t *testing.T) {
+	idx := &Index{
+		Manifest: &Manifest{Key: "k", Status: 200, TotalLen: 8, SegSize: 4,
+			Segments: []SegID{HashSegment([]byte("a")), HashSegment([]byte("b"))}},
+		Holders: map[string]BitSet{
+			"node-b": BitSet{}.Set(1),
+			"node-a": BitSet{}.Set(0).Set(1),
+		},
+	}
+	enc1 := EncodeIndex(idx)
+	enc2 := EncodeIndex(idx)
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("index encoding not deterministic")
+	}
+	dec, err := DecodeIndex(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Holders["node-a"].Has(1) || dec.Holders["node-b"].Has(0) {
+		t.Fatalf("holders mismatch: %+v", dec.Holders)
+	}
+	if dec.Manifest.Key != "k" {
+		t.Fatal("manifest lost")
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	var b BitSet
+	b = b.Set(0).Set(63).Set(64).Set(130)
+	for _, i := range []int{0, 63, 64, 130} {
+		if !b.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Has(1) || b.Has(129) || b.Has(10_000) {
+		t.Fatal("phantom bits")
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+}
+
+func TestSlabPutGetEvict(t *testing.T) {
+	fs := store.NewMemFS()
+	slab, err := NewSlab(fs, 64, 3*64) // 3 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([][]byte, 4)
+	ids := make([]SegID, 4)
+	for i := range segs {
+		segs[i] = bytes.Repeat([]byte{byte('a' + i)}, 64)
+		ids[i] = HashSegment(segs[i])
+		if err := slab.Put(ids[i], segs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 {
+			// Keep segment 0 hot so eviction hits segment 1.
+			slab.Get(ids[0])
+		}
+	}
+	if _, ok := slab.Get(ids[1]); ok {
+		t.Fatal("LRU victim still resident")
+	}
+	for _, i := range []int{0, 2, 3} {
+		got, ok := slab.Get(ids[i])
+		if !ok || !bytes.Equal(got, segs[i]) {
+			t.Fatalf("segment %d lost or corrupt", i)
+		}
+	}
+	st := slab.Stats()
+	if st.Evictions != 1 || st.Used != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSlabScanRebuildAndCorruption(t *testing.T) {
+	fs := store.NewMemFS()
+	slab, err := NewSlab(fs, 64, 4*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("s"), 64)
+	id := HashSegment(data)
+	if err := slab.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a second slot on "disk".
+	other := bytes.Repeat([]byte("t"), 64)
+	otherID := HashSegment(other)
+	if err := slab.Put(otherID, other); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List("slot-")
+	if len(names) != 2 {
+		t.Fatalf("slot files = %v", names)
+	}
+	f, _ := fs.Create(names[1])
+	f.Write([]byte("torn"))
+	f.Close()
+
+	// Reopen: intact slot survives, torn slot is reclaimed.
+	slab2, err := NewSlab(fs, 64, 4*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := slab2.Get(id)
+	surviving := ok && bytes.Equal(got, data)
+	got2, ok2 := slab2.Get(otherID)
+	surviving2 := ok2 && bytes.Equal(got2, other)
+	if !surviving && !surviving2 {
+		t.Fatal("both slots lost after rescan")
+	}
+	if slab2.Stats().Used != 1 {
+		t.Fatalf("used = %d, want 1 (torn slot reclaimed)", slab2.Stats().Used)
+	}
+}
+
+func TestTierIngestAndStream(t *testing.T) {
+	fs := store.NewMemFS()
+	tier, err := OpenTier(fs, 1024, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := testBody(10_000) // 10 segments, last partial
+	m, err := tier.IngestBody("GET http://o/x", 200, http.Header{"Etag": {"e"}}, time.Now(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Complete() || m.NumSegments() != 10 {
+		t.Fatalf("manifest: %+v", m)
+	}
+	if got := tier.Resident(m).Count(); got != 10 {
+		t.Fatalf("resident = %d", got)
+	}
+	stream := tier.NewStream(m, nil)
+	if stream.TotalLen() != 10_000 {
+		t.Fatalf("TotalLen = %d", stream.TotalLen())
+	}
+	for _, span := range [][2]int64{{0, 10_000}, {0, 1}, {9_999, 10_000}, {1023, 1025}, {3000, 7500}} {
+		rc, err := stream.Range(span[0], span[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			t.Fatalf("range [%d,%d): %v", span[0], span[1], err)
+		}
+		if !bytes.Equal(got, body[span[0]:span[1]]) {
+			t.Fatalf("range [%d,%d) mismatch", span[0], span[1])
+		}
+	}
+	if _, err := stream.Range(0, 10_001); err == nil {
+		t.Fatal("out-of-bounds range accepted")
+	}
+}
+
+func TestTierPersistsCompleteManifests(t *testing.T) {
+	fs := store.NewMemFS()
+	tier, _ := OpenTier(fs, 1024, 64*1024)
+	body := testBody(4096)
+	if _, err := tier.IngestBody("GET http://o/persist", 200, nil, time.Now(), body); err != nil {
+		t.Fatal(err)
+	}
+	// An incomplete manifest must not persist.
+	incomplete := &Manifest{Key: "GET http://o/partial", Status: 200, TotalLen: 4096, SegSize: 1024}
+	if err := tier.PutManifest(incomplete); err != nil {
+		t.Fatal(err)
+	}
+
+	tier2, err := OpenTier(fs, 1024, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier2.Manifest("GET http://o/persist"); !ok {
+		t.Fatal("complete manifest lost across reopen")
+	}
+	if _, ok := tier2.Manifest("GET http://o/partial"); ok {
+		t.Fatal("incomplete manifest resurrected")
+	}
+	m, _ := tier2.Manifest("GET http://o/persist")
+	rc, err := tier2.NewStream(m, nil).Range(100, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || !bytes.Equal(got, body[100:2000]) {
+		t.Fatalf("post-reopen range mismatch: %v", err)
+	}
+}
+
+func TestStreamFetchesMissingSegments(t *testing.T) {
+	fs := store.NewMemFS()
+	tier, _ := OpenTier(fs, 1000, 100*1000)
+	body := testBody(5000)
+
+	// Manifest known (say, adopted from a replica index) but no segments
+	// resident: every read goes through the fetcher.
+	m := &Manifest{Key: "GET http://o/remote", Status: 200, TotalLen: 5000, SegSize: 1000}
+	for i := 0; i < 5; i++ {
+		from, to := m.SegmentSpan(i)
+		m.Segments = append(m.Segments, HashSegment(body[from:to]))
+	}
+	if err := tier.PutManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	var fetched []int
+	fetch := func(mf *Manifest, ord int) ([]byte, error) {
+		fetched = append(fetched, ord)
+		from, to := mf.SegmentSpan(ord)
+		seg := body[from:to]
+		tier.PutSegment(HashSegment(seg), seg)
+		return seg, nil
+	}
+	rc, err := tier.NewStream(m, fetch).Range(1500, 3500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || !bytes.Equal(got, body[1500:3500]) {
+		t.Fatalf("fetched range mismatch: %v", err)
+	}
+	if fmt.Sprint(fetched) != "[1 2 3]" {
+		t.Fatalf("fetched segments %v, want only the covering ones", fetched)
+	}
+
+	// Second read: segments now resident, fetcher untouched.
+	fetched = nil
+	rc, _ = tier.NewStream(m, fetch).Range(1500, 3500)
+	got, _ = io.ReadAll(rc)
+	rc.Close()
+	if !bytes.Equal(got, body[1500:3500]) || len(fetched) != 0 {
+		t.Fatalf("warm read refetched %v", fetched)
+	}
+}
+
+func TestStreamSeesSegmentsIngestedAfterCreation(t *testing.T) {
+	fs := store.NewMemFS()
+	tier, _ := OpenTier(fs, 100, 100*100)
+	body := testBody(300)
+	m := &Manifest{Key: "GET http://o/growing", Status: 200, TotalLen: 300, SegSize: 100}
+	if err := tier.PutManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	stream := tier.NewStream(m, nil) // snapshot taken before any segment exists
+	for i := 0; i < 3; i++ {
+		seg := body[i*100 : (i+1)*100]
+		id := HashSegment(seg)
+		if err := tier.PutSegment(id, seg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tier.AppendSegment(m.Key, i, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc, err := stream.Range(0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("stream did not see grown manifest: %v", err)
+	}
+	cur, _ := tier.Manifest(m.Key)
+	if !cur.Complete() {
+		t.Fatal("manifest not complete after appends")
+	}
+}
+
+// TestConcurrentRangeReaders drives many goroutines over one object with
+// mixed resident/missing segments; run under -race in the nightly soak.
+func TestConcurrentRangeReaders(t *testing.T) {
+	fs := store.NewMemFS()
+	tier, _ := OpenTier(fs, 512, 8*512) // small slab: constant eviction churn
+	body := testBody(20 * 512)
+	m := &Manifest{Key: "GET http://o/churn", Status: 200, TotalLen: int64(len(body)), SegSize: 512}
+	for i := 0; i < m.NumSegments(); i++ {
+		from, to := m.SegmentSpan(i)
+		m.Segments = append(m.Segments, HashSegment(body[from:to]))
+	}
+	if err := tier.PutManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(mf *Manifest, ord int) ([]byte, error) {
+		from, to := mf.SegmentSpan(ord)
+		seg := body[from:to]
+		tier.PutSegment(mf.Segments[ord], seg)
+		return seg, nil
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 20; iter++ {
+				from := rnd.Int63n(int64(len(body)))
+				to := from + 1 + rnd.Int63n(int64(len(body))-from)
+				rc, err := tier.NewStream(m, fetch).Range(from, to)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := io.ReadAll(rc)
+				rc.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, body[from:to]) {
+					errs <- fmt.Errorf("range [%d,%d) corrupt", from, to)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

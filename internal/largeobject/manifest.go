@@ -1,0 +1,335 @@
+// Package largeobject is the chunked large-object tier: responses above a
+// threshold are split into fixed-size content-addressed segments (SHA-256
+// ids) stored via fixed-size slot allocation on a store.FS, with a
+// per-object manifest (segment list + validators + total length) as the
+// cache entry. The design follows NDN-DPDK's disk-backed content store —
+// fixed-size slots over a block device, file-server workload — translated to
+// the narrow store.FS surface: one slot per file, CRC-framed, scan-rebuilt
+// at open, soft state (no fsync; a torn slot fails its checksum and is
+// reclaimed).
+//
+// The tier itself is node-local. Replication of hot-segment *indexes* (who
+// holds which segments of which object — not the bodies) rides the overlay's
+// hard-state records; the Index codec here defines that record's payload.
+package largeobject
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/wire"
+)
+
+// SegIDLen is the byte length of a segment id (SHA-256).
+const SegIDLen = 32
+
+// SegID is the content address of one segment: the SHA-256 of its bytes.
+type SegID [SegIDLen]byte
+
+// HashSegment returns the content address of data.
+func HashSegment(data []byte) SegID { return sha256.Sum256(data) }
+
+// String returns the id's short hex form for logs.
+func (id SegID) String() string { return fmt.Sprintf("%x", id[:8]) }
+
+// Manifest describes one chunked object: the ordered segment list, the
+// validators and headers of the 200 it was chunked from, and the total
+// instance length. A manifest whose Segments list is still shorter than
+// NumSegments is a partially ingested object (Complete reports this);
+// readers can serve the ingested prefix and fetch the rest by byte range.
+type Manifest struct {
+	// Key is the cache key of the object ("GET http://...").
+	Key string
+	// Status is the status of the chunked response (always 200 today).
+	Status int
+	// Header carries the origin response headers, including validators
+	// (ETag, Last-Modified) used for revalidation.
+	Header http.Header
+	// TotalLen is the full instance length in bytes.
+	TotalLen int64
+	// SegSize is the segment size; every segment except the last is exactly
+	// this long.
+	SegSize int64
+	// Segments lists the content addresses of the ingested prefix, in
+	// order. len(Segments) == NumSegments() once ingest completes.
+	Segments []SegID
+	// Fetched is when the object was obtained from the origin.
+	Fetched time.Time
+}
+
+// NumSegments returns the number of segments the complete object has.
+func (m *Manifest) NumSegments() int {
+	if m.SegSize <= 0 || m.TotalLen <= 0 {
+		return 0
+	}
+	return int((m.TotalLen + m.SegSize - 1) / m.SegSize)
+}
+
+// Complete reports whether every segment id is known.
+func (m *Manifest) Complete() bool { return len(m.Segments) == m.NumSegments() }
+
+// SegmentSpan returns the byte range [from, to) that segment i covers.
+func (m *Manifest) SegmentSpan(i int) (from, to int64) {
+	from = int64(i) * m.SegSize
+	to = from + m.SegSize
+	if to > m.TotalLen {
+		to = m.TotalLen
+	}
+	return from, to
+}
+
+// Clone returns a deep copy of the manifest.
+func (m *Manifest) Clone() *Manifest {
+	cp := *m
+	cp.Header = cloneHeader(m.Header)
+	cp.Segments = append([]SegID(nil), m.Segments...)
+	return &cp
+}
+
+func cloneHeader(h http.Header) http.Header {
+	if h == nil {
+		return nil
+	}
+	out := make(http.Header, len(h))
+	for k, vs := range h {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// manifestVersion is the first byte of every encoded manifest and index, so
+// the format can evolve without a flag day.
+const manifestVersion = 1
+
+// maxManifestSegments bounds decoded segment lists: with the default 1 MiB
+// segments this is an 8 TiB object, far past anything the tier serves, and
+// it keeps a malformed length prefix from allocating unbounded memory.
+const maxManifestSegments = 1 << 23
+
+// AppendManifest appends m's binary encoding (no magic byte):
+//
+//	byte(version) str(key) uvarint(status) header varint(totalLen)
+//	uvarint(segSize) uvarint(nsegs) raw32(segid)... time(fetched)
+func AppendManifest(buf []byte, m *Manifest) []byte {
+	buf = append(buf, manifestVersion)
+	buf = wire.AppendString(buf, m.Key)
+	buf = wire.AppendUvarint(buf, uint64(m.Status))
+	buf = httpmsg.AppendHeader(buf, m.Header)
+	buf = wire.AppendVarint(buf, m.TotalLen)
+	buf = wire.AppendUvarint(buf, uint64(m.SegSize))
+	buf = wire.AppendUvarint(buf, uint64(len(m.Segments)))
+	for i := range m.Segments {
+		buf = wire.AppendRaw(buf, m.Segments[i][:])
+	}
+	return wire.AppendTime(buf, m.Fetched)
+}
+
+// ReadManifest reads one AppendManifest-encoded manifest and validates its
+// internal consistency (a decoded manifest always has sane geometry).
+func ReadManifest(r *wire.Reader) (*Manifest, error) {
+	ver, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != manifestVersion {
+		return nil, fmt.Errorf("largeobject: manifest version %d: %w", ver, wire.ErrMalformed)
+	}
+	m := &Manifest{}
+	if m.Key, err = r.String(); err != nil {
+		return nil, err
+	}
+	status, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m.Status = int(status)
+	if m.Header, err = httpmsg.ReadHeader(r); err != nil {
+		return nil, err
+	}
+	if m.TotalLen, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	segSize, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m.SegSize = int64(segSize)
+	nsegs, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nsegs > maxManifestSegments || int(nsegs)*SegIDLen > r.Len() {
+		return nil, wire.ErrMalformed
+	}
+	m.Segments = make([]SegID, nsegs)
+	for i := range m.Segments {
+		raw, err := r.Raw(SegIDLen)
+		if err != nil {
+			return nil, err
+		}
+		copy(m.Segments[i][:], raw)
+	}
+	if m.Fetched, err = r.Time(); err != nil {
+		return nil, err
+	}
+	if m.Key == "" || m.Status == 0 || m.TotalLen < 0 || m.SegSize <= 0 {
+		return nil, wire.ErrMalformed
+	}
+	if len(m.Segments) > m.NumSegments() {
+		return nil, wire.ErrMalformed
+	}
+	return m, nil
+}
+
+// EncodeManifest renders m as a self-describing payload (magic byte first).
+func EncodeManifest(m *Manifest) []byte {
+	buf := make([]byte, 0, 128+len(m.Segments)*SegIDLen+16*len(m.Header))
+	buf = append(buf, wire.Magic)
+	return AppendManifest(buf, m)
+}
+
+// DecodeManifest parses an EncodeManifest payload.
+func DecodeManifest(payload []byte) (*Manifest, error) {
+	if len(payload) == 0 || payload[0] != wire.Magic {
+		return nil, wire.ErrMalformed
+	}
+	r := wire.Reader{Buf: payload, Off: 1}
+	return ReadManifest(&r)
+}
+
+// ---------------------------------------------------------------------------
+// Replicated segment index: manifest + who holds which segments
+// ---------------------------------------------------------------------------
+
+// Index is the hard-state record replicated through the overlay for one hot
+// object: the manifest plus, per node, a bitmap of the segments that node
+// held when it last published. Bodies never replicate — a range reader on
+// any replica uses the index to find a peer already holding segment N.
+type Index struct {
+	Manifest *Manifest
+	// Holders maps node name to the set of segment ordinals resident there.
+	Holders map[string]BitSet
+}
+
+// EncodeIndex renders idx deterministically (holders in sorted node order),
+// magic byte first, so LWW replicas converge to identical bytes.
+func EncodeIndex(idx *Index) []byte {
+	buf := make([]byte, 0, 256+len(idx.Manifest.Segments)*SegIDLen)
+	buf = append(buf, wire.Magic)
+	buf = AppendManifest(buf, idx.Manifest)
+	names := make([]string, 0, len(idx.Holders))
+	for n := range idx.Holders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = wire.AppendUvarint(buf, uint64(len(names)))
+	for _, n := range names {
+		buf = wire.AppendString(buf, n)
+		buf = appendBitSet(buf, idx.Holders[n])
+	}
+	return buf
+}
+
+// DecodeIndex parses an EncodeIndex payload.
+func DecodeIndex(payload []byte) (*Index, error) {
+	if len(payload) == 0 || payload[0] != wire.Magic {
+		return nil, wire.ErrMalformed
+	}
+	r := wire.Reader{Buf: payload, Off: 1}
+	m, err := ReadManifest(&r)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{Manifest: m}
+	nholders, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nholders > uint64(r.Len()) {
+		return nil, wire.ErrMalformed
+	}
+	if nholders > 0 {
+		idx.Holders = make(map[string]BitSet, nholders)
+	}
+	for i := uint64(0); i < nholders; i++ {
+		name, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		bs, err := readBitSet(&r)
+		if err != nil {
+			return nil, err
+		}
+		idx.Holders[name] = bs
+	}
+	return idx, nil
+}
+
+// ---------------------------------------------------------------------------
+// BitSet: segment residency bitmap
+// ---------------------------------------------------------------------------
+
+// BitSet is a growable bitmap of segment ordinals.
+type BitSet []uint64
+
+// Set returns the bitset with bit i set (growing as needed).
+func (b BitSet) Set(i int) BitSet {
+	w := i >> 6
+	for len(b) <= w {
+		b = append(b, 0)
+	}
+	b[w] |= 1 << (uint(i) & 63)
+	return b
+}
+
+// Has reports whether bit i is set.
+func (b BitSet) Has(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (b BitSet) Clone() BitSet { return append(BitSet(nil), b...) }
+
+func appendBitSet(buf []byte, b BitSet) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(b)))
+	for _, w := range b {
+		buf = wire.AppendUvarint(buf, w)
+	}
+	return buf
+}
+
+func readBitSet(r *wire.Reader) (BitSet, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, wire.ErrMalformed
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make(BitSet, n)
+	for i := range b {
+		if b[i], err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,312 @@
+package largeobject
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"nakika/internal/store"
+	"nakika/internal/wire"
+)
+
+// Slab stores segments in fixed-size slots, one slot per file on a store.FS
+// — the translation of NDN-DPDK's fixed-size slot allocation over a block
+// device to the engine's narrow filesystem surface. Slots are soft state:
+// nothing is fsynced, every frame is CRC-framed, and a torn or corrupt slot
+// simply fails verification and is reclaimed at the next open.
+//
+// Allocation is free-list first, then LRU: when every slot is occupied the
+// least recently touched segment is evicted and its slot overwritten.
+type Slab struct {
+	fs       store.FS
+	segSize  int64
+	maxSlots int
+
+	mu    sync.Mutex
+	bySeg map[SegID]int // segment id -> slot ordinal
+	slots []slotState   // indexed by slot ordinal
+	free  []int
+	tick  uint64
+
+	hits, misses, puts, evictions uint64
+}
+
+type slotState struct {
+	used bool
+	id   SegID
+	tick uint64
+}
+
+var slabCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// NewSlab opens (or creates) a slab on fs with the given segment size and
+// total byte capacity, rescanning any surviving slot files. Capacity is
+// rounded down to whole slots, minimum one.
+func NewSlab(fs store.FS, segSize, capacity int64) (*Slab, error) {
+	if segSize <= 0 {
+		return nil, fmt.Errorf("largeobject: segment size %d", segSize)
+	}
+	maxSlots := int(capacity / segSize)
+	if maxSlots < 1 {
+		maxSlots = 1
+	}
+	s := &Slab{
+		fs:       fs,
+		segSize:  segSize,
+		maxSlots: maxSlots,
+		bySeg:    make(map[SegID]int),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func slotName(i int) string { return fmt.Sprintf("slot-%06d.seg", i) }
+
+// scan rebuilds the in-memory slot map from the slot files on fs, dropping
+// anything that fails its checksum (torn writes from a crash).
+func (s *Slab) scan() error {
+	names, err := s.fs.List("slot-")
+	if err != nil {
+		return fmt.Errorf("largeobject: scan slab: %w", err)
+	}
+	inUse := make(map[int]bool, len(names))
+	for _, name := range names {
+		var ord int
+		if _, err := fmt.Sscanf(name, "slot-%06d.seg", &ord); err != nil || ord < 0 {
+			continue
+		}
+		id, data, err := s.readSlot(ord)
+		if err != nil || int64(len(data)) > s.segSize {
+			s.fs.Remove(name)
+			continue
+		}
+		if ord >= len(s.slots) {
+			grown := make([]slotState, ord+1)
+			copy(grown, s.slots)
+			s.slots = grown
+		}
+		s.slots[ord] = slotState{used: true, id: id, tick: s.tick}
+		s.bySeg[id] = ord
+		inUse[ord] = true
+		s.tick++
+	}
+	if len(s.slots) < s.maxSlots {
+		grown := make([]slotState, s.maxSlots)
+		copy(grown, s.slots)
+		s.slots = grown
+	}
+	for i := range s.slots {
+		if !inUse[i] {
+			s.free = append(s.free, i)
+		}
+	}
+	return nil
+}
+
+// frame is: u32be(crc over the rest) raw32(segID) uvarint(len) data
+func appendFrame(buf []byte, id SegID, data []byte) []byte {
+	payload := make([]byte, 0, SegIDLen+10+len(data))
+	payload = wire.AppendRaw(payload, id[:])
+	payload = wire.AppendUvarint(payload, uint64(len(data)))
+	payload = append(payload, data...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, slabCRC))
+	return append(buf, payload...)
+}
+
+func parseFrame(raw []byte) (SegID, []byte, error) {
+	var id SegID
+	if len(raw) < 4+SegIDLen {
+		return id, nil, wire.ErrMalformed
+	}
+	sum := binary.BigEndian.Uint32(raw[:4])
+	payload := raw[4:]
+	if crc32.Checksum(payload, slabCRC) != sum {
+		return id, nil, fmt.Errorf("largeobject: slot checksum mismatch: %w", wire.ErrMalformed)
+	}
+	r := wire.Reader{Buf: payload}
+	rawID, err := r.Raw(SegIDLen)
+	if err != nil {
+		return id, nil, err
+	}
+	copy(id[:], rawID)
+	n, err := r.Uvarint()
+	if err != nil || n != uint64(r.Len()) {
+		return id, nil, wire.ErrMalformed
+	}
+	data, err := r.Raw(int(n))
+	if err != nil {
+		return id, nil, err
+	}
+	return id, data, nil
+}
+
+func (s *Slab) readSlot(ord int) (SegID, []byte, error) {
+	raw, err := store.ReadAll(s.fs, slotName(ord))
+	if err != nil {
+		return SegID{}, nil, err
+	}
+	return parseFrame(raw)
+}
+
+// Put stores data under its content address, evicting the least recently
+// used segment if no slot is free. Storing a segment larger than the slab's
+// segment size is an error; storing an already resident segment only
+// refreshes its LRU position.
+func (s *Slab) Put(id SegID, data []byte) error {
+	if int64(len(data)) > s.segSize {
+		return fmt.Errorf("largeobject: segment %v len %d exceeds slot size %d", id, len(data), s.segSize)
+	}
+	s.mu.Lock()
+	if ord, ok := s.bySeg[id]; ok {
+		s.slots[ord].tick = s.tick
+		s.tick++
+		s.mu.Unlock()
+		return nil
+	}
+	ord, evicted := s.allocate()
+	s.slots[ord] = slotState{used: true, id: id, tick: s.tick}
+	s.bySeg[id] = ord
+	s.tick++
+	s.puts++
+	if evicted {
+		s.evictions++
+	}
+	s.mu.Unlock()
+
+	// Write outside the lock: a concurrent Get on this slot sees either the
+	// old frame (id mismatch -> miss), a torn frame (checksum miss) or the
+	// new one; all are safe.
+	f, err := s.fs.Create(slotName(ord))
+	if err != nil {
+		s.unmap(id, ord)
+		return fmt.Errorf("largeobject: write slot %d: %w", ord, err)
+	}
+	frame := appendFrame(nil, id, data)
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		s.unmap(id, ord)
+		return fmt.Errorf("largeobject: write slot %d: %w", ord, err)
+	}
+	if err := f.Close(); err != nil {
+		s.unmap(id, ord)
+		return fmt.Errorf("largeobject: write slot %d: %w", ord, err)
+	}
+	return nil
+}
+
+// allocate picks a slot under s.mu: free list first, then LRU eviction.
+func (s *Slab) allocate() (ord int, evicted bool) {
+	if n := len(s.free); n > 0 {
+		ord = s.free[n-1]
+		s.free = s.free[:n-1]
+		return ord, false
+	}
+	victim, minTick := -1, uint64(0)
+	for i := range s.slots {
+		if !s.slots[i].used {
+			return i, false
+		}
+		if victim < 0 || s.slots[i].tick < minTick {
+			victim, minTick = i, s.slots[i].tick
+		}
+	}
+	delete(s.bySeg, s.slots[victim].id)
+	return victim, true
+}
+
+// unmap rolls back a failed Put's slot reservation.
+func (s *Slab) unmap(id SegID, ord int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.bySeg[id]; ok && cur == ord {
+		delete(s.bySeg, id)
+		s.slots[ord] = slotState{}
+		s.free = append(s.free, ord)
+	}
+}
+
+// Get returns the segment's bytes if resident and intact. A corrupt slot is
+// dropped and reported as a miss.
+func (s *Slab) Get(id SegID) ([]byte, bool) {
+	s.mu.Lock()
+	ord, ok := s.bySeg[id]
+	if ok {
+		s.slots[ord].tick = s.tick
+		s.tick++
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.miss()
+		return nil, false
+	}
+	gotID, data, err := s.readSlot(ord)
+	if err != nil || gotID != id {
+		s.mu.Lock()
+		if cur, ok := s.bySeg[id]; ok && cur == ord {
+			delete(s.bySeg, id)
+			s.slots[ord] = slotState{}
+			s.free = append(s.free, ord)
+		}
+		s.mu.Unlock()
+		s.miss()
+		return nil, false
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return out, true
+}
+
+func (s *Slab) miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+// Contains reports residency without touching LRU state or reading the slot.
+func (s *Slab) Contains(id SegID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.bySeg[id]
+	return ok
+}
+
+// Resident returns the bitmap of m's segments currently held by the slab.
+func (s *Slab) Resident(m *Manifest) BitSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bs BitSet
+	for i := range m.Segments {
+		if _, ok := s.bySeg[m.Segments[i]]; ok {
+			bs = bs.Set(i)
+		}
+	}
+	return bs
+}
+
+// SlabStats is a point-in-time snapshot of slab telemetry.
+type SlabStats struct {
+	Slots, Used                   int
+	Hits, Misses, Puts, Evictions uint64
+}
+
+// Stats returns current telemetry.
+func (s *Slab) Stats() SlabStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	used := 0
+	for i := range s.slots {
+		if s.slots[i].used {
+			used++
+		}
+	}
+	return SlabStats{
+		Slots: len(s.slots), Used: used,
+		Hits: s.hits, Misses: s.misses, Puts: s.puts, Evictions: s.evictions,
+	}
+}

@@ -1,0 +1,302 @@
+package largeobject
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nakika/internal/httpmsg"
+	"nakika/internal/store"
+)
+
+// Tier is the node-local chunked large-object store: a manifest table over
+// a segment slab. Complete manifests are persisted (atomically, one file per
+// object) and rescanned at open; manifests still being ingested live only in
+// memory — after a crash the object is simply refetched or adopted from a
+// replica's index record, which is cheaper than recovering torn ingests.
+// Segment bodies are soft state in the slab.
+//
+// Manifests handed out by the tier are shared and must be treated as
+// immutable; every update goes through PutManifest/AppendSegment, which
+// replace the stored value wholesale.
+type Tier struct {
+	fs      store.FS
+	slab    *Slab
+	segSize int64
+
+	mu        sync.Mutex
+	manifests map[string]*Manifest
+}
+
+// OpenTier opens (or creates) a tier on fs with the given segment size and
+// slab byte capacity, rescanning surviving manifests and slots.
+func OpenTier(fs store.FS, segSize, capacity int64) (*Tier, error) {
+	slab, err := NewSlab(fs, segSize, capacity)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tier{
+		fs:        fs,
+		slab:      slab,
+		segSize:   segSize,
+		manifests: make(map[string]*Manifest),
+	}
+	names, err := fs.List("man-")
+	if err != nil {
+		return nil, fmt.Errorf("largeobject: scan manifests: %w", err)
+	}
+	for _, name := range names {
+		raw, err := store.ReadAll(fs, name)
+		if err != nil {
+			continue
+		}
+		m, err := DecodeManifest(raw)
+		if err != nil || !m.Complete() {
+			fs.Remove(name)
+			continue
+		}
+		t.manifests[m.Key] = m
+	}
+	return t, nil
+}
+
+// SegSize returns the tier's segment size.
+func (t *Tier) SegSize() int64 { return t.segSize }
+
+func manifestName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return fmt.Sprintf("man-%x.man", sum[:12])
+}
+
+// Manifest returns the current manifest for key, shared (do not mutate).
+func (t *Tier) Manifest(key string) (*Manifest, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.manifests[key]
+	return m, ok
+}
+
+// Len returns the number of manifests in the table.
+func (t *Tier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.manifests)
+}
+
+// PutManifest installs m (a private clone is stored). Complete manifests are
+// persisted atomically; incomplete ones stay memory-only.
+func (t *Tier) PutManifest(m *Manifest) error {
+	cp := m.Clone()
+	t.mu.Lock()
+	t.manifests[cp.Key] = cp
+	t.mu.Unlock()
+	if !cp.Complete() {
+		return nil
+	}
+	return store.WriteAtomic(t.fs, manifestName(cp.Key), EncodeManifest(cp))
+}
+
+// AppendSegment records id as the next ingested segment of key's manifest,
+// returning the updated manifest. It is a no-op if ord is not the next
+// segment ordinal (concurrent ingests race benignly).
+func (t *Tier) AppendSegment(key string, ord int, id SegID) (*Manifest, error) {
+	t.mu.Lock()
+	m, ok := t.manifests[key]
+	if !ok {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("largeobject: append segment: no manifest for %q", key)
+	}
+	if ord != len(m.Segments) {
+		t.mu.Unlock()
+		return m, nil
+	}
+	cp := m.Clone()
+	cp.Segments = append(cp.Segments, id)
+	t.manifests[key] = cp
+	t.mu.Unlock()
+	if cp.Complete() {
+		return cp, store.WriteAtomic(t.fs, manifestName(key), EncodeManifest(cp))
+	}
+	return cp, nil
+}
+
+// DeleteManifest drops key's manifest from the table and disk. Its segments
+// age out of the slab by LRU.
+func (t *Tier) DeleteManifest(key string) {
+	t.mu.Lock()
+	delete(t.manifests, key)
+	t.mu.Unlock()
+	t.fs.Remove(manifestName(key))
+}
+
+// PutSegment stores one segment body in the slab.
+func (t *Tier) PutSegment(id SegID, data []byte) error { return t.slab.Put(id, data) }
+
+// GetSegment returns one segment body from the slab.
+func (t *Tier) GetSegment(id SegID) ([]byte, bool) { return t.slab.Get(id) }
+
+// HasSegment reports slab residency without touching LRU state.
+func (t *Tier) HasSegment(id SegID) bool { return t.slab.Contains(id) }
+
+// Resident returns the bitmap of m's segments currently in the slab.
+func (t *Tier) Resident(m *Manifest) BitSet { return t.slab.Resident(m) }
+
+// IngestBody chunks a complete body into the tier: every segment is hashed
+// and stored, and the complete manifest is installed and persisted. Used for
+// whole bodies already in memory; streaming ingest drives AppendSegment
+// instead.
+func (t *Tier) IngestBody(key string, status int, header http.Header, fetched time.Time, body []byte) (*Manifest, error) {
+	m := &Manifest{
+		Key:      key,
+		Status:   status,
+		Header:   cloneHeader(header),
+		TotalLen: int64(len(body)),
+		SegSize:  t.segSize,
+		Fetched:  fetched,
+	}
+	n := m.NumSegments()
+	m.Segments = make([]SegID, 0, n)
+	for i := 0; i < n; i++ {
+		from, to := m.SegmentSpan(i)
+		seg := body[from:to]
+		id := HashSegment(seg)
+		if err := t.slab.Put(id, seg); err != nil {
+			return nil, err
+		}
+		m.Segments = append(m.Segments, id)
+	}
+	if err := t.PutManifest(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Stats is a point-in-time snapshot of tier telemetry.
+type Stats struct {
+	Manifests int
+	Slab      SlabStats
+}
+
+// Stats returns current telemetry.
+func (t *Tier) Stats() Stats {
+	return Stats{Manifests: t.Len(), Slab: t.slab.Stats()}
+}
+
+// ---------------------------------------------------------------------------
+// Lazy segment stream
+// ---------------------------------------------------------------------------
+
+// Fetcher resolves a missing segment: given the manifest and a segment
+// ordinal, it returns the segment's bytes (typically after fetching them
+// from a peer or the origin and storing them in the slab).
+type Fetcher func(m *Manifest, ord int) ([]byte, error)
+
+// NewStream returns a BodyStream over key's object. Reads resolve segments
+// lazily: the slab first (consulting the *current* manifest, so segments
+// ingested after the stream was created are visible), then fetch. A nil
+// fetch serves only resident segments and errors on a gap.
+func (t *Tier) NewStream(m *Manifest, fetch Fetcher) httpmsg.BodyStream {
+	return &segStream{t: t, m: m, fetch: fetch}
+}
+
+type segStream struct {
+	t     *Tier
+	m     *Manifest
+	fetch Fetcher
+}
+
+// current returns the freshest manifest for the stream's key: ingest may
+// have appended segment ids since the stream was built.
+func (ss *segStream) current() *Manifest {
+	if m, ok := ss.t.Manifest(ss.m.Key); ok {
+		return m
+	}
+	return ss.m
+}
+
+func (ss *segStream) TotalLen() int64 { return ss.m.TotalLen }
+
+// Progress reports the object's total segment count and how many are
+// resident in the slab right now — execution traces surface it so operators
+// can see how much of a streamed response was served locally.
+func (ss *segStream) Progress() (segments, resident int) {
+	m := ss.current()
+	return m.NumSegments(), ss.t.Resident(m).Count()
+}
+
+func (ss *segStream) Range(from, to int64) (io.ReadCloser, error) {
+	if from < 0 || to > ss.m.TotalLen || from > to {
+		return nil, fmt.Errorf("largeobject: range [%d,%d) outside %d-byte object", from, to, ss.m.TotalLen)
+	}
+	return &segReader{ss: ss, pos: from, end: to}, nil
+}
+
+// segReader reads [pos, end), pulling one segment at a time.
+type segReader struct {
+	ss       *segStream
+	pos, end int64
+	cur      []byte // bytes of the segment containing pos, full segment
+	curOrd   int
+	closed   bool
+}
+
+func (r *segReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("largeobject: read after close")
+	}
+	if r.pos >= r.end {
+		return 0, io.EOF
+	}
+	ord := int(r.pos / r.ss.m.SegSize)
+	if r.cur == nil || ord != r.curOrd {
+		data, err := r.load(ord)
+		if err != nil {
+			return 0, err
+		}
+		r.cur, r.curOrd = data, ord
+	}
+	segStart := int64(ord) * r.ss.m.SegSize
+	off := r.pos - segStart
+	avail := int64(len(r.cur)) - off
+	if avail <= 0 {
+		return 0, fmt.Errorf("largeobject: segment %d short: have %d bytes, need offset %d", ord, len(r.cur), off)
+	}
+	want := r.end - r.pos
+	if avail > want {
+		avail = want
+	}
+	n := copy(p, r.cur[off:off+avail])
+	r.pos += int64(n)
+	return n, nil
+}
+
+// load returns segment ord's bytes: slab first (id known), then fetch.
+func (r *segReader) load(ord int) ([]byte, error) {
+	m := r.ss.current()
+	if ord < len(m.Segments) {
+		if data, ok := r.ss.t.GetSegment(m.Segments[ord]); ok {
+			return data, nil
+		}
+	}
+	if r.ss.fetch == nil {
+		return nil, fmt.Errorf("largeobject: segment %d of %q not resident", ord, m.Key)
+	}
+	data, err := r.ss.fetch(m, ord)
+	if err != nil {
+		return nil, fmt.Errorf("largeobject: fetch segment %d of %q: %w", ord, m.Key, err)
+	}
+	from, to := m.SegmentSpan(ord)
+	if int64(len(data)) != to-from {
+		return nil, fmt.Errorf("largeobject: segment %d of %q: fetched %d bytes, want %d", ord, m.Key, len(data), to-from)
+	}
+	return data, nil
+}
+
+func (r *segReader) Close() error {
+	r.closed = true
+	r.cur = nil
+	return nil
+}

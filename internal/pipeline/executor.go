@@ -101,6 +101,16 @@ type Trace struct {
 	// It is pinned when the pipeline starts and never changes mid-request.
 	Generation uint64
 
+	// Streamed marks a response served from the chunked large-object tier
+	// without materializing the body in memory: header-only scripts saw the
+	// headers, while segments flowed to the client lazily. Segments is the
+	// object's total segment count and SegmentsResident how many were held
+	// locally when the response was formed (the rest resolve from a peer or
+	// the origin as the client reads).
+	Streamed         bool
+	Segments         int
+	SegmentsResident int
+
 	// stagesBuf is the inline backing array for Stages: the standard
 	// three-stage pipeline records its traces inside the Trace allocation
 	// itself instead of growing a separate slice per request.
@@ -404,7 +414,9 @@ func (e *Executor) charge(site string, req *httpmsg.Request, resp *httpmsg.Respo
 	}
 	bytes := float64(len(req.Body))
 	if resp != nil {
-		bytes += float64(len(resp.Body))
+		// TotalLen covers streamed bodies (segments the client will pull)
+		// as well as in-memory ones.
+		bytes += float64(resp.TotalLen())
 	}
 	if bytes > 0 {
 		e.Resources.Charge(site, resource.Bandwidth, bytes)

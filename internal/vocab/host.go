@@ -458,7 +458,9 @@ func installLog(ctx *script.Context, host Host, site string) {
 
 // responseToScript converts a pipeline response into the plain script object
 // returned by Cache.get and Fetch.get: { status, headers, body, contentType }.
+// A streamed body is materialized: the script asked for the whole response.
 func responseToScript(resp *httpmsg.Response) *script.Object {
+	resp.Materialize()
 	o := script.NewObject()
 	o.Set("status", script.Int(resp.Status))
 	headers := script.NewObject()

@@ -132,7 +132,19 @@ func BindResponse(ctx *script.Context, resp *httpmsg.Response) {
 
 	readOffset := 0
 	written := false
+	// materialize pulls a streamed (chunked large-object) body into memory
+	// the moment a script actually touches it; header-only scripts never
+	// trigger this, which is what keeps large responses streaming.
+	materialize := func() error {
+		if err := resp.Materialize(); err != nil {
+			return script.ThrowString("Response: materialize body: " + err.Error())
+		}
+		return nil
+	}
 	obj.Set("read", &script.Native{Name: "Response.read", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if err := materialize(); err != nil {
+			return nil, err
+		}
 		if readOffset >= len(resp.Body) {
 			return script.NullValue(), nil
 		}
@@ -145,6 +157,9 @@ func BindResponse(ctx *script.Context, resp *httpmsg.Response) {
 		return chunk, nil
 	}})
 	obj.Set("body", &script.Native{Name: "Response.body", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {
+		if err := materialize(); err != nil {
+			return nil, err
+		}
 		return script.NewByteArray(resp.Body), nil
 	}})
 	obj.Set("write", &script.Native{Name: "Response.write", Fn: func(c *script.Context, this script.Value, args []script.Value) (script.Value, error) {

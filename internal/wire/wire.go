@@ -56,6 +56,12 @@ func AppendBytes(buf []byte, b []byte) []byte {
 	return append(buf, b...)
 }
 
+// AppendRaw appends b verbatim with no length prefix, for fixed-width fields
+// (content-hash segment ids, checksums) whose length both sides know.
+func AppendRaw(buf []byte, b []byte) []byte {
+	return append(buf, b...)
+}
+
 // AppendBool appends a bool as one byte.
 func AppendBool(buf []byte, v bool) []byte {
 	if v {
@@ -138,6 +144,17 @@ func (r *Reader) Bytes() ([]byte, error) {
 	}
 	b := r.Buf[r.Off : r.Off+int(n)]
 	r.Off += int(n)
+	return b, nil
+}
+
+// Raw reads n bytes with no length prefix (the fixed-width counterpart of
+// Bytes). The returned slice aliases the payload buffer.
+func (r *Reader) Raw(n int) ([]byte, error) {
+	if n < 0 || n > r.Len() {
+		return nil, ErrMalformed
+	}
+	b := r.Buf[r.Off : r.Off+n]
+	r.Off += n
 	return b, nil
 }
 
