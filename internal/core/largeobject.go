@@ -125,11 +125,44 @@ func (n *Node) lobTier() *largeobject.Tier {
 // Serving: manifest -> lazy streamed response
 // ---------------------------------------------------------------------------
 
-// lobServe builds a streamed response for key if the tier holds a manifest
-// for it. Missing segments resolve lazily as the client reads: slab, then a
-// holder from the replicated index, then an origin Range refetch — each
-// verified against the manifest's content address.
-func (n *Node) lobServe(key string) *httpmsg.Response {
+// lobNow returns the tier's notion of now: the cache clock when one is
+// injected (tests, simulated clusters), wall time otherwise.
+func (n *Node) lobNow() time.Time {
+	if n.cfg.Cache.Clock != nil {
+		return n.cfg.Cache.Clock()
+	}
+	return time.Now()
+}
+
+// lobFresh reports whether m may still be served without revalidation: the
+// manifest headers' freshness information (max-age/Expires) applied against
+// its fetch time, with the whole-body cache's default TTL as the fallback —
+// the same policy cache.Put uses for buffered entries.
+func (n *Node) lobFresh(m *largeobject.Manifest, now time.Time) bool {
+	probe := httpmsg.NewResponse(m.Status)
+	if m.Header != nil {
+		probe.Header = m.Header
+	}
+	ttl := probe.FreshFor(m.Fetched)
+	if ttl <= 0 {
+		ttl = n.cfg.Cache.DefaultTTL
+	}
+	if ttl <= 0 {
+		ttl = 60 * time.Second // cache.Config's zero-value default
+	}
+	return now.Before(m.Fetched.Add(ttl))
+}
+
+// lobServe builds a streamed response for key if the tier holds a fresh
+// manifest for it. Missing segments resolve lazily as the client reads:
+// slab, then a holder from the replicated index, then an origin Range
+// refetch — each verified against the manifest's content address.
+//
+// A stale manifest is never served. With revalidate (the single-flight miss
+// path) it is revalidated against the origin with the stored validators;
+// without (the pre-flight fast path) the caller falls through to the flight,
+// so a stampede on an expired object still costs one conditional request.
+func (n *Node) lobServe(key string, revalidate bool) *httpmsg.Response {
 	t := n.lobTier()
 	if t == nil {
 		return nil
@@ -137,6 +170,14 @@ func (n *Node) lobServe(key string) *httpmsg.Response {
 	m, ok := t.Manifest(key)
 	if !ok {
 		return nil
+	}
+	if !n.lobFresh(m, n.lobNow()) {
+		if !revalidate {
+			return nil
+		}
+		if m = n.lobRevalidate(t, key, m); m == nil {
+			return nil
+		}
 	}
 	n.lobStreamed.Add(1)
 	resp := httpmsg.NewResponse(m.Status)
@@ -149,10 +190,71 @@ func (n *Node) lobServe(key string) *httpmsg.Response {
 	return resp
 }
 
+// lobRevalidate refreshes a stale manifest with a conditional origin GET on
+// the stored validators. A 304 renews the manifest — cache.Refresh semantics
+// at the tier: freshness extends, segment bodies are kept — while a changed
+// 200 is re-ingested in place when it still qualifies for the tier. Any
+// other outcome drops the manifest so the caller's miss path refetches.
+// Returns the manifest to serve, or nil.
+func (n *Node) lobRevalidate(t *largeobject.Tier, key string, m *largeobject.Manifest) *largeobject.Manifest {
+	etag := m.Header.Get("Etag")
+	lastMod := m.Header.Get("Last-Modified")
+	_, url, ok := strings.Cut(m.Key, " ")
+	if !ok || (etag == "" && lastMod == "") {
+		t.DeleteManifest(key)
+		return nil
+	}
+	req, err := httpmsg.NewRequest(http.MethodGet, url)
+	if err != nil {
+		t.DeleteManifest(key)
+		return nil
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	if lastMod != "" {
+		req.Header.Set("If-Modified-Since", lastMod)
+	}
+	n.originFetches.Add(1)
+	resp, err := n.cfg.Upstream.Do(req)
+	if err != nil {
+		// Origin unreachable: keep the manifest (its validators stay usable
+		// for the next attempt) but never serve stale — the caller's miss
+		// path surfaces the fetch error, as the whole-body cache would.
+		return nil
+	}
+	switch resp.Status {
+	case http.StatusNotModified:
+		refreshed, ok := t.RefreshManifest(key, n.lobNow(), resp.Header)
+		if !ok {
+			return nil
+		}
+		n.publishLob(key, refreshed)
+		return refreshed
+	case http.StatusOK:
+		// Content changed under the validators: the old segments are dead.
+		// Re-ingest the new body in place when it still qualifies.
+		t.DeleteManifest(key)
+		if resp.Cacheable() && int64(len(resp.Body)) >= n.cfg.LargeObjectThreshold {
+			if m2, err := t.IngestBody(key, resp.Status, resp.Header, n.lobNow(), resp.Body); err == nil {
+				n.lobWhole.Add(1)
+				n.publishLob(key, m2)
+				return m2
+			}
+		}
+		return nil
+	default:
+		t.DeleteManifest(key)
+		return nil
+	}
+}
+
 // lobAdopt learns key's manifest from the replicated index record (written
 // by whichever node ingested the object) and serves it as a stream. This is
 // how a node that never saw the object — or lost its soft state in a crash —
-// serves a range without refetching the whole body.
+// serves a range without refetching the whole body. A stale index manifest
+// is not adopted: the node fetches fresh from the origin instead of
+// resurrecting an expired copy cluster-wide.
 func (n *Node) lobAdopt(key string) *httpmsg.Response {
 	t := n.lobTier()
 	if t == nil {
@@ -162,19 +264,24 @@ func (n *Node) lobAdopt(key string) *httpmsg.Response {
 	if !ok || idx.Manifest == nil || !idx.Manifest.Complete() {
 		return nil
 	}
+	if !n.lobFresh(idx.Manifest, n.lobNow()) {
+		return nil
+	}
 	if err := t.PutManifest(idx.Manifest); err != nil {
 		return nil
 	}
 	n.lobAdopted.Add(1)
-	return n.lobServe(key)
+	return n.lobServe(key, false)
 }
 
 // maybeIngestLob chunks an already-buffered 200 into the tier when it
 // crosses the size threshold, so subsequent requests stream it segment by
 // segment. The caller still returns the buffered response it has in hand.
+// The tier is a shared cache: responses the whole-body cache would refuse
+// (no-store, private, no-cache) are never ingested.
 func (n *Node) maybeIngestLob(key string, resp *httpmsg.Response) bool {
 	t := n.lobTier()
-	if t == nil || resp.Status != http.StatusOK || resp.Stream != nil {
+	if t == nil || resp.Status != http.StatusOK || resp.Stream != nil || !resp.Cacheable() {
 		return false
 	}
 	if int64(len(resp.Body)) < n.cfg.LargeObjectThreshold {
@@ -213,6 +320,17 @@ type StreamHead struct {
 // are then chunked after the buffered fetch completes.
 type StreamFetcher interface {
 	DoStream(req *httpmsg.Request) (StreamHead, io.ReadCloser, error)
+}
+
+// lobHeadCacheable applies Response.Cacheable's shared-cache rules to a
+// streaming head whose body has not been read yet, so uncacheable responses
+// (no-store, private, no-cache) are never ingested into the shared tier.
+func lobHeadCacheable(head StreamHead) bool {
+	probe := httpmsg.NewResponse(head.Status)
+	if head.Header != nil {
+		probe.Header = head.Header
+	}
+	return probe.Cacheable()
 }
 
 // DoStream implements StreamFetcher for the real HTTP client.
@@ -299,11 +417,16 @@ func (n *Node) lobStreamOrigin(key string, req *httpmsg.Request) (*httpmsg.Respo
 	}
 	head, body, err := sf.DoStream(req)
 	if err != nil {
-		return nil, true, err
+		// A failed streaming fetch is not fatal to the request: the caller
+		// falls back to the buffered Do path, which may succeed (and reports
+		// its own error if it does not).
+		return nil, false, nil
 	}
-	if head.Status != http.StatusOK || head.Length < n.cfg.LargeObjectThreshold {
-		// Small object (or redirect/error/unknown length): buffer it and let
-		// the ordinary miss path cache and classify it.
+	if head.Status != http.StatusOK || head.Length < n.cfg.LargeObjectThreshold || !lobHeadCacheable(head) {
+		// Small object (or redirect/error/unknown length, or a response a
+		// shared cache must not store): buffer it and let the ordinary miss
+		// path classify it — cache.Put re-checks Cacheable on the full
+		// response, so no-store bodies pass through uncached.
 		defer body.Close()
 		data, err := io.ReadAll(body)
 		if err != nil {
@@ -607,7 +730,11 @@ func (n *Node) publishLob(key string, m *largeobject.Manifest) {
 	n.lobPubMu.Lock()
 	defer n.lobPubMu.Unlock()
 	idx, ok := n.lobIndexGet(key)
-	if !ok || idx.Manifest == nil || !idx.Manifest.Complete() {
+	if !ok || idx.Manifest == nil || !idx.Manifest.Complete() ||
+		m.Fetched.After(idx.Manifest.Fetched) {
+		// First writer wins, except a strictly fresher manifest (a
+		// revalidation's renewed Fetched, or a re-ingest of changed content)
+		// replaces the record so replicas stop adopting the expired one.
 		if !ok {
 			idx = &largeobject.Index{}
 		}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"nakika/internal/httpmsg"
 	"nakika/internal/overlay"
@@ -370,6 +371,275 @@ func TestLargeObjectConcurrentRangeReaders(t *testing.T) {
 	}
 	if full, _, _ := origin.counts(); full != 1 {
 		t.Errorf("full origin hits = %d, want 1", full)
+	}
+}
+
+// uncacheableOrigin serves one large body marked no-store, buffered or
+// streamed, counting each fetch.
+type uncacheableOrigin struct {
+	url  string
+	body []byte
+
+	mu   sync.Mutex
+	hits int
+}
+
+func (o *uncacheableOrigin) respond() *httpmsg.Response {
+	o.mu.Lock()
+	o.hits++
+	o.mu.Unlock()
+	resp := httpmsg.NewResponse(200)
+	resp.Header.Set("Cache-Control", "no-store")
+	resp.Body = append([]byte(nil), o.body...)
+	return resp
+}
+
+func (o *uncacheableOrigin) Do(req *httpmsg.Request) (*httpmsg.Response, error) {
+	if req.URL.String() != o.url {
+		return httpmsg.NewTextResponse(404, "not found"), nil
+	}
+	return o.respond(), nil
+}
+
+func (o *uncacheableOrigin) count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.hits
+}
+
+// streamUncacheableOrigin adds the streaming interface, so the no-store gate
+// on the pull-through path is exercised too.
+type streamUncacheableOrigin struct{ uncacheableOrigin }
+
+func (o *streamUncacheableOrigin) DoStream(req *httpmsg.Request) (StreamHead, io.ReadCloser, error) {
+	resp, err := o.Do(req)
+	if err != nil {
+		return StreamHead{}, nil, err
+	}
+	return StreamHead{Status: resp.Status, Header: resp.Header.Clone(), Length: int64(len(resp.Body))},
+		io.NopCloser(bytes.NewReader(resp.Body)), nil
+}
+
+// TestLargeObjectNeverIngestsUncacheable: a no-store 200 above the threshold
+// must not enter the shared tier — not via the buffered after-the-fact chunk,
+// and not via the streaming pull-through — so every request goes back to the
+// origin.
+func TestLargeObjectNeverIngestsUncacheable(t *testing.T) {
+	body := lobBody(40_000)
+	for name, origin := range map[string]Fetcher{
+		"buffered": &uncacheableOrigin{url: "http://p.example.org/me", body: body},
+		"streamed": &streamUncacheableOrigin{uncacheableOrigin{url: "http://p.example.org/me", body: body}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			n := newTestNodeUpstream(t, "edge-1", origin, lobConfig(4096, 10_000))
+			for i := 0; i < 2; i++ {
+				resp, _, err := n.Handle(httpmsg.MustRequest("GET", "http://p.example.org/me"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := resp.Materialize(); err != nil {
+					t.Fatal(err)
+				}
+				if resp.Status != 200 || !bytes.Equal(resp.Body, body) {
+					t.Fatalf("request %d: status %d, %d body bytes", i, resp.Status, len(resp.Body))
+				}
+			}
+			if st := n.LargeObject(); st.Tier.Manifests != 0 || st.WholeIngests != 0 || st.StreamIngests != 0 {
+				t.Errorf("no-store body entered the tier: %+v", st)
+			}
+			var hits int
+			switch o := origin.(type) {
+			case *uncacheableOrigin:
+				hits = o.count()
+			case *streamUncacheableOrigin:
+				hits = o.count()
+			}
+			if hits != 2 {
+				t.Errorf("origin hits = %d, want 2 (nothing may be cached)", hits)
+			}
+		})
+	}
+}
+
+// revalOrigin versions its body: conditional requests matching the current
+// ETag get a 304, everything else the current full body.
+type revalOrigin struct {
+	url string
+
+	mu           sync.Mutex
+	body         []byte
+	etag         string
+	maxAge       int
+	fullHits     int
+	notModHits   int
+	conditionals int
+}
+
+func (o *revalOrigin) Do(req *httpmsg.Request) (*httpmsg.Response, error) {
+	if req.URL.String() != o.url {
+		return httpmsg.NewTextResponse(404, "not found"), nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if inm := req.Header.Get("If-None-Match"); inm != "" {
+		o.conditionals++
+		if inm == o.etag {
+			o.notModHits++
+			resp := httpmsg.NewResponse(http.StatusNotModified)
+			resp.Header.Set("Etag", o.etag)
+			resp.Header.Set("Cache-Control", fmt.Sprintf("max-age=%d", o.maxAge))
+			return resp, nil
+		}
+	}
+	o.fullHits++
+	resp := httpmsg.NewResponse(200)
+	resp.Header.Set("Etag", o.etag)
+	resp.Header.Set("Cache-Control", fmt.Sprintf("max-age=%d", o.maxAge))
+	resp.Body = append([]byte(nil), o.body...)
+	return resp, nil
+}
+
+// TestLargeObjectStaleRevalidates: an expired manifest is never served as-is.
+// While the validators still match, one conditional request renews it (a 304
+// keeps the segment bodies); once the content changes, revalidation
+// re-ingests the new body in place.
+func TestLargeObjectStaleRevalidates(t *testing.T) {
+	bodyV1 := lobBody(40_000)
+	origin := &revalOrigin{url: "http://big.example.org/rss", body: bodyV1, etag: `"v1"`, maxAge: 100}
+	// The fake clock starts at wall time because NewResponse stamps Fetched
+	// with time.Now(); only the advances are simulated.
+	now := time.Now()
+	var mu sync.Mutex
+	n := newTestNodeUpstream(t, "edge-1", origin, func(cfg *Config) {
+		lobConfig(4096, 10_000)(cfg)
+		cfg.Cache.Clock = func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		}
+	})
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	get := func(wantBody []byte) {
+		t.Helper()
+		resp, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/rss"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resp.Body, wantBody) {
+			t.Fatalf("body differs (%d bytes, want %d)", len(resp.Body), len(wantBody))
+		}
+	}
+
+	get(bodyV1) // cold: ingest
+	get(bodyV1) // fresh: streamed, no origin traffic
+	if origin.fullHits != 1 || origin.conditionals != 0 {
+		t.Fatalf("fresh phase: %d full, %d conditional", origin.fullHits, origin.conditionals)
+	}
+
+	// Expire; unchanged content: exactly one conditional request renews the
+	// manifest, and the renewed copy serves without further origin traffic.
+	advance(101 * time.Second)
+	get(bodyV1)
+	if origin.fullHits != 1 || origin.notModHits != 1 {
+		t.Fatalf("revalidate phase: %d full, %d 304s; want 1, 1", origin.fullHits, origin.notModHits)
+	}
+	get(bodyV1)
+	if origin.notModHits != 1 {
+		t.Fatalf("renewed manifest did not serve: %d 304s", origin.notModHits)
+	}
+
+	// Expire again; content changed: revalidation re-ingests the new body.
+	bodyV2 := lobBody(52_000)
+	origin.mu.Lock()
+	origin.body, origin.etag = bodyV2, `"v2"`
+	origin.mu.Unlock()
+	advance(101 * time.Second)
+	get(bodyV2)
+	if origin.fullHits != 2 {
+		t.Fatalf("changed content: %d full fetches, want 2", origin.fullHits)
+	}
+	get(bodyV2) // the re-ingested copy is fresh again
+	if origin.fullHits != 2 || origin.conditionals != 2 {
+		t.Fatalf("after re-ingest: %d full, %d conditional", origin.fullHits, origin.conditionals)
+	}
+	if st := n.LargeObject(); st.Tier.Manifests != 1 {
+		t.Errorf("manifests = %d, want 1", st.Tier.Manifests)
+	}
+}
+
+// TestLargeObjectStaleWithoutValidatorsRefetches: with no ETag/Last-Modified
+// an expired manifest cannot revalidate — it is dropped and the object
+// refetched in full, exactly like an expired whole-body cache entry.
+func TestLargeObjectStaleWithoutValidatorsRefetches(t *testing.T) {
+	body := lobBody(30_000)
+	origin := &rangeOrigin{url: "http://big.example.org/nv", body: body}
+	now := time.Now() // see TestLargeObjectStaleRevalidates on the base time
+	var mu sync.Mutex
+	n := newTestNodeUpstream(t, "edge-1", origin, func(cfg *Config) {
+		lobConfig(4096, 10_000)(cfg)
+		cfg.Cache.Clock = func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		}
+	})
+	if _, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/nv")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = now.Add(601 * time.Second) // past the origin's max-age=600
+	mu.Unlock()
+	resp, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/nv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Fatal("refetched body differs")
+	}
+	if full, _, _ := origin.counts(); full != 2 {
+		t.Errorf("full origin fetches = %d, want 2 (stale copy must not serve)", full)
+	}
+}
+
+// failStreamOrigin errors on every DoStream but serves fine over Do.
+type failStreamOrigin struct{ rangeOrigin }
+
+func (o *failStreamOrigin) DoStream(req *httpmsg.Request) (StreamHead, io.ReadCloser, error) {
+	return StreamHead{}, nil, fmt.Errorf("stream path down")
+}
+
+// TestStreamFetchErrorFallsBackToBuffered: a failing streaming path must not
+// turn a cold miss into a hard failure — the miss falls back to the buffered
+// fetch, and the object is still chunked into the tier after the fact.
+func TestStreamFetchErrorFallsBackToBuffered(t *testing.T) {
+	body := lobBody(40_000)
+	origin := &failStreamOrigin{rangeOrigin{url: "http://big.example.org/fb", body: body}}
+	n := newTestNodeUpstream(t, "edge-1", origin, lobConfig(4096, 10_000))
+	resp, _, err := n.Handle(httpmsg.MustRequest("GET", "http://big.example.org/fb"))
+	if err != nil {
+		t.Fatalf("cold miss failed instead of falling back: %v", err)
+	}
+	if err := resp.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Fatal("fallback body differs")
+	}
+	if full, _, _ := origin.counts(); full != 1 {
+		t.Errorf("full origin fetches = %d, want 1", full)
+	}
+	if st := n.LargeObject(); st.WholeIngests != 1 {
+		t.Errorf("whole ingests = %d, want 1 (buffered fallback still chunks)", st.WholeIngests)
 	}
 }
 

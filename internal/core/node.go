@@ -894,9 +894,11 @@ func (n *Node) fetchWithCache(req *httpmsg.Request) (*httpmsg.Response, error) {
 		return resp, nil
 	}
 	// Large objects live in the chunked tier, not the response cache: a
-	// resident manifest serves a lazy stream whose segments resolve from
-	// the slab, a peer, or an origin Range refetch as the client reads.
-	if resp := n.lobServe(key); resp != nil {
+	// resident fresh manifest serves a lazy stream whose segments resolve
+	// from the slab, a peer, or an origin Range refetch as the client reads.
+	// A stale manifest falls through to the single flight, where the leader
+	// revalidates it against the origin.
+	if resp := n.lobServe(key, false); resp != nil {
 		n.cacheHits.Add(1)
 		return resp, nil
 	}
@@ -918,7 +920,7 @@ func (n *Node) fetchMiss(key string, req *httpmsg.Request) (*httpmsg.Response, e
 		n.cacheHits.Add(1)
 		return resp, nil
 	}
-	if resp := n.lobServe(key); resp != nil {
+	if resp := n.lobServe(key, true); resp != nil {
 		n.cacheHits.Add(1)
 		return resp, nil
 	}

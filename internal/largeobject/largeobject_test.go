@@ -148,6 +148,60 @@ func TestSlabPutGetEvict(t *testing.T) {
 	}
 }
 
+// TestSlabConcurrentPutGetKeepsSegments: a Get racing a Put must never
+// unmap the slot under the writer — a Put that returned success stays
+// retrievable. Before slot writes were published after completion, the
+// reader could misread the in-flight frame as corruption, free the slot,
+// and silently lose the segment (or hand the slot to a second writer).
+func TestSlabConcurrentPutGetKeepsSegments(t *testing.T) {
+	const nSegs = 8
+	fs := store.NewMemFS()
+	slab, err := NewSlab(fs, 256, nSegs*256) // exactly one slot per segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([][]byte, nSegs)
+	ids := make([]SegID, nSegs)
+	for i := range segs {
+		segs[i] = bytes.Repeat([]byte{byte('a' + i)}, 256)
+		ids[i] = HashSegment(segs[i])
+	}
+	var wg sync.WaitGroup
+	for i := range segs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := slab.Put(ids[i], segs[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Hammer reads of every id while the writers run; misses are
+			// fine (not yet published), corruption-induced unmaps are not.
+			for j := 0; j < 50; j++ {
+				if data, ok := slab.Get(ids[(i+j)%nSegs]); ok && !bytes.Equal(data, segs[(i+j)%nSegs]) {
+					t.Errorf("segment %d corrupt", (i+j)%nSegs)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No evictions were possible (one slot per segment), so every Put that
+	// succeeded must still be resident and intact.
+	for i := range segs {
+		data, ok := slab.Get(ids[i])
+		if !ok {
+			t.Fatalf("segment %d lost after concurrent put/get", i)
+		}
+		if !bytes.Equal(data, segs[i]) {
+			t.Fatalf("segment %d corrupt after concurrent put/get", i)
+		}
+	}
+}
+
 func TestSlabScanRebuildAndCorruption(t *testing.T) {
 	fs := store.NewMemFS()
 	slab, err := NewSlab(fs, 64, 4*64)
@@ -262,6 +316,44 @@ func TestTierPersistsCompleteManifests(t *testing.T) {
 	rc.Close()
 	if err != nil || !bytes.Equal(got, body[100:2000]) {
 		t.Fatalf("post-reopen range mismatch: %v", err)
+	}
+}
+
+// TestTierRefreshManifest: RefreshManifest renews Fetched and merges the
+// 304's headers without touching segment ids, and the renewal survives a
+// reopen.
+func TestTierRefreshManifest(t *testing.T) {
+	fs := store.NewMemFS()
+	tier, err := OpenTier(fs, 1024, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := testBody(5_000)
+	hdr := http.Header{"Etag": {`"v1"`}, "Cache-Control": {"max-age=5"}}
+	fetched := time.Unix(0, 1754600000000000000).UTC()
+	m, err := tier.IngestBody("GET http://x/o", 200, hdr, fetched, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renewed := fetched.Add(time.Hour)
+	got, ok := tier.RefreshManifest("GET http://x/o", renewed, http.Header{"Cache-Control": {"max-age=90"}})
+	if !ok {
+		t.Fatal("refresh missed the manifest")
+	}
+	if !got.Fetched.Equal(renewed) || got.Header.Get("Cache-Control") != "max-age=90" ||
+		got.Header.Get("Etag") != `"v1"` || len(got.Segments) != len(m.Segments) {
+		t.Fatalf("refreshed manifest = %+v", got)
+	}
+	tier2, err := OpenTier(fs, 1024, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, ok := tier2.Manifest("GET http://x/o")
+	if !ok || !m2.Fetched.Equal(renewed) || m2.Header.Get("Cache-Control") != "max-age=90" {
+		t.Fatalf("renewal not persisted: %+v", m2)
+	}
+	if _, ok := tier.RefreshManifest("GET http://x/none", renewed, nil); ok {
+		t.Fatal("refresh of a missing manifest reported ok")
 	}
 }
 

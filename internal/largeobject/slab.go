@@ -34,8 +34,12 @@ type Slab struct {
 
 type slotState struct {
 	used bool
-	id   SegID
-	tick uint64
+	// writing marks a slot whose frame is still being written outside the
+	// lock; it is invisible to bySeg, skipped by allocation, and published
+	// only once the write completes.
+	writing bool
+	id      SegID
+	tick    uint64
 }
 
 var slabCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -155,6 +159,11 @@ func (s *Slab) readSlot(ord int) (SegID, []byte, error) {
 // used segment if no slot is free. Storing a segment larger than the slab's
 // segment size is an error; storing an already resident segment only
 // refreshes its LRU position.
+//
+// The slot is reserved under the lock but the id is published in bySeg only
+// after the frame write completes: a Get must never read a slot mid-write —
+// it would misread the torn frame as corruption and free the slot under the
+// writer, letting a second Put reuse it concurrently.
 func (s *Slab) Put(id SegID, data []byte) error {
 	if int64(len(data)) > s.segSize {
 		return fmt.Errorf("largeobject: segment %v len %d exceeds slot size %d", id, len(data), s.segSize)
@@ -166,66 +175,81 @@ func (s *Slab) Put(id SegID, data []byte) error {
 		s.mu.Unlock()
 		return nil
 	}
-	ord, evicted := s.allocate()
-	s.slots[ord] = slotState{used: true, id: id, tick: s.tick}
-	s.bySeg[id] = ord
+	ord, evicted, ok := s.allocate()
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("largeobject: every slot has a write in flight")
+	}
+	s.slots[ord] = slotState{used: true, writing: true, id: id, tick: s.tick}
 	s.tick++
+	s.mu.Unlock()
+
+	err := s.writeSlot(ord, id, data)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.slots[ord] = slotState{}
+		s.free = append(s.free, ord)
+		return fmt.Errorf("largeobject: write slot %d: %w", ord, err)
+	}
+	if _, dup := s.bySeg[id]; dup {
+		// A concurrent Put of the same segment published first; its copy
+		// serves, this slot frees (the duplicate frame is simply overwritten
+		// by the slot's next tenant).
+		s.slots[ord] = slotState{}
+		s.free = append(s.free, ord)
+		return nil
+	}
+	s.slots[ord].writing = false
+	s.bySeg[id] = ord
 	s.puts++
 	if evicted {
 		s.evictions++
 	}
-	s.mu.Unlock()
-
-	// Write outside the lock: a concurrent Get on this slot sees either the
-	// old frame (id mismatch -> miss), a torn frame (checksum miss) or the
-	// new one; all are safe.
-	f, err := s.fs.Create(slotName(ord))
-	if err != nil {
-		s.unmap(id, ord)
-		return fmt.Errorf("largeobject: write slot %d: %w", ord, err)
-	}
-	frame := appendFrame(nil, id, data)
-	if _, err := f.Write(frame); err != nil {
-		f.Close()
-		s.unmap(id, ord)
-		return fmt.Errorf("largeobject: write slot %d: %w", ord, err)
-	}
-	if err := f.Close(); err != nil {
-		s.unmap(id, ord)
-		return fmt.Errorf("largeobject: write slot %d: %w", ord, err)
-	}
 	return nil
 }
 
+// writeSlot writes one CRC-framed segment into ord's slot file.
+func (s *Slab) writeSlot(ord int, id SegID, data []byte) error {
+	f, err := s.fs.Create(slotName(ord))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(appendFrame(nil, id, data)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // allocate picks a slot under s.mu: free list first, then LRU eviction.
-func (s *Slab) allocate() (ord int, evicted bool) {
+// Slots with a write in flight are never candidates; ok is false when every
+// slot is being written (only possible with more concurrent writers than
+// slots).
+func (s *Slab) allocate() (ord int, evicted, ok bool) {
 	if n := len(s.free); n > 0 {
 		ord = s.free[n-1]
 		s.free = s.free[:n-1]
-		return ord, false
+		return ord, false, true
 	}
 	victim, minTick := -1, uint64(0)
 	for i := range s.slots {
+		if s.slots[i].writing {
+			continue
+		}
 		if !s.slots[i].used {
-			return i, false
+			return i, false, true
 		}
 		if victim < 0 || s.slots[i].tick < minTick {
 			victim, minTick = i, s.slots[i].tick
 		}
 	}
-	delete(s.bySeg, s.slots[victim].id)
-	return victim, true
-}
-
-// unmap rolls back a failed Put's slot reservation.
-func (s *Slab) unmap(id SegID, ord int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cur, ok := s.bySeg[id]; ok && cur == ord {
-		delete(s.bySeg, id)
-		s.slots[ord] = slotState{}
-		s.free = append(s.free, ord)
+	if victim < 0 {
+		return 0, false, false
 	}
+	delete(s.bySeg, s.slots[victim].id)
+	return victim, true, true
 }
 
 // Get returns the segment's bytes if resident and intact. A corrupt slot is

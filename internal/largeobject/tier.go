@@ -123,6 +123,36 @@ func (t *Tier) AppendSegment(key string, ord int, id SegID) (*Manifest, error) {
 	return cp, nil
 }
 
+// RefreshManifest renews key's manifest after a successful revalidation:
+// Fetched moves to fetched and hdr's headers (the 304's updated metadata —
+// new Cache-Control, Expires, validators) overwrite the stored ones, per RFC
+// 9111 §3.2. Segment ids and bodies are untouched. Returns the refreshed
+// manifest, or false when key has no manifest.
+func (t *Tier) RefreshManifest(key string, fetched time.Time, hdr http.Header) (*Manifest, bool) {
+	t.mu.Lock()
+	m, ok := t.manifests[key]
+	if !ok {
+		t.mu.Unlock()
+		return nil, false
+	}
+	cp := m.Clone()
+	cp.Fetched = fetched
+	if cp.Header == nil {
+		cp.Header = make(http.Header, len(hdr))
+	}
+	for k, vs := range hdr {
+		cp.Header[k] = append([]string(nil), vs...)
+	}
+	t.manifests[key] = cp
+	t.mu.Unlock()
+	if cp.Complete() {
+		// Persisting the renewed expiry is best-effort; a crash costs at
+		// most one extra revalidation at recovery.
+		store.WriteAtomic(t.fs, manifestName(key), EncodeManifest(cp))
+	}
+	return cp, true
+}
+
 // DeleteManifest drops key's manifest from the table and disk. Its segments
 // age out of the slab by LRU.
 func (t *Tier) DeleteManifest(key string) {
